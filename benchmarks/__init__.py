@@ -1,0 +1,14 @@
+"""Benchmark harness: one module per experiment in DESIGN.md's index.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark executes full simulations, records the paper-relevant
+measurements (query/message/time complexity vs the stated bound) into
+``benchmark.extra_info``, prints the regenerated table rows, and
+asserts the *shape* claims (who wins, scaling direction, crossover
+positions).  Wall-clock numbers from pytest-benchmark describe the
+simulator, not the protocols — the protocol-relevant output is the
+printed tables and the recorded ratios.
+"""

@@ -1,0 +1,95 @@
+"""E12 (ablation) — adversary strength battery.
+
+The upper-bound claims are "for every adversary"; the battery measures
+how much each concrete adversary actually extracts from each protocol
+(queries and time), confirming (a) correctness never budges, and
+(b) the adversaries are doing real work (slowdowns show up in T,
+crash/Byzantine plans show up in Q).
+"""
+
+from repro.adversary import (
+    BurstyDelay,
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    EquivocateStrategy,
+    NullAdversary,
+    StaggeredStart,
+    TargetedSlowdown,
+    UniformRandomDelay,
+    WrongBitsStrategy,
+)
+from repro.protocols import ByzCommitteeDownloadPeer, CrashMultiDownloadPeer
+
+from benchmarks.support import Row, measure, print_table
+
+N = 12
+ELL = 2400
+
+
+def _crash_battery():
+    adversaries = [
+        ("synchronous, no faults", NullAdversary(), 0),
+        ("async uniform", UniformRandomDelay(), 0),
+        ("bursty", BurstyDelay(stall_fraction=0.3), 0),
+        ("staggered starts", StaggeredStart(spread=4.0), 0),
+        ("slow third", TargetedSlowdown({0, 1, 2, 3}), 4),
+        ("crash half (mid-send)", ComposedAdversary(
+            faults=CrashAdversary(crash_fraction=0.5),
+            latency=UniformRandomDelay()), None),
+        ("crash half (timed)", ComposedAdversary(
+            faults=CrashAdversary(crash_fraction=0.5, mode="at_time"),
+            latency=UniformRandomDelay()), None),
+    ]
+    rows = []
+    for label, adversary, t in adversaries:
+        measured = measure(n=N, ell=ELL,
+                           peer_factory=CrashMultiDownloadPeer.factory(),
+                           adversary=adversary, t=t, seed=121, repeats=2)
+        rows.append(Row(label, {
+            "Q": measured["Q"], "T": measured["T"], "M": measured["M"],
+            "correct": f"{measured['correct']}/{measured['runs']}"}))
+    return rows
+
+
+def bench_crash_adversary_battery(benchmark):
+    rows = benchmark.pedantic(_crash_battery, rounds=1, iterations=1)
+    print_table(f"E12 Algorithm 2 vs adversary battery (n={N}, ell={ELL})",
+                ["Q", "T", "M", "correct"], rows)
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        correct, runs = row.values["correct"].split("/")
+        assert correct == runs
+    baseline_q = rows[0].values["Q"]
+    crash_q = rows[-2].values["Q"]
+    # Crashes force real extra work:
+    assert crash_q > baseline_q
+
+
+def _byzantine_battery():
+    rows = []
+    strategies = [("wrong bits", WrongBitsStrategy),
+                  ("equivocate", EquivocateStrategy)]
+    for label, strategy in strategies:
+        adversary = ComposedAdversary(
+            faults=ByzantineAdversary(
+                fraction=0.33, strategy_factory=lambda pid, s=strategy: s()),
+            latency=UniformRandomDelay())
+        measured = measure(
+            n=N, ell=ELL,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=24),
+            adversary=adversary, seed=122, repeats=2)
+        rows.append(Row(label, {
+            "Q": measured["Q"], "T": measured["T"],
+            "correct": f"{measured['correct']}/{measured['runs']}"}))
+    return rows
+
+
+def bench_byzantine_adversary_battery(benchmark):
+    rows = benchmark.pedantic(_byzantine_battery, rounds=1, iterations=1)
+    print_table(f"E12 committee vs Byzantine battery (n={N}, beta=0.33)",
+                ["Q", "T", "correct"], rows)
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        correct, runs = row.values["correct"].split("/")
+        assert correct == runs

@@ -1,0 +1,102 @@
+"""E4 — Theorem 3.4: deterministic committee download, beta < 1/2.
+
+Claims regenerated:
+- Q = ceil(ell * (2t + 1) / n), growing linearly in t;
+- correctness under every Byzantine strategy in the battery;
+- the beta = 1/2 crossover: at 2t >= n the protocol refuses to run
+  (and Theorem 3.1 says nothing better than naive exists).
+"""
+
+import pytest
+
+from repro.adversary import (
+    EquivocateStrategy,
+    SelectiveSilenceStrategy,
+    SilentStrategy,
+    WrongBitsStrategy,
+)
+from repro.core.bounds import committee_query_bound
+from repro.protocols import ByzCommitteeDownloadPeer
+from repro.sim import ConfigurationError, run_download
+
+from benchmarks.support import Row, byzantine_setup, measure, print_table
+
+N = 15
+ELL = 4500
+
+
+def _t_sweep():
+    rows = []
+    for t in (0, 2, 4, 7):
+        beta = t / N
+        measured = measure(
+            n=N, ell=ELL, t=t,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=30),
+            adversary=byzantine_setup(beta), seed=41, repeats=2)
+        bound = committee_query_bound(ELL, N, t)
+        rows.append(Row(f"t={t} (beta={beta:.2f})", {
+            "Q": measured["Q"], "bound": bound,
+            "Q/bound": measured["Q"] / bound,
+            "correct": f"{measured['correct']}/{measured['runs']}"}))
+    return rows
+
+
+def bench_committee_t_sweep(benchmark):
+    rows = benchmark.pedantic(_t_sweep, rounds=1, iterations=1)
+    print_table(f"E4 committee t sweep (n={N}, ell={ELL})",
+                ["Q", "bound", "Q/bound", "correct"], rows)
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        correct, runs = row.values["correct"].split("/")
+        assert correct == runs
+        assert row.values["Q"] <= row.values["bound"] + N
+    # Linear growth in t:
+    qs = [row.values["Q"] for row in rows]
+    assert qs == sorted(qs) and qs[-1] > 2 * qs[0]
+
+
+def _strategy_battery():
+    rows = []
+    strategies = [SilentStrategy, WrongBitsStrategy, EquivocateStrategy,
+                  SelectiveSilenceStrategy]
+    for strategy in strategies:
+        measured = measure(
+            n=N, ell=ELL, t=None,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=30),
+            adversary=byzantine_setup(
+                0.4, strategy_factory=lambda pid, s=strategy: s()),
+            seed=42, repeats=2)
+        rows.append(Row(strategy.__name__, {
+            "Q": measured["Q"], "T": measured["T"],
+            "correct": f"{measured['correct']}/{measured['runs']}"}))
+    return rows
+
+
+def bench_committee_strategy_battery(benchmark):
+    rows = benchmark.pedantic(_strategy_battery, rounds=1, iterations=1)
+    print_table(f"E4 committee vs strategy battery (n={N}, beta=0.4)",
+                ["Q", "T", "correct"], rows)
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        correct, runs = row.values["correct"].split("/")
+        assert correct == runs
+
+
+def bench_committee_majority_crossover(benchmark):
+    def crossover():
+        refused = 0
+        for t in range(N):
+            try:
+                run_download(
+                    n=N, ell=30, t=t,
+                    peer_factory=ByzCommitteeDownloadPeer.factory(
+                        block_size=30),
+                    seed=43)
+            except ConfigurationError:
+                refused += 1
+        return refused
+
+    refused = benchmark.pedantic(crossover, rounds=1, iterations=1)
+    benchmark.extra_info["refused_t_values"] = refused
+    # Exactly the t with 2t >= n are refused: t in {8 .. 14} for n=15.
+    assert refused == N - (N - 1) // 2 - 1

@@ -1,0 +1,87 @@
+"""E6 — Theorem 3.12: the multi-cycle randomized download.
+
+Claims regenerated:
+- expected Q stays near ell/s (the cycle-1 segment) while the number
+  of cycles grows only logarithmically in s;
+- increasing the base segment count decreases Q (until the sampling
+  premise thins out);
+- the multi-cycle protocol's advantage over the 2-cycle protocol's
+  single whole-segment query shows up at larger segment counts.
+"""
+
+from repro.core.segments import HierarchicalSegmentation
+from repro.protocols import ByzMultiCycleDownloadPeer, ByzTwoCycleDownloadPeer
+
+from benchmarks.support import Row, byzantine_setup, measure, print_table
+
+N = 48
+ELL = 16384
+BETA = 0.1
+
+
+def _segment_sweep():
+    rows = []
+    for base in (2, 4, 8):
+        measured = measure(
+            n=N, ell=ELL,
+            peer_factory=ByzMultiCycleDownloadPeer.factory(
+                base_segments=base, tau=2),
+            adversary=byzantine_setup(BETA), seed=61, repeats=3)
+        cycles = HierarchicalSegmentation(ELL, base).num_cycles
+        rows.append(Row(f"s={base}", {
+            "Q": measured["Q"],
+            "segment": ELL // base,
+            "cycles": cycles,
+            "T": measured["T"],
+            "correct": f"{measured['correct']}/{measured['runs']}"}))
+    return rows
+
+
+def bench_multi_cycle_segment_sweep(benchmark):
+    rows = benchmark.pedantic(_segment_sweep, rounds=1, iterations=1)
+    print_table(f"E6 multi-cycle base-segment sweep (n={N}, ell={ELL})",
+                ["Q", "segment", "cycles", "T", "correct"], rows)
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        correct, runs = row.values["correct"].split("/")
+        assert correct == runs
+    # More segments => smaller cycle-1 cost => smaller Q.
+    qs = [row.values["Q"] for row in rows]
+    assert qs[-1] < qs[0]
+    # Cycle count is logarithmic: s=8 needs only 4 cycles.
+    assert rows[-1].values["cycles"] == 4
+
+
+def _versus_two_cycle():
+    rows = []
+    two = measure(
+        n=N, ell=ELL,
+        peer_factory=ByzTwoCycleDownloadPeer.factory(num_segments=8, tau=2),
+        adversary=byzantine_setup(BETA), seed=62, repeats=3)
+    rows.append(Row("2-cycle (s=8)", {
+        "Q": two["Q"], "T": two["T"],
+        "correct": f"{two['correct']}/{two['runs']}"}))
+    multi = measure(
+        n=N, ell=ELL,
+        peer_factory=ByzMultiCycleDownloadPeer.factory(base_segments=8,
+                                                       tau=2),
+        adversary=byzantine_setup(BETA), seed=62, repeats=3)
+    rows.append(Row("multi-cycle (s=8)", {
+        "Q": multi["Q"], "T": multi["T"],
+        "correct": f"{multi['correct']}/{multi['runs']}"}))
+    return rows
+
+
+def bench_multi_cycle_vs_two_cycle(benchmark):
+    rows = benchmark.pedantic(_versus_two_cycle, rounds=1, iterations=1)
+    print_table(f"E6 multi-cycle vs 2-cycle (n={N}, ell={ELL})",
+                ["Q", "T", "correct"], rows)
+    two, multi = rows
+    benchmark.extra_info["two_cycle"] = two.values
+    benchmark.extra_info["multi_cycle"] = multi.values
+    # Same base segment cost; the multi-cycle pays extra cycles in
+    # time, not queries (both ~ ell/s + trees), and both stay well
+    # below naive.
+    assert multi.values["Q"] < ELL / 2
+    assert two.values["Q"] < ELL / 2
+    assert multi.values["T"] > two.values["T"]

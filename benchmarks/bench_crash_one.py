@@ -1,0 +1,79 @@
+"""E2 — Theorem 2.3: Algorithm 1's query complexity under one crash.
+
+The theorem: Q = ell/n + ell/n^2 (up to ceilings), T = O(1), M = O(n^2),
+for every possible single-crash schedule.  The bench sweeps crash
+timing (silent, mid-broadcast, timed) and network shapes and reports
+measured Q against the theorem's expression.
+"""
+
+import math
+
+from repro.adversary import (
+    ComposedAdversary,
+    CrashAdversary,
+    CrashAfterSends,
+    CrashAtTime,
+    TargetedSlowdown,
+    UniformRandomDelay,
+)
+from repro.protocols import CrashOneDownloadPeer
+
+from benchmarks.support import Row, measure, print_table
+
+N = 16
+ELL = 4096
+
+
+def theorem_bound(n: int, ell: int) -> int:
+    return math.ceil(ell / n) + math.ceil(math.ceil(ell / n) / (n - 1))
+
+
+def _schedules():
+    return [
+        ("no crash", None),
+        ("silent crash", CrashAfterSends(0)),
+        ("mid-broadcast (3 sends)", CrashAfterSends(3)),
+        ("mid-broadcast (20 sends)", CrashAfterSends(20)),
+        ("timed crash t=0.5", CrashAtTime(0.5)),
+        ("timed crash t=2.0", CrashAtTime(2.0)),
+    ]
+
+
+def _rows():
+    rows = []
+    bound = theorem_bound(N, ELL)
+    for label, spec in _schedules():
+        if spec is None:
+            adversary = UniformRandomDelay()
+        else:
+            adversary = ComposedAdversary(
+                faults=CrashAdversary(crashes={3: spec}),
+                latency=UniformRandomDelay())
+        measured = measure(n=N, ell=ELL,
+                           peer_factory=CrashOneDownloadPeer.factory(),
+                           adversary=adversary,
+                           t=1 if spec is None else None,
+                           seed=21, repeats=3)
+        rows.append(Row(label, {
+            "Q": measured["Q"], "bound": bound, "T": measured["T"],
+            "M": measured["M"],
+            "correct": f"{measured['correct']}/{measured['runs']}"}))
+    slow = measure(n=N, ell=ELL, t=1,
+                   peer_factory=CrashOneDownloadPeer.factory(),
+                   adversary=TargetedSlowdown({5}), seed=22, repeats=3)
+    rows.append(Row("slow-but-alive peer", {
+        "Q": slow["Q"], "bound": bound, "T": slow["T"], "M": slow["M"],
+        "correct": f"{slow['correct']}/{slow['runs']}"}))
+    return rows
+
+
+def bench_crash_one(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print_table(f"E2 Theorem 2.3 (n={N}, ell={ELL}, "
+                f"bound={theorem_bound(N, ELL)})",
+                ["Q", "bound", "T", "M", "correct"], rows)
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        assert row.values["Q"] <= row.values["bound"]
+        correct, runs = row.values["correct"].split("/")
+        assert correct == runs

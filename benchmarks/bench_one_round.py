@@ -1,0 +1,66 @@
+"""E14 — the single-round separation (companion paper's regime).
+
+The companion paper proves that in any single-round protocol each peer
+must essentially query the entire input (no iteration means no
+reaction to crashes).  This bench regenerates the qualitative content:
+
+- against the *adaptive* crash adversary, the one-exchange protocol's
+  per-peer cost plateaus near ``beta * ell`` for every redundancy
+  level — buying more upfront coverage just moves cost from the
+  completion term to the initial term;
+- the iterated protocol (Algorithm 2) at the same beta pays
+  ``~ ell/(n - t)``, an ``~ beta * n``-factor separation.
+"""
+
+from repro.adversary import AdaptiveCrashAdversary
+from repro.protocols import CrashMultiDownloadPeer, OneRoundDownloadPeer
+from repro.sim import run_download
+
+from benchmarks.support import Row, print_table
+
+N = 16
+ELL = 8192
+BETA = 0.5
+
+
+def _redundancy_sweep():
+    rows = []
+    for redundancy in (1, 2, 4, 8):
+        adversary = AdaptiveCrashAdversary(crash_fraction=BETA)
+        result = run_download(
+            n=N, ell=ELL,
+            peer_factory=OneRoundDownloadPeer.factory(redundancy=redundancy),
+            adversary=adversary, seed=141)
+        initial = redundancy * ELL // N
+        rows.append(Row(f"one-round r={redundancy}", {
+            "initial Q": initial,
+            "killed bits": len(adversary.killed_bits()),
+            "total Q": result.report.query_complexity,
+            "correct": result.download_correct}))
+    adversary = AdaptiveCrashAdversary(crash_fraction=BETA)
+    iterated = run_download(n=N, ell=ELL,
+                            peer_factory=CrashMultiDownloadPeer.factory(),
+                            adversary=adversary, seed=141)
+    rows.append(Row("Algorithm 2 (iterated)", {
+        "initial Q": ELL // N,
+        "killed bits": "-",
+        "total Q": iterated.report.query_complexity,
+        "correct": iterated.download_correct}))
+    return rows
+
+
+def bench_single_round_separation(benchmark):
+    rows = benchmark.pedantic(_redundancy_sweep, rounds=1, iterations=1)
+    print_table(f"E14 single-round separation (n={N}, ell={ELL}, "
+                f"adaptive beta={BETA})",
+                ["initial Q", "killed bits", "total Q", "correct"], rows)
+    one_round_rows, iterated_row = rows[:-1], rows[-1]
+    plateau_floor = BETA * ELL
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        assert row.values["correct"]
+    # The plateau: every redundancy level pays >= beta * ell ...
+    for row in one_round_rows:
+        assert row.values["total Q"] >= plateau_floor
+    # ... while iterating costs a beta*n-factor less.
+    assert iterated_row.values["total Q"] * 2 < plateau_floor

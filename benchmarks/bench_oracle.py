@@ -1,0 +1,86 @@
+"""E9 — Theorem 4.1/4.2: Download-based Oracle Data Collection.
+
+Claims regenerated:
+- both pipelines publish values inside the honest range (the ODD
+  guarantee) under Byzantine feeds (incl. equivocating) and Byzantine
+  oracle nodes;
+- the Download-based pipeline's per-node query cost scales like
+  ``feeds * cells * w * (2t+1) / n`` while the baseline pays
+  ``feeds * cells * w`` per node — the crossover in n where Download
+  starts winning is where the theory puts it (n > 2t + 1).
+"""
+
+from repro.oracle import (
+    make_setup,
+    odd_satisfied,
+    run_baseline_odc,
+    run_download_odc,
+)
+
+from benchmarks.support import Row, print_table
+
+
+def _node_scaling():
+    rows = []
+    for nodes in (5, 9, 15, 25):
+        setup = make_setup(nodes=nodes, node_fault_bound=2, feed_count=5,
+                           corrupt_feeds=2, cells=24, value_bits=16,
+                           noise_bound=3, seed=91)
+        baseline = run_baseline_odc(setup)
+        download = run_download_odc(setup, seed=92)
+        rows.append(Row(f"n={nodes}", {
+            "baseline Q/node": baseline.max_honest_node_query_bits,
+            "download Q/node": download.max_honest_node_query_bits,
+            "speedup": baseline.max_honest_node_query_bits
+            / max(1, download.max_honest_node_query_bits),
+            "ODD base": odd_satisfied(setup, baseline.finalized),
+            "ODD down": odd_satisfied(setup, download.finalized)}))
+    return rows
+
+
+def bench_oracle_node_scaling(benchmark):
+    rows = benchmark.pedantic(_node_scaling, rounds=1, iterations=1)
+    print_table("E9 ODC per-node query cost vs network size "
+                "(5 feeds x 24 cells x 16 bits, t=2)",
+                ["baseline Q/node", "download Q/node", "speedup",
+                 "ODD base", "ODD down"], rows)
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        assert row.values["ODD base"] and row.values["ODD down"]
+    # Baseline per-node cost is flat in n; download cost shrinks.
+    downloads = [row.values["download Q/node"] for row in rows]
+    baselines = [row.values["baseline Q/node"] for row in rows]
+    assert len(set(baselines)) == 1
+    assert downloads[-1] < downloads[0]
+    # Crossover: by n=15 >> 2t+1=5 the download pipeline wins clearly.
+    assert rows[2].values["speedup"] > 1.0
+    assert rows[3].values["speedup"] > rows[2].values["speedup"]
+
+
+def _adversarial_battery():
+    rows = []
+    cases = [
+        ("honest everything", dict(node_fault_bound=0, corrupt_feeds=0)),
+        ("byz feeds only", dict(node_fault_bound=0, corrupt_feeds=2)),
+        ("byz nodes only", dict(node_fault_bound=3, corrupt_feeds=0)),
+        ("byz feeds + nodes", dict(node_fault_bound=3, corrupt_feeds=2)),
+    ]
+    for label, overrides in cases:
+        setup = make_setup(nodes=13, feed_count=5, cells=4,
+                           value_bits=16, noise_bound=2, seed=93,
+                           **overrides)
+        download = run_download_odc(setup, seed=94)
+        rows.append(Row(label, {
+            "Q/node": download.max_honest_node_query_bits,
+            "ODD": odd_satisfied(setup, download.finalized),
+            "feeds ok": download.details["feed_downloads_correct"]}))
+    return rows
+
+
+def bench_oracle_adversarial_battery(benchmark):
+    rows = benchmark.pedantic(_adversarial_battery, rounds=1, iterations=1)
+    print_table("E9 Download-ODC adversarial battery (n=13, 5 feeds)",
+                ["Q/node", "ODD", "feeds ok"], rows)
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        assert row.values["ODD"], row.label

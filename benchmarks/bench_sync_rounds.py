@@ -1,0 +1,78 @@
+"""E16 — round complexity in the native synchronous model.
+
+The synchronous papers report *round* counts; the lockstep engine
+measures them exactly.  This bench regenerates the round/query
+trade-off across the synchronous protocols under the rushing
+adversary — the strongest scheduler the synchronous model allows.
+"""
+
+from repro.sync import (
+    RoundCrashAdversary,
+    RushingEchoAdversary,
+    SilentSyncAdversary,
+    SyncBalancedPeer,
+    SyncCrashPeer,
+    SyncCommitteePeer,
+    SyncNaivePeer,
+    SyncTwoRoundPeer,
+    fraction_corrupted,
+    run_sync_download,
+)
+
+from benchmarks.support import Row, print_table
+
+N = 40
+ELL = 4000
+
+
+def factory(cls, **kwargs):
+    return lambda pid, config, rng: cls(pid, config, rng, **kwargs)
+
+
+def _rows():
+    # beta=0.3: the regime where sampling beats 2t+1 replication.
+    corrupted = fraction_corrupted(N, 0.3, seed=161)
+    cases = [
+        ("naive (1 round)", factory(SyncNaivePeer), 0, None),
+        ("balanced (fault-free)", factory(SyncBalancedPeer), 0, None),
+        ("committee [3]", factory(SyncCommitteePeer, block_size=40), 12,
+         RushingEchoAdversary(corrupted=corrupted, seed=161)),
+        ("2-round Protocol 4", factory(SyncTwoRoundPeer, num_segments=4,
+                                       tau=2), 12,
+         RushingEchoAdversary(corrupted=corrupted, seed=161)),
+        ("2-round (silent byz)", factory(SyncTwoRoundPeer, num_segments=4,
+                                         tau=2), 12,
+         SilentSyncAdversary(corrupted=corrupted)),
+        ("sync-crash (4 crashes)", factory(SyncCrashPeer), 4,
+         RoundCrashAdversary({pid: (pid, 2) for pid in range(1, 5)})),
+    ]
+    rows = []
+    for label, peer_factory, t, adversary in cases:
+        result = run_sync_download(n=N, ell=ELL, t=t,
+                                   peer_factory=peer_factory,
+                                   adversary=adversary, seed=162)
+        rows.append(Row(label, {
+            "rounds": result.rounds,
+            "Q": result.query_complexity,
+            "M": result.message_complexity,
+            "correct": result.download_correct}))
+    return rows
+
+
+def bench_sync_round_complexity(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print_table(f"E16 synchronous round complexity (n={N}, ell={ELL})",
+                ["rounds", "Q", "M", "correct"], rows)
+    by_label = {row.label: row.values for row in rows}
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        assert row.values["correct"], row.label
+    # The round/query trade-off, exactly as the papers state it:
+    assert by_label["naive (1 round)"]["rounds"] == 1
+    assert by_label["naive (1 round)"]["Q"] == ELL
+    assert by_label["balanced (fault-free)"]["rounds"] == 2
+    assert by_label["committee [3]"]["rounds"] == 2
+    assert by_label["2-round Protocol 4"]["rounds"] == 2
+    # Sampling beats committees on queries at this beta in 2 rounds.
+    assert by_label["2-round Protocol 4"]["Q"] \
+        < by_label["committee [3]"]["Q"]

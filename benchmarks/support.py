@@ -1,0 +1,110 @@
+"""Shared machinery for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    NullAdversary,
+    UniformRandomDelay,
+    WrongBitsStrategy,
+)
+from repro.sim import run_download
+
+
+@dataclass
+class Row:
+    """One row of a regenerated table."""
+
+    label: str
+    values: dict = field(default_factory=dict)
+
+    def cell(self, key: str) -> str:
+        value = self.values.get(key, "")
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+
+def print_table(title: str, columns: list[str], rows: Iterable[Row]) -> None:
+    """Print a fixed-width table (the bench's human-readable artifact)."""
+    rows = list(rows)
+    widths = {column: max([len(column)]
+                          + [len(row.cell(column)) for row in rows])
+              for column in columns}
+    label_width = max([5] + [len(row.label) for row in rows])
+    print(f"\n=== {title} ===")
+    header = " | ".join([" " * label_width]
+                        + [column.rjust(widths[column])
+                           for column in columns])
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join([row.label.ljust(label_width)]
+                         + [row.cell(column).rjust(widths[column])
+                            for column in columns]))
+
+
+def crash_setup(beta: float, *, mode: str = "mid_broadcast"):
+    """Asynchronous network + beta-fraction crashes."""
+    if beta <= 0:
+        return UniformRandomDelay()
+    return ComposedAdversary(
+        faults=CrashAdversary(crash_fraction=beta, mode=mode),
+        latency=UniformRandomDelay())
+
+
+def byzantine_setup(beta: float, strategy_factory=None,
+                    synchronous: bool = False):
+    """Network + beta-fraction Byzantine corruption.
+
+    ``synchronous=True`` uses unit latencies (for regenerating the
+    prior-work synchronous rows of Table 1); the default is the
+    asynchronous adversary.
+    """
+    latency = NullAdversary() if synchronous else UniformRandomDelay()
+    if beta <= 0:
+        return latency
+    return ComposedAdversary(
+        faults=ByzantineAdversary(
+            fraction=beta,
+            strategy_factory=strategy_factory
+            or (lambda pid: WrongBitsStrategy())),
+        latency=latency)
+
+
+def synchronous_setup():
+    """Unit latencies, no faults."""
+    return NullAdversary()
+
+
+def measure(*, n: int, ell: int, peer_factory, adversary=None,
+            t: Optional[int] = None, seed: int = 0, repeats: int = 1,
+            **kwargs) -> dict:
+    """Run ``repeats`` seeded simulations; average the complexity
+    measures and verify correctness (fallback-free benches require it)."""
+    queries = []
+    messages = []
+    times = []
+    correct = 0
+    for repeat in range(repeats):
+        result = run_download(n=n, ell=ell, peer_factory=peer_factory,
+                              adversary=adversary, t=t,
+                              seed=seed + 1000 * repeat, **kwargs)
+        queries.append(result.report.query_complexity)
+        messages.append(result.report.message_complexity)
+        times.append(result.report.time_complexity)
+        correct += result.download_correct
+    count = len(queries)
+    return {
+        "Q": sum(queries) / count,
+        "Q_max": max(queries),
+        "M": sum(messages) / count,
+        "T": sum(times) / count,
+        "correct": correct,
+        "runs": count,
+    }

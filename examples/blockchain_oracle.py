@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Blockchain oracle (Section 4): Download-powered data collection.
+
+The scenario the paper's application section motivates: a 15-node
+oracle network must publish 12 price cells on-chain.  Five external
+data feeds serve the prices; two of them are Byzantine (one lies
+consistently, one equivocates — telling each node something different),
+and two oracle *nodes* are Byzantine as well.
+
+The script runs both Oracle Data Collection pipelines —
+
+- the classic one (every node reads every feed in full), and
+- the paper's proposal (one DR-model Download per feed, cost shared
+  across the network)
+
+— verifies that both publish values inside the *honest range* (the ODD
+guarantee), and reports the per-node query savings.
+
+Run:  python examples/blockchain_oracle.py
+"""
+
+from repro.oracle import (
+    make_setup,
+    odd_satisfied,
+    run_baseline_odc,
+    run_download_odc,
+)
+
+
+def main() -> None:
+    setup = make_setup(
+        nodes=15, node_fault_bound=2,
+        feed_count=5, corrupt_feeds=2, equivocate=True,
+        cells=12, value_bits=16, noise_bound=4, seed=2025,
+    )
+    print(f"oracle network    : {setup.nodes} nodes "
+          f"({sorted(setup.byzantine_nodes)} Byzantine)")
+    print(f"data feeds        : {len(setup.feeds)} "
+          f"({sum(not feed.honest for feed in setup.feeds)} Byzantine)")
+    print(f"ground truth[:4]  : {setup.truth[:4]}")
+    print(f"honest range[0]   : {setup.honest_range_of(0)}")
+
+    baseline = run_baseline_odc(setup)
+    download = run_download_odc(setup, seed=7)
+
+    for outcome in (baseline, download):
+        ok = odd_satisfied(setup, outcome.finalized)
+        print(f"\n{outcome.pipeline:>9} pipeline: "
+              f"published[:4] = {outcome.finalized[:4]}")
+        print(f"          ODD honest-range guarantee: {ok}")
+        print(f"          per-node queries: "
+              f"{outcome.max_honest_node_query_bits} bits "
+              f"(total {outcome.total_query_bits})")
+        assert ok
+
+    speedup = (baseline.max_honest_node_query_bits
+               / download.max_honest_node_query_bits)
+    print(f"\nDownload-based collection reads "
+          f"{speedup:.1f}x fewer bits per node — and the factor grows "
+          f"linearly with the network size (Theorem 4.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""``python -m repro`` — see :mod:`repro.cli`."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: exit quietly,
+        # the Unix way.
+        sys.exit(0)

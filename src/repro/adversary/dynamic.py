@@ -1,0 +1,128 @@
+"""The Dynamic Byzantine adversary (the companion paper's model).
+
+The target paper's companion results (referenced as [4], *"Distributed
+Download from an External Data Source in Byzantine Majority Settings"*)
+analyze a **Dynamic Byzantine** adversary: the set of corrupted peers
+may *change from one cycle to the next*, subject only to the per-cycle
+budget ``|B_c| <= t``.  Over a long execution the *union* of corrupted
+peers can exceed ``t`` — even reach all of ``n`` — which breaks any
+defence that relies on pinning a fixed culprit set, and is exactly the
+regime where the frequency-threshold + decision-tree machinery shines:
+it never identifies anyone, it only prices lies.
+
+Semantics implemented here (matching the model):
+
+- a peer's *computation* is always honest; while corrupted, its
+  *outgoing messages* are rewritten (or eaten) by a corruption
+  strategy — the classic "mobile virus" reading of dynamic faults;
+- corruption is decided per ``(peer, cycle)`` from the adversary's own
+  seed — never from message content, preserving the cycle restriction;
+- because every peer computes honestly, the Download guarantee is
+  demanded of **all** peers: :meth:`actually_faulty` is empty.
+
+Two selection disciplines:
+
+- ``pool=None`` (default): each cycle's corrupted set is drawn freshly
+  from all ``n`` peers — the union grows without bound;
+- ``pool=k``: per-cycle sets are drawn from a fixed seeded pool of
+  ``k`` peers (useful to compare against the static adversary with the
+  same blast radius).
+
+In the *Dynamic Byzantine with Broadcast* variant (also from the
+companion paper) a corrupted peer must still send the *same* message to
+every recipient in a cycle; pass ``broadcast_consistent=True`` to
+enforce it (the per-destination corruption is then keyed on the cycle
+only, so all recipients see one consistent lie).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.adversary.base import Adversary
+from repro.adversary.byzantine import ByzantineStrategy, WrongBitsStrategy
+from repro.sim.messages import Message
+from repro.util.rng import derive_seed
+from repro.util.validation import check_fraction
+
+
+class DynamicByzantineAdversary(Adversary):
+    """Per-cycle changing corruption of outgoing messages."""
+
+    def __init__(self, *, fraction: float,
+                 strategy_factory: Optional[
+                     Callable[[int], ByzantineStrategy]] = None,
+                 pool: Optional[int] = None,
+                 broadcast_consistent: bool = False) -> None:
+        super().__init__()
+        check_fraction("fraction", fraction, inclusive_high=False)
+        self.fraction = fraction
+        self.strategy_factory = strategy_factory or (
+            lambda pid: WrongBitsStrategy())
+        self.pool_size = pool
+        self.broadcast_consistent = broadcast_consistent
+        self._pool: Optional[list[int]] = None
+        self._strategies: dict[int, ByzantineStrategy] = {}
+        self._corrupted_cache: dict[int, frozenset[int]] = {}
+        self.cycles_seen: set[int] = set()
+
+    # The dynamic adversary corrupts messages, not peers: every peer
+    # remains obligated to terminate correctly, and the per-cycle
+    # budget is what the protocols' thresholds must absorb.
+    def fault_budget(self, n: int) -> int:
+        return int(math.floor(self.fraction * n))
+
+    def faulty_peers(self) -> set[int]:
+        return set()
+
+    def actually_faulty(self) -> set[int]:
+        return set()
+
+    # -- per-cycle corruption sets -------------------------------------------
+
+    def _candidates(self) -> list[int]:
+        if self.pool_size is None:
+            return list(range(self.env.n))
+        if self._pool is None:
+            self._pool = self.rng.sample(range(self.env.n),
+                                         min(self.pool_size, self.env.n))
+        return self._pool
+
+    def corrupted_in_cycle(self, cycle: int) -> frozenset[int]:
+        """The corrupted set for ``cycle`` (seeded, content-independent)."""
+        cached = self._corrupted_cache.get(cycle)
+        if cached is not None:
+            return cached
+        candidates = self._candidates()
+        budget = min(self.fault_budget(self.env.n), len(candidates))
+        # Hash-based selection keyed on (seed, cycle): independent of
+        # the order in which cycles are first observed.
+        scored = sorted(
+            candidates,
+            key=lambda pid: derive_seed(self.rng.seed,
+                                        f"dyn-{cycle}-{pid}"))
+        corrupted = frozenset(scored[:budget])
+        self._corrupted_cache[cycle] = corrupted
+        return corrupted
+
+    def union_corrupted(self) -> set[int]:
+        """Every peer corrupted in any observed cycle (diagnostics)."""
+        union: set[int] = set()
+        for cycle in self.cycles_seen:
+            union |= self.corrupted_in_cycle(cycle)
+        return union
+
+    # -- the message hook --------------------------------------------------------
+
+    def transform_message(self, sender: int, destination: int,
+                          message: Message, now: float, cycle: int):
+        self.cycles_seen.add(cycle)
+        if sender not in self.corrupted_in_cycle(cycle):
+            return message
+        strategy = self._strategies.get(sender)
+        if strategy is None:
+            strategy = self.strategy_factory(sender)
+            self._strategies[sender] = strategy
+        target = 0 if self.broadcast_consistent else destination
+        return strategy.corrupt(message, target, sender)

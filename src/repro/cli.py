@@ -1,0 +1,236 @@
+"""Command-line interface: run DR-model downloads from a shell.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro list
+    python -m repro run --protocol crash-multi --n 16 --ell 4096 \
+        --fault-model crash --beta 0.5 --seed 7
+    python -m repro run --protocol byz-committee --n 9 --ell 270 \
+        --fault-model byzantine --beta 0.33 --strategy equivocate
+    python -m repro lower-bound --n 10 --ell 200
+    python -m repro sweep --protocol crash-multi --fault-model crash \
+        --beta 0.5 --axis beta --values 0.1,0.3,0.5,0.7 \
+        --markdown-out report.md
+
+The CLI is a thin veneer over the library; every option maps one-to-one
+onto a constructor argument documented in the API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    EquivocateStrategy,
+    NullAdversary,
+    SelectiveSilenceStrategy,
+    SilentStrategy,
+    UniformRandomDelay,
+    WrongBitsStrategy,
+)
+from repro.adversary.dynamic import DynamicByzantineAdversary
+from repro.protocols import all_protocols, get
+from repro.sim import run_download
+
+_STRATEGIES = {
+    "wrong-bits": WrongBitsStrategy,
+    "equivocate": EquivocateStrategy,
+    "silent": SilentStrategy,
+    "selective-silence": SelectiveSilenceStrategy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Download in the DR model — simulator CLI")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available protocols")
+
+    run_parser = subparsers.add_parser("run", help="run one download")
+    run_parser.add_argument("--protocol", required=True,
+                            help="protocol name (see `repro list`)")
+    run_parser.add_argument("--n", type=int, default=16,
+                            help="number of peers")
+    run_parser.add_argument("--ell", type=int, default=4096,
+                            help="input length in bits")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--fault-model",
+                            choices=["none", "crash", "byzantine",
+                                     "dynamic"],
+                            default="none")
+    run_parser.add_argument("--beta", type=float, default=0.0,
+                            help="fault fraction")
+    run_parser.add_argument("--strategy", choices=sorted(_STRATEGIES),
+                            default="wrong-bits",
+                            help="Byzantine corruption strategy")
+    run_parser.add_argument("--synchronous", action="store_true",
+                            help="unit latencies instead of the "
+                                 "asynchronous adversary")
+    run_parser.add_argument("--block-size", type=int, default=None,
+                            help="committee protocol block size")
+    run_parser.add_argument("--segments", type=int, default=None,
+                            help="randomized protocols: segment count")
+    run_parser.add_argument("--tau", type=int, default=None,
+                            help="randomized protocols: frequency "
+                                 "threshold")
+
+    lb_parser = subparsers.add_parser(
+        "lower-bound",
+        help="run the Theorem 3.1 witness adversary against the "
+             "committee protocol")
+    lb_parser.add_argument("--n", type=int, default=10)
+    lb_parser.add_argument("--ell", type=int, default=200)
+    lb_parser.add_argument("--seed", type=int, default=0)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="sweep one experiment axis and print/persist a "
+                      "report")
+    sweep_parser.add_argument("--protocol", required=True)
+    sweep_parser.add_argument("--n", type=int, default=16)
+    sweep_parser.add_argument("--ell", type=int, default=4096)
+    sweep_parser.add_argument("--fault-model",
+                              choices=["none", "crash", "byzantine",
+                                       "dynamic"],
+                              default="none")
+    sweep_parser.add_argument("--beta", type=float, default=0.0)
+    sweep_parser.add_argument("--repeats", type=int, default=2)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--axis", required=True,
+                              help="spec field to sweep (e.g. beta, n, "
+                                   "ell)")
+    sweep_parser.add_argument("--values", required=True,
+                              help="comma-separated axis values")
+    sweep_parser.add_argument("--json-out", default=None,
+                              help="persist outcomes to this JSON file")
+    sweep_parser.add_argument("--markdown-out", default=None,
+                              help="write a markdown report here")
+    return parser
+
+
+def _adversary_for(args):
+    latency = NullAdversary() if args.synchronous else UniformRandomDelay()
+    if args.fault_model == "none" or args.beta <= 0:
+        return latency, 0
+    t = int(args.beta * args.n)
+    if args.fault_model == "crash":
+        faults = CrashAdversary(crash_fraction=args.beta)
+    elif args.fault_model == "byzantine":
+        strategy = _STRATEGIES[args.strategy]
+        faults = ByzantineAdversary(fraction=args.beta,
+                                    strategy_factory=lambda pid: strategy())
+    else:
+        strategy = _STRATEGIES[args.strategy]
+        faults = DynamicByzantineAdversary(
+            fraction=args.beta, strategy_factory=lambda pid: strategy())
+    return ComposedAdversary(faults=faults, latency=latency), t
+
+
+def _factory_for(args):
+    entry = get(args.protocol)
+    params = {}
+    if args.block_size is not None:
+        params["block_size"] = args.block_size
+    if args.segments is not None:
+        key = ("base_segments" if args.protocol == "byz-multi-cycle"
+               else "num_segments")
+        params[key] = args.segments
+    if args.tau is not None:
+        params["tau"] = args.tau
+    return entry.factory(**params)
+
+
+def _command_list(out) -> int:
+    for entry in all_protocols():
+        print(f"{entry.name:18} {entry.description}", file=out)
+    return 0
+
+
+def _command_run(args, out) -> int:
+    adversary, t = _adversary_for(args)
+    result = run_download(n=args.n, ell=args.ell,
+                          peer_factory=_factory_for(args),
+                          adversary=adversary, t=t, seed=args.seed)
+    print(f"protocol   : {args.protocol}", file=out)
+    print(f"setup      : n={args.n}, ell={args.ell}, "
+          f"fault={args.fault_model}, beta={args.beta}, "
+          f"seed={args.seed}", file=out)
+    print(f"faulty set : {sorted(result.faulty)}", file=out)
+    print(f"correct    : {result.download_correct}", file=out)
+    print(f"complexity : {result.report}", file=out)
+    return 0 if result.download_correct else 1
+
+
+def _command_lower_bound(args, out) -> int:
+    from repro.lowerbounds import run_deterministic_construction
+    from repro.protocols import ByzCommitteeDownloadPeer
+    outcome = run_deterministic_construction(
+        peer_factory=ByzCommitteeDownloadPeer.factory(
+            block_size=max(1, args.ell // 20)),
+        n=args.n, ell=args.ell, claimed_t=2, seed=args.seed)
+    print(f"victim queried : {outcome.victim_queries}/{args.ell} bits",
+          file=out)
+    print(f"flipped bit    : {outcome.target_bit}", file=out)
+    print(f"victim fooled  : {outcome.fooled}", file=out)
+    return 0
+
+
+def _parse_axis_values(axis: str, raw: str) -> list:
+    """Comma list -> typed values matching the spec field."""
+    parts = [part.strip() for part in raw.split(",") if part.strip()]
+    if not parts:
+        raise ValueError("--values must name at least one value")
+    if axis in ("n", "ell", "repeats", "base_seed"):
+        return [int(part) for part in parts]
+    if axis == "beta":
+        return [float(part) for part in parts]
+    return parts
+
+
+def _command_sweep(args, out) -> int:
+    from repro.experiments import (ExperimentSpec, outcomes_table,
+                                   sweep_experiment)
+    spec = ExperimentSpec(
+        protocol=args.protocol, n=args.n, ell=args.ell,
+        fault_model=args.fault_model, beta=args.beta,
+        repeats=args.repeats, base_seed=args.seed)
+    values = _parse_axis_values(args.axis, args.values)
+    outcomes = sweep_experiment(spec, axis=args.axis, values=values)
+    print(outcomes_table(outcomes, axis=args.axis), file=out)
+    if args.json_out:
+        from repro.persistence import save_outcomes
+        save_outcomes(outcomes, args.json_out)
+        print(f"outcomes written to {args.json_out}", file=out)
+    if args.markdown_out:
+        from pathlib import Path
+
+        from repro.reporting import render_report, render_sweep
+        section = render_sweep(
+            outcomes, axis=args.axis,
+            title=f"{args.protocol} {args.axis} sweep")
+        Path(args.markdown_out).write_text(render_report([section]),
+                                           encoding="utf-8")
+        print(f"report written to {args.markdown_out}", file=out)
+    every_ok = all(outcome.success_rate == 1.0 for outcome in outcomes)
+    return 0 if every_ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list(out)
+    if args.command == "run":
+        return _command_run(args, out)
+    if args.command == "lower-bound":
+        return _command_lower_bound(args, out)
+    if args.command == "sweep":
+        return _command_sweep(args, out)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

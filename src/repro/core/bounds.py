@@ -1,0 +1,145 @@
+"""Theoretical complexity bounds stated by the paper.
+
+These formulas are the yardsticks the benchmarks compare measured
+complexities against.  Each function implements one stated bound with
+its leading constant made explicit (the paper gives asymptotics; the
+constants here come from the proofs, e.g. the geometric series in
+Lemma 2.11).  The benches report the ratio ``measured / bound`` — the
+reproduction claim is that the ratio is O(1) across the sweep, i.e. the
+*shape* matches.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_nonnegative, check_positive
+
+
+def ideal_query_bound(ell: int, n: int) -> float:
+    """The fault-free optimum: ``ell / n`` bits per peer."""
+    check_positive("ell", ell)
+    check_positive("n", n)
+    return ell / n
+
+
+def crash_optimal_query_bound(ell: int, n: int, t: int) -> float:
+    """Optimal crash-fault query complexity: ``ell / (n - t)``.
+
+    With ``t`` crashes only ``n - t`` peers are guaranteed to work, so
+    the total load ``ell`` cannot be shared better than this.
+    Theorems 2.3 / 2.13 match it up to an additive lower-order term.
+    """
+    check_positive("ell", ell)
+    check_positive("n", n)
+    check_nonnegative("t", t)
+    if t >= n:
+        raise ValueError(f"t={t} must be below n={n}")
+    return ell / (n - t)
+
+
+def crash_multi_query_bound(ell: int, n: int, t: int) -> float:
+    """Per-peer query bound from Lemma 2.11's geometric series.
+
+    Phase ``p`` assigns each peer ``ell * (t/n)**(p-1) / n`` unknown
+    bits; the series sums to ``ell / (n - t)``.  Termination adds at
+    most the final threshold of direct queries, bounded by ``n``.
+    """
+    return crash_optimal_query_bound(ell, n, t) + n
+
+
+def crash_multi_phase_bound(ell: int, n: int, t: int) -> int:
+    """Phases until unknown bits drop below the direct-query threshold.
+
+    Unknown bits shrink by factor ``t/n`` per phase from ``ell``;
+    the protocol stops phasing when at most ``n`` remain, giving
+    ``ceil(log(ell / n) / log(n / t))`` phases (1 if ``t = 0``).
+    """
+    check_positive("ell", ell)
+    check_positive("n", n)
+    check_nonnegative("t", t)
+    if t == 0 or ell <= n:
+        return 1
+    return max(1, math.ceil(math.log(ell / n) / math.log(n / t)))
+
+
+def committee_query_bound(ell: int, n: int, t: int) -> float:
+    """Deterministic Byzantine protocol (Thm 3.4): committees of
+    ``2t + 1`` peers cover each bit, so each peer queries at most
+    ``ceil(ell * (2t + 1) / n)`` bits."""
+    check_positive("ell", ell)
+    check_positive("n", n)
+    check_nonnegative("t", t)
+    if 2 * t >= n:
+        raise ValueError(f"committee protocol needs 2t < n, got t={t}, n={n}")
+    return math.ceil(ell * (2 * t + 1) / n)
+
+
+def byzantine_majority_lower_bound(ell: int) -> int:
+    """Randomized lower bound for ``beta >= 1/2`` (Thm 3.2): in some
+    execution a peer must query more than ``ell / 2`` bits."""
+    check_positive("ell", ell)
+    return ell // 2
+
+
+def deterministic_majority_lower_bound(ell: int) -> int:
+    """Deterministic lower bound for ``beta >= 1/2`` (Thm 3.1): the
+    naive ``ell``-query protocol is the only one."""
+    check_positive("ell", ell)
+    return ell
+
+
+def two_cycle_query_bound(ell: int, n: int, t: int, tau: int,
+                          num_segments: int) -> float:
+    """2-cycle randomized protocol (Thm 3.7) per-peer query bound.
+
+    Cost = one whole segment (``ceil(ell / s)``) plus the decision-tree
+    walks: the trees over all segments contain at most ``n / tau``
+    internal nodes in total (each of at most ``n`` received reports
+    contributes ``1 / tau`` of a tree candidate).
+    """
+    check_positive("tau", tau)
+    check_positive("num_segments", num_segments)
+    segment_cost = math.ceil(ell / num_segments)
+    tree_cost = n / tau
+    return segment_cost + tree_cost
+
+
+def multi_cycle_query_bound(ell: int, n: int, t: int, tau: int,
+                            base_segments: int) -> float:
+    """Multi-cycle randomized protocol (Thm 3.12) *expected* per-peer
+    query bound: the cycle-1 segment plus an expected ``n / (tau * s_r)
+    * s_r = n / tau``-style tree cost per cycle over ``log2(s) + 1``
+    cycles."""
+    check_positive("tau", tau)
+    check_positive("base_segments", base_segments)
+    cycles = base_segments.bit_length()
+    segment_cost = math.ceil(ell / base_segments)
+    per_cycle_tree_cost = 2.0 * n / (tau * max(1, base_segments)) * 2
+    return segment_cost + cycles * max(per_cycle_tree_cost, 2.0 * n / tau)
+
+
+def naive_query_bound(ell: int) -> int:
+    """The naive protocol: every peer queries every bit."""
+    check_positive("ell", ell)
+    return ell
+
+
+def odc_baseline_total_queries(nodes: int, sources_per_node: int,
+                               cells: int, value_bits: int) -> int:
+    """Classic ODC (Thm 4.1-adjacent): every node reads every cell of
+    its ``sources_per_node`` sources directly."""
+    return nodes * sources_per_node * cells * value_bits
+
+
+def odc_download_total_queries(nodes: int, sources_per_node: int,
+                               cells: int, value_bits: int, t: int,
+                               overhead: float = 1.0) -> float:
+    """Download-based ODC (Thm 4.2): the per-source read cost is shared
+    across the ``nodes`` peers instead of being paid by each node.
+
+    ``overhead`` absorbs the protocol's polylog/decision-tree factor.
+    """
+    per_source_bits = cells * value_bits
+    shared = per_source_bits / max(1, nodes - 2 * t) * nodes
+    return sources_per_node * shared * overhead

@@ -1,0 +1,73 @@
+"""tau-frequent string bookkeeping (Section 3.4.1 of the paper).
+
+Peers receive ``(segment_id, bit_string)`` reports from other peers.
+Two reports *overlap* when they name the same segment and are
+*consistent* when their strings are equal.  A string is
+**tau-frequent** for a segment when at least ``tau`` *distinct peers*
+reported it.  ``Freq(M, tau)`` — the set of tau-frequent strings in a
+multiset of overlapping reports — is the filter that keeps
+low-support Byzantine fabrications out of the decision trees while
+never excluding the honest string (which, by the sampling argument, is
+reported by at least ``tau`` honest peers w.h.p.).
+
+Counting *distinct senders* rather than messages is essential: a single
+Byzantine peer repeating one lie a thousand times must count once.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class FrequencyTable:
+    """Per-segment support counts of reported strings."""
+
+    def __init__(self) -> None:
+        # segment -> string -> set of reporting peer IDs
+        self._support: dict[int, dict[str, set[int]]] = defaultdict(
+            lambda: defaultdict(set))
+
+    def add(self, sender: int, segment: int, string: str) -> None:
+        """Record that ``sender`` reported ``string`` for ``segment``."""
+        self._support[segment][string].add(sender)
+
+    def support(self, segment: int, string: str) -> int:
+        """Number of distinct peers that reported ``string``."""
+        return len(self._support.get(segment, {}).get(string, ()))
+
+    def frequent(self, segment: int, tau: int) -> set[str]:
+        """``Freq``: strings reported by at least ``tau`` distinct peers."""
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        return {string
+                for string, senders in self._support.get(segment, {}).items()
+                if len(senders) >= tau}
+
+    def reports_for(self, segment: int) -> int:
+        """Total distinct ``(sender, string)`` reports for ``segment``.
+
+        This is the paper's ``m_i`` (counting copies from distinct
+        senders); the decision-tree cost for the segment is bounded by
+        ``m_i / tau``.
+        """
+        return sum(len(senders)
+                   for senders in self._support.get(segment, {}).values())
+
+    def distinct_strings(self, segment: int) -> int:
+        """Number of different strings reported for ``segment``."""
+        return len(self._support.get(segment, {}))
+
+    def reporters(self, segment: int) -> set[int]:
+        """Every peer that reported anything for ``segment``."""
+        reporters: set[int] = set()
+        for senders in self._support.get(segment, {}).values():
+            reporters |= senders
+        return reporters
+
+    def segments(self) -> set[int]:
+        """Segments with at least one report."""
+        return set(self._support)
+
+    def total_reports(self) -> int:
+        """Sum of :meth:`reports_for` over all segments."""
+        return sum(self.reports_for(segment) for segment in self._support)

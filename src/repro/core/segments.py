@@ -1,0 +1,138 @@
+"""Segment partitioning for the randomized protocols.
+
+The randomized download protocols partition the input array into
+contiguous segments of (roughly) equal length; peers sample segments,
+query them whole, and exchange segment *strings*.  Two partitioning
+schemes are needed:
+
+- :class:`Segmentation` — one flat partition into ``s`` segments
+  (Protocol 4, the 2-cycle protocol);
+- :class:`HierarchicalSegmentation` — a power-of-two stack of
+  partitions in which each cycle-``r`` segment is the concatenation of
+  exactly two cycle-``(r-1)`` segments (the multi-cycle protocol's
+  doubling structure, Lemma 3.10).  Defining boundaries once at the
+  base level and merging pairs upward guarantees the concatenation
+  property even when ``ell`` is not divisible by the segment count.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import balanced_partition
+from repro.util.validation import check_index, check_positive
+
+
+class Segmentation:
+    """A flat partition of ``[0, ell)`` into ``s`` contiguous segments."""
+
+    def __init__(self, ell: int, num_segments: int) -> None:
+        check_positive("ell", ell)
+        check_positive("num_segments", num_segments)
+        if num_segments > ell:
+            raise ValueError(
+                f"cannot cut {ell} bits into {num_segments} nonempty segments")
+        self.ell = ell
+        self.num_segments = num_segments
+        self._bounds = balanced_partition(ell, num_segments)
+
+    def bounds(self, segment: int) -> tuple[int, int]:
+        """Half-open bit range ``[lo, hi)`` of ``segment``."""
+        check_index("segment", segment, self.num_segments)
+        return self._bounds[segment]
+
+    def length(self, segment: int) -> int:
+        """Number of bits in ``segment``."""
+        lo, hi = self.bounds(segment)
+        return hi - lo
+
+    def segment_of(self, index: int) -> int:
+        """The segment containing bit ``index`` (binary search)."""
+        check_index("index", index, self.ell)
+        lo_segment, hi_segment = 0, self.num_segments - 1
+        while lo_segment < hi_segment:
+            mid = (lo_segment + hi_segment) // 2
+            if index >= self._bounds[mid][1]:
+                lo_segment = mid + 1
+            else:
+                hi_segment = mid
+        return lo_segment
+
+    def all_bounds(self) -> list[tuple[int, int]]:
+        """Bounds of every segment, in order."""
+        return list(self._bounds)
+
+    def max_length(self) -> int:
+        """Length of the longest segment (= ceil(ell / s))."""
+        return max(hi - lo for lo, hi in self._bounds)
+
+    def __repr__(self) -> str:
+        return f"Segmentation(ell={self.ell}, s={self.num_segments})"
+
+
+class HierarchicalSegmentation:
+    """Doubling segment hierarchy for the multi-cycle protocol.
+
+    Cycle 1 partitions ``[0, ell)`` into ``base_segments`` pieces
+    (``base_segments`` must be a power of two).  Cycle ``r`` has
+    ``base_segments / 2**(r-1)`` segments; segment ``i`` of cycle ``r``
+    covers base segments ``[i * 2**(r-1), (i+1) * 2**(r-1))`` and is the
+    concatenation of segments ``2i`` and ``2i + 1`` of cycle ``r - 1``.
+    The final cycle (:attr:`num_cycles`) has exactly one segment: the
+    whole input.
+    """
+
+    def __init__(self, ell: int, base_segments: int) -> None:
+        check_positive("ell", ell)
+        check_positive("base_segments", base_segments)
+        if base_segments & (base_segments - 1):
+            raise ValueError(
+                f"base_segments must be a power of two, got {base_segments}")
+        if base_segments > ell:
+            raise ValueError(
+                f"cannot cut {ell} bits into {base_segments} nonempty segments")
+        self.ell = ell
+        self.base_segments = base_segments
+        self.base = Segmentation(ell, base_segments)
+        self.num_cycles = base_segments.bit_length()  # log2(s) + 1
+
+    def segments_in_cycle(self, cycle: int) -> int:
+        """Number of segments at ``cycle`` (1-based)."""
+        check_index("cycle", cycle - 1, self.num_cycles)
+        return self.base_segments >> (cycle - 1)
+
+    def bounds(self, cycle: int, segment: int) -> tuple[int, int]:
+        """Bit range of ``segment`` at ``cycle``."""
+        count = self.segments_in_cycle(cycle)
+        check_index("segment", segment, count)
+        width = 1 << (cycle - 1)
+        lo, _ = self.base.bounds(segment * width)
+        _, hi = self.base.bounds((segment + 1) * width - 1)
+        return lo, hi
+
+    def children(self, cycle: int, segment: int) -> tuple[int, int]:
+        """The two cycle-``(cycle-1)`` segments whose concat is this one."""
+        if cycle < 2:
+            raise ValueError("cycle-1 segments have no children")
+        self.segments_in_cycle(cycle)  # validates cycle
+        check_index("segment", segment, self.segments_in_cycle(cycle))
+        return 2 * segment, 2 * segment + 1
+
+    def parent(self, cycle: int, segment: int) -> int:
+        """The cycle-``(cycle+1)`` segment containing this one."""
+        if cycle >= self.num_cycles:
+            raise ValueError("the top segment has no parent")
+        return segment // 2
+
+    def length(self, cycle: int, segment: int) -> int:
+        """Number of bits in ``segment`` at ``cycle``."""
+        lo, hi = self.bounds(cycle, segment)
+        return hi - lo
+
+    def __repr__(self) -> str:
+        return (f"HierarchicalSegmentation(ell={self.ell}, "
+                f"base={self.base_segments}, cycles={self.num_cycles})")
+
+
+def largest_power_of_two_at_most(value: int) -> int:
+    """Largest power of two ``<= value`` (``value`` must be positive)."""
+    check_positive("value", value)
+    return 1 << (value.bit_length() - 1)

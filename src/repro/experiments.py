@@ -1,0 +1,194 @@
+"""Declarative experiment specifications.
+
+The benchmark harness and downstream studies keep re-assembling the
+same quadruple — protocol + parameters, fault setup, network shape,
+sweep axis.  :class:`ExperimentSpec` makes that quadruple a value:
+validatable, hashable into a seed, and runnable, so an experiment is
+*data* instead of a bespoke script::
+
+    spec = ExperimentSpec(
+        protocol="crash-multi", n=16, ell=8192,
+        fault_model="crash", beta=0.5, repeats=3)
+    outcome = run_experiment(spec)
+    print(outcome.mean_query_complexity, outcome.success_rate)
+
+    for point in sweep_experiment(spec, axis="beta",
+                                  values=[0.1, 0.3, 0.5, 0.7]):
+        print(point.spec.beta, point.mean_query_complexity)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    EquivocateStrategy,
+    NullAdversary,
+    SelectiveSilenceStrategy,
+    SilentStrategy,
+    UniformRandomDelay,
+    WrongBitsStrategy,
+)
+from repro.adversary.dynamic import DynamicByzantineAdversary
+from repro.protocols import get
+from repro.sim import run_download
+from repro.util.rng import derive_seed
+from repro.util.validation import check_fraction, check_positive
+
+_FAULT_MODELS = ("none", "crash", "byzantine", "dynamic")
+_NETWORKS = ("synchronous", "asynchronous")
+_STRATEGIES = {
+    "wrong-bits": WrongBitsStrategy,
+    "equivocate": EquivocateStrategy,
+    "silent": SilentStrategy,
+    "selective-silence": SelectiveSilenceStrategy,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-described experiment configuration."""
+
+    protocol: str
+    n: int
+    ell: int
+    fault_model: str = "none"
+    beta: float = 0.0
+    strategy: str = "wrong-bits"
+    network: str = "asynchronous"
+    protocol_params: dict = field(default_factory=dict)
+    repeats: int = 1
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        get(self.protocol)  # raises early for unknown names
+        check_positive("n", self.n)
+        check_positive("ell", self.ell)
+        check_fraction("beta", self.beta, inclusive_high=False)
+        check_positive("repeats", self.repeats)
+        if self.fault_model not in _FAULT_MODELS:
+            raise ValueError(f"fault_model must be one of {_FAULT_MODELS}, "
+                             f"got {self.fault_model!r}")
+        if self.network not in _NETWORKS:
+            raise ValueError(f"network must be one of {_NETWORKS}, "
+                             f"got {self.network!r}")
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(f"strategy must be one of "
+                             f"{sorted(_STRATEGIES)}, got {self.strategy!r}")
+        if self.fault_model != "none" and self.beta <= 0:
+            raise ValueError("faulty models need beta > 0")
+
+    @property
+    def t(self) -> int:
+        """The fault budget this spec implies."""
+        return int(self.beta * self.n)
+
+    def build_adversary(self):
+        """Fresh adversary object for one run of this spec."""
+        latency = (NullAdversary() if self.network == "synchronous"
+                   else UniformRandomDelay())
+        if self.fault_model == "none" or self.beta <= 0:
+            return latency
+        strategy = _STRATEGIES[self.strategy]
+        if self.fault_model == "crash":
+            faults = CrashAdversary(crash_fraction=self.beta)
+        elif self.fault_model == "byzantine":
+            faults = ByzantineAdversary(
+                fraction=self.beta,
+                strategy_factory=lambda pid: strategy())
+        else:
+            faults = DynamicByzantineAdversary(
+                fraction=self.beta,
+                strategy_factory=lambda pid: strategy())
+        return ComposedAdversary(faults=faults, latency=latency)
+
+    def peer_factory(self):
+        """Bound peer factory for this spec."""
+        return get(self.protocol).factory(**self.protocol_params)
+
+    def seed_for(self, repeat: int) -> int:
+        """Stable per-repeat seed derived from the spec identity."""
+        identity = (f"{self.protocol}|{self.n}|{self.ell}|"
+                    f"{self.fault_model}|{self.beta}|{self.strategy}|"
+                    f"{self.network}|{sorted(self.protocol_params.items())}")
+        return derive_seed(self.base_seed, f"{identity}#{repeat}")
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """Aggregated result of one spec's repeats."""
+
+    spec: ExperimentSpec
+    runs: int
+    correct_runs: int
+    mean_query_complexity: float
+    max_query_complexity: int
+    mean_message_complexity: float
+    mean_time_complexity: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.correct_runs / self.runs
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
+    """Execute every repeat of ``spec`` and aggregate."""
+    queries: list[int] = []
+    messages: list[int] = []
+    times: list[float] = []
+    correct = 0
+    for repeat in range(spec.repeats):
+        result = run_download(
+            n=spec.n, ell=spec.ell,
+            peer_factory=spec.peer_factory(),
+            adversary=spec.build_adversary(),
+            t=spec.t, seed=spec.seed_for(repeat))
+        queries.append(result.report.query_complexity)
+        messages.append(result.report.message_complexity)
+        times.append(result.report.time_complexity)
+        correct += result.download_correct
+    return ExperimentOutcome(
+        spec=spec,
+        runs=spec.repeats,
+        correct_runs=correct,
+        mean_query_complexity=sum(queries) / len(queries),
+        max_query_complexity=max(queries),
+        mean_message_complexity=sum(messages) / len(messages),
+        mean_time_complexity=sum(times) / len(times),
+    )
+
+
+def sweep_experiment(spec: ExperimentSpec, *, axis: str,
+                     values: Iterable) -> list[ExperimentOutcome]:
+    """Run ``spec`` once per value of ``axis`` (any spec field)."""
+    if axis not in {f.name for f in dataclasses.fields(ExperimentSpec)}:
+        raise ValueError(f"unknown sweep axis {axis!r}")
+    outcomes = []
+    for value in values:
+        point = dataclasses.replace(spec, **{axis: value})
+        outcomes.append(run_experiment(point))
+    return outcomes
+
+
+def outcomes_table(outcomes: Iterable[ExperimentOutcome],
+                   axis: Optional[str] = None) -> str:
+    """Fixed-width table of sweep outcomes (ready to print)."""
+    rows = []
+    for outcome in outcomes:
+        label = (str(getattr(outcome.spec, axis)) if axis
+                 else outcome.spec.protocol)
+        rows.append((label, outcome.mean_query_complexity,
+                     outcome.mean_time_complexity,
+                     f"{outcome.correct_runs}/{outcome.runs}"))
+    label_width = max(len("value"), max(len(row[0]) for row in rows))
+    lines = [f"{'value'.ljust(label_width)} | {'mean Q':>10} | "
+             f"{'mean T':>8} | ok"]
+    for label, mean_q, mean_t, ok in rows:
+        lines.append(f"{label.ljust(label_width)} | {mean_q:>10.1f} | "
+                     f"{mean_t:>8.2f} | {ok}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Executable lower-bound constructions (Theorems 3.1 and 3.2).
+
+A lower bound needs only one witness adversary; these modules implement
+the paper's witnesses and *run* them against concrete protocols:
+
+- :mod:`~repro.lowerbounds.deterministic` — Theorem 3.1's
+  two-execution indistinguishability argument (``beta >= 1/2`` forces
+  deterministic query complexity ``ell``);
+- :mod:`~repro.lowerbounds.randomized` — Theorem 3.2's
+  query-distribution attack (randomization does not help either);
+- :mod:`~repro.lowerbounds.accounting` — query-set extraction and
+  view-indistinguishability checks.
+"""
+
+from repro.lowerbounds.accounting import (
+    query_load_profile,
+    unqueried_bits,
+    victim_views_identical,
+)
+from repro.lowerbounds.deterministic import (
+    DeterministicLowerBoundOutcome,
+    majority_split,
+    run_deterministic_construction,
+)
+from repro.lowerbounds.randomized import (
+    RandomizedLowerBoundReport,
+    run_randomized_construction,
+)
+
+__all__ = [
+    "DeterministicLowerBoundOutcome",
+    "RandomizedLowerBoundReport",
+    "majority_split",
+    "query_load_profile",
+    "run_deterministic_construction",
+    "run_randomized_construction",
+    "unqueried_bits",
+    "victim_views_identical",
+]

@@ -1,0 +1,35 @@
+"""Per-execution query accounting shared by the lower-bound drivers."""
+
+from __future__ import annotations
+
+from repro.sim.runner import RunResult
+
+
+def unqueried_bits(run: RunResult, pid: int, ell: int) -> list[int]:
+    """Bit positions ``pid`` never queried in ``run``."""
+    queried = run.queried_indices.get(pid, set())
+    return [bit for bit in range(ell) if bit not in queried]
+
+
+def victim_views_identical(first: RunResult, second: RunResult,
+                           victim: int) -> bool:
+    """Indistinguishability check from the victim's perspective.
+
+    For the deterministic construction the victim must behave
+    identically in the discovery and attack executions: same query
+    set, same termination status, same output.  (Message transcripts
+    are implied by these for a deterministic protocol; the query set is
+    the part the proof pivots on.)
+    """
+    queries_match = (first.queried_indices.get(victim, set())
+                     == second.queried_indices.get(victim, set()))
+    termination_match = (first.statuses[victim].terminated
+                         == second.statuses[victim].terminated)
+    outputs_match = first.outputs.get(victim) == second.outputs.get(victim)
+    return queries_match and termination_match and outputs_match
+
+
+def query_load_profile(run: RunResult) -> dict[int, int]:
+    """Per-peer distinct-position query counts for one run."""
+    return {pid: len(indices)
+            for pid, indices in sorted(run.queried_indices.items())}

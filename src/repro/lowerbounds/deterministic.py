@@ -1,0 +1,125 @@
+"""Executable construction for Theorem 3.1 (deterministic lower bound).
+
+Theorem 3.1: for ``beta >= 1/2``, every deterministic asynchronous
+Download protocol resilient to Byzantine faults has query complexity
+``ell`` — i.e., the naive protocol is the only one.
+
+The proof is a two-execution indistinguishability argument; this module
+runs it for real against any concrete protocol:
+
+1. **Discovery execution** — input all zeros; the majority ``F`` runs
+   honestly, the other honest peers are withheld; the victim terminates
+   (if it cannot, the adversary abandons — reported as such).  Record
+   the set of bits the victim queried and pick a target ``b*`` outside
+   it (if the victim queried everything, the protocol respects the
+   bound and there is nothing to attack).
+2. **Attack execution** — input all zeros except ``X'[b*] = 1``; the
+   corrupted majority *simulates* the discovery execution (honest code
+   over a fake all-zeros source); the victim, seeing an identical
+   view, terminates with the all-zeros output — wrong at ``b*``.
+
+For a deterministic protocol the two executions agree bit-for-bit from
+the victim's perspective, which the driver verifies (same query set,
+same termination, wrong output).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adversary.lower_bound import MajoritySimulationAdversary
+from repro.sim.runner import RunResult, Simulation
+from repro.util.bitarrays import BitArray
+
+
+@dataclass
+class DeterministicLowerBoundOutcome:
+    """What the Theorem 3.1 construction produced for one protocol."""
+
+    n: int
+    ell: int
+    corrupted: set[int]
+    silenced: set[int]
+    victim: int
+    victim_queries: int
+    target_bit: Optional[int]
+    fooled: bool
+    victim_terminated: bool
+    discovery: RunResult
+    attack: Optional[RunResult]
+
+    @property
+    def respects_bound(self) -> bool:
+        """True when the protocol escaped only by querying everything."""
+        return self.target_bit is None and self.victim_queries >= self.ell
+
+
+def majority_split(n: int) -> tuple[int, set[int], set[int]]:
+    """The construction's cast: victim 0, corrupted majority, silenced rest.
+
+    The corrupted set must be large enough that the victim's
+    "wait for n - t peers" steps are satisfiable by ``F + {victim}``:
+    ``|F| = ceil(n / 2)`` does it for ``t = |F|``.
+    """
+    corrupted_count = math.ceil(n / 2)
+    corrupted = set(range(n - corrupted_count, n))
+    victim = 0
+    silenced = set(range(n)) - corrupted - {victim}
+    return victim, corrupted, silenced
+
+
+def run_deterministic_construction(
+        *, peer_factory, n: int, ell: int, seed: int = 0,
+        claimed_t: Optional[int] = None) -> DeterministicLowerBoundOutcome:
+    """Run the Theorem 3.1 attack against ``peer_factory``.
+
+    ``claimed_t`` is the fault budget the protocol is *told* (its wait
+    thresholds use it); the adversary corrupts ``ceil(n/2)`` peers
+    regardless — the theorem's regime is exactly the one where such a
+    majority fits the declared ``beta >= 1/2``.
+    """
+    victim, corrupted, silenced = majority_split(n)
+    if claimed_t is None:
+        claimed_t = len(corrupted)
+    zeros = BitArray.zeros(ell)
+
+    # ---- execution 1: discovery (real input = reference input) ----
+    discovery_adversary = MajoritySimulationAdversary(
+        corrupted=corrupted, silenced=silenced, fake_input=zeros.copy())
+    discovery = Simulation(
+        n=n, data=zeros.copy(), peer_factory=peer_factory, t=claimed_t,
+        adversary=discovery_adversary, seed=seed,
+        allow_fault_overrun=True).run()
+    victim_queried = discovery.queried_indices.get(victim, set())
+    victim_terminated = discovery.statuses[victim].terminated
+    target = next((bit for bit in range(ell) if bit not in victim_queried),
+                  None)
+    if target is None or not victim_terminated:
+        return DeterministicLowerBoundOutcome(
+            n=n, ell=ell, corrupted=corrupted, silenced=silenced,
+            victim=victim, victim_queries=len(victim_queried),
+            target_bit=None, fooled=False,
+            victim_terminated=victim_terminated,
+            discovery=discovery, attack=None)
+
+    # ---- execution 2: attack (input flipped at the unqueried bit) ----
+    flipped = zeros.copy()
+    flipped[target] = 1
+    attack_adversary = MajoritySimulationAdversary(
+        corrupted=corrupted, silenced=silenced, fake_input=zeros.copy())
+    attack = Simulation(
+        n=n, data=flipped, peer_factory=peer_factory, t=claimed_t,
+        adversary=attack_adversary, seed=seed,
+        allow_fault_overrun=True).run()
+
+    victim_output = attack.outputs.get(victim)
+    fooled = (attack.statuses[victim].terminated
+              and victim_output is not None
+              and victim_output[target] != flipped[target])
+    return DeterministicLowerBoundOutcome(
+        n=n, ell=ell, corrupted=corrupted, silenced=silenced, victim=victim,
+        victim_queries=len(victim_queried), target_bit=target, fooled=fooled,
+        victim_terminated=attack.statuses[victim].terminated,
+        discovery=discovery, attack=attack)

@@ -1,0 +1,108 @@
+"""The on-chain component: a minimal chain and aggregation contract.
+
+The paper treats the on-chain side as a verifier/publisher: it receives
+node reports, derives a final per-cell value, and makes it public.
+This stub models exactly that (DESIGN.md records the substitution):
+
+- :class:`Chain` — an append-only list of blocks with deterministic
+  hashes (enough to give published values identity and order);
+- :class:`AggregationContract` — collects one report vector per oracle
+  node, and once a quorum of ``2 * node_fault_bound + 1`` reports is
+  in, finalizes each cell as the **median** of the reported values and
+  publishes the vector.  With at most ``node_fault_bound`` Byzantine
+  nodes, a majority of any quorum is honest, so the median of the
+  collected reports lies between two honest reports — which is what
+  pushes the ODD honest-range guarantee through to the chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.oracle.numeric import median
+from repro.util.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class Block:
+    """One published block."""
+
+    height: int
+    parent_hash: str
+    payload: dict
+
+    @property
+    def block_hash(self) -> str:
+        body = json.dumps(
+            {"height": self.height, "parent": self.parent_hash,
+             "payload": self.payload}, sort_keys=True)
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+class Chain:
+    """Append-only block list."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+
+    @property
+    def head_hash(self) -> str:
+        return self.blocks[-1].block_hash if self.blocks else "genesis"
+
+    def publish(self, payload: dict) -> Block:
+        """Append a block carrying ``payload``."""
+        block = Block(height=len(self.blocks), parent_hash=self.head_hash,
+                      payload=payload)
+        self.blocks.append(block)
+        return block
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+class AggregationContract:
+    """Quorum-median aggregation of oracle node reports."""
+
+    def __init__(self, chain: Chain, *, cells: int,
+                 node_fault_bound: int) -> None:
+        self.chain = chain
+        self.cells = check_positive("cells", cells)
+        self.node_fault_bound = check_nonnegative("node_fault_bound",
+                                                  node_fault_bound)
+        self.reports: dict[int, list[int]] = {}
+        self.finalized: Optional[list[int]] = None
+        self.finalized_block: Optional[Block] = None
+
+    @property
+    def quorum(self) -> int:
+        """Reports needed before finalizing: ``2 t + 1``."""
+        return 2 * self.node_fault_bound + 1
+
+    def submit(self, node: int, values: Sequence[int]) -> None:
+        """Record one node's report vector (first report per node wins,
+        matching the one-vote-per-identity rule)."""
+        if self.finalized is not None:
+            return
+        if len(values) != self.cells:
+            raise ValueError(
+                f"report has {len(values)} cells, expected {self.cells}")
+        if node in self.reports:
+            return
+        self.reports[node] = list(values)
+        if len(self.reports) >= self.quorum:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        per_cell = []
+        for cell in range(self.cells):
+            per_cell.append(median([report[cell]
+                                    for report in self.reports.values()]))
+        self.finalized = per_cell
+        self.finalized_block = self.chain.publish({
+            "type": "oracle-report",
+            "values": per_cell,
+            "reporters": sorted(self.reports),
+        })

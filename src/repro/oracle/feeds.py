@@ -1,0 +1,176 @@
+"""Off-chain data sources ("feeds") for the oracle application.
+
+The paper's oracle model (Section 4) has ``m`` data sources, up to a
+fraction of which are Byzantine.  Honest sources may legitimately
+disagree a little (e.g. two exchanges quoting slightly different
+prices); Byzantine sources may return anything — including *different
+answers to different readers* (equivocation), the nastiest case for
+aggregation.
+
+Three feed behaviours:
+
+- :class:`HonestFeed` — a fixed value vector near the ground truth
+  (bounded per-feed noise);
+- :class:`CorruptFeed` — a fixed but adversarial vector (consistent
+  lying);
+- :class:`EquivocatingFeed` — per-reader adversarial vectors.
+
+Each feed can hand the DR simulation a source object
+(:meth:`Feed.source_factory`), so a Download protocol can be run
+*against* the feed; honest feeds yield the standard trusted
+:class:`~repro.sim.source.DataSource`, equivocating feeds yield a
+source that answers by reader identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.oracle.numeric import encode_values, max_value
+from repro.sim.source import DataSource
+from repro.util.bitarrays import BitArray
+from repro.util.rng import SplittableRNG
+from repro.util.validation import check_nonnegative, check_positive
+
+
+class Feed:
+    """Base feed: ``cells`` values of ``value_bits`` bits each."""
+
+    honest = True
+
+    def __init__(self, feed_id: int, cells: int, value_bits: int) -> None:
+        self.feed_id = feed_id
+        self.cells = check_positive("cells", cells)
+        self.value_bits = check_positive("value_bits", value_bits)
+
+    def read(self, reader: int, cell: int) -> int:
+        """Answer one direct read by ``reader`` (classic ODC path)."""
+        raise NotImplementedError
+
+    def values_for(self, reader: int) -> list[int]:
+        """The full vector ``reader`` would see."""
+        return [self.read(reader, cell) for cell in range(self.cells)]
+
+    def encoded_for(self, reader: int) -> BitArray:
+        """Bit encoding of :meth:`values_for` (Download's input)."""
+        return encode_values(self.values_for(reader), self.value_bits)
+
+    def source_factory(self):
+        """Factory for the DR simulation's source when downloading
+        from this feed (None = default trusted DataSource over
+        :meth:`encoded_for` of any reader)."""
+        return None
+
+
+class HonestFeed(Feed):
+    """Truthful feed with bounded observation noise.
+
+    ``values[j] = clamp(truth[j] + noise_j)`` with ``|noise_j| <=
+    noise_bound``, fixed per feed — honest feeds answer every reader
+    identically (the paper's static-data assumption).
+    """
+
+    def __init__(self, feed_id: int, truth: Sequence[int], value_bits: int,
+                 noise_bound: int = 0,
+                 rng: Optional[SplittableRNG] = None) -> None:
+        super().__init__(feed_id, len(truth), value_bits)
+        check_nonnegative("noise_bound", noise_bound)
+        ceiling = max_value(value_bits)
+        noise_rng = rng or SplittableRNG(feed_id)
+        self.values: list[int] = []
+        for value in truth:
+            noisy = value
+            if noise_bound:
+                noisy += noise_rng.randint(-noise_bound, noise_bound)
+            self.values.append(min(ceiling, max(0, noisy)))
+
+    def read(self, reader: int, cell: int) -> int:
+        return self.values[cell]
+
+
+class CorruptFeed(Feed):
+    """Byzantine feed lying consistently (same lie to everyone)."""
+
+    honest = False
+
+    def __init__(self, feed_id: int, values: Sequence[int],
+                 value_bits: int) -> None:
+        super().__init__(feed_id, len(values), value_bits)
+        self.values = list(values)
+
+    def read(self, reader: int, cell: int) -> int:
+        return self.values[cell]
+
+
+class EquivocatingFeed(Feed):
+    """Byzantine feed answering each reader differently.
+
+    ``per_reader[pid]`` is the vector shown to ``pid``; readers not in
+    the map get ``default``.
+    """
+
+    honest = False
+
+    def __init__(self, feed_id: int, per_reader: dict[int, Sequence[int]],
+                 default: Sequence[int], value_bits: int) -> None:
+        super().__init__(feed_id, len(default), value_bits)
+        self.per_reader = {pid: list(values)
+                           for pid, values in per_reader.items()}
+        self.default = list(default)
+
+    def read(self, reader: int, cell: int) -> int:
+        return self.per_reader.get(reader, self.default)[cell]
+
+    def source_factory(self):
+        per_reader_bits = {
+            pid: encode_values(values, self.value_bits)
+            for pid, values in self.per_reader.items()}
+
+        def make(data, metrics, network, adversary):
+            return _EquivocatingSource(data, metrics, network, adversary,
+                                       per_reader=per_reader_bits)
+        return make
+
+
+class _EquivocatingSource(DataSource):
+    """DataSource that answers from a per-reader array when one exists.
+
+    Queries are still charged normally — the *reader* pays regardless
+    of whether the feed lies to it.
+    """
+
+    def __init__(self, data, metrics, network, adversary, *,
+                 per_reader: dict[int, BitArray]) -> None:
+        super().__init__(data, metrics, network, adversary)
+        self.per_reader = per_reader
+
+    def request_bits(self, pid: int, request_id: int, indices) -> None:
+        view = self.per_reader.get(pid)
+        if view is None:
+            super().request_bits(pid, request_id, indices)
+            return
+        # Same accounting as the honest path, different answers.
+        unique = sorted(set(indices))
+        self.metrics.record_query(pid, len(unique))
+        self.queried_indices.setdefault(pid, set()).update(unique)
+        from repro.sim.messages import SOURCE_ID, SourceResponse
+        response = SourceResponse(
+            sender=SOURCE_ID, request_id=request_id,
+            values={index: view[index] for index in unique})
+        latency = self.adversary.query_latency(pid, self.network.kernel.now)
+        self.network.deliver_direct(pid, response, latency)
+
+
+def honest_range(feeds: Sequence[Feed], cell: int) -> tuple[int, int]:
+    """The paper's honest range for ``cell``: ``[min, max]`` over the
+    values honest feeds report (honest feeds are reader-independent)."""
+    honest_values = [feed.read(0, cell) for feed in feeds if feed.honest]
+    if not honest_values:
+        raise ValueError("no honest feeds: the honest range is undefined")
+    return min(honest_values), max(honest_values)
+
+
+def in_honest_range(feeds: Sequence[Feed], cell: int, value: int) -> bool:
+    """ODD acceptance test for one published value."""
+    low, high = honest_range(feeds, cell)
+    return low <= value <= high

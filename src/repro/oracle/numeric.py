@@ -1,0 +1,74 @@
+"""Numeric value <-> bit array codec for the oracle layer.
+
+The Download protocols move *bits*; blockchain oracles move *numbers*
+(prices, rates, readings).  The paper notes the extension from a binary
+array to numbers is "relatively simple" — it is exactly this codec:
+a feed's ``k`` values, each an unsigned ``value_bits``-wide integer,
+are laid out big-endian in a ``k * value_bits``-bit array.  Cell ``j``
+occupies bits ``[j * value_bits, (j + 1) * value_bits)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.bitarrays import BitArray
+from repro.util.validation import check_positive
+
+
+def max_value(value_bits: int) -> int:
+    """Largest value representable in ``value_bits`` bits."""
+    check_positive("value_bits", value_bits)
+    return (1 << value_bits) - 1
+
+
+def encode_values(values: Sequence[int], value_bits: int) -> BitArray:
+    """Pack ``values`` into a bit array (big-endian per cell)."""
+    check_positive("value_bits", value_bits)
+    ceiling = max_value(value_bits)
+    array = BitArray(len(values) * value_bits)
+    for cell, value in enumerate(values):
+        if not 0 <= value <= ceiling:
+            raise ValueError(
+                f"value {value} at cell {cell} does not fit in "
+                f"{value_bits} bits")
+        base = cell * value_bits
+        for offset in range(value_bits):
+            bit = (value >> (value_bits - 1 - offset)) & 1
+            array[base + offset] = bit
+    return array
+
+
+def decode_values(array: BitArray, value_bits: int) -> list[int]:
+    """Unpack a bit array produced by :func:`encode_values`."""
+    check_positive("value_bits", value_bits)
+    if len(array) % value_bits:
+        raise ValueError(
+            f"array length {len(array)} is not a multiple of "
+            f"value_bits={value_bits}")
+    values = []
+    for base in range(0, len(array), value_bits):
+        value = 0
+        for offset in range(value_bits):
+            value = (value << 1) | array[base + offset]
+        values.append(value)
+    return values
+
+
+def cell_bounds(cell: int, value_bits: int) -> tuple[int, int]:
+    """Bit range of ``cell`` inside the encoded array."""
+    return cell * value_bits, (cell + 1) * value_bits
+
+
+def median(values: Sequence[int]) -> int:
+    """Lower median (the paper's aggregation primitive).
+
+    For an odd count this is the middle element; for an even count the
+    lower of the two middles — any value between them would do for the
+    honest-range guarantee, and the lower one keeps the result an
+    actually-reported integer.
+    """
+    if not values:
+        raise ValueError("median of an empty sequence")
+    ordered = sorted(values)
+    return ordered[(len(ordered) - 1) // 2]

@@ -1,0 +1,125 @@
+"""JSON persistence for run summaries and experiment outcomes.
+
+Benchmark campaigns outlive Python processes; this module gives the
+measurable artifacts a stable on-disk form:
+
+- :func:`report_to_dict` / :func:`report_from_dict` — complexity
+  reports;
+- :func:`summarize_run` — a :class:`~repro.sim.runner.RunResult`
+  reduced to its JSON-safe measurements (outputs and traces are
+  deliberately dropped: persist measurements, not transcripts);
+- :func:`save_outcomes` / :func:`load_outcomes` — experiment-outcome
+  collections (:mod:`repro.experiments`), round-trippable.
+
+Everything is plain ``json`` — no pickle, so files are diffable,
+greppable, and safe to load from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.experiments import ExperimentOutcome, ExperimentSpec
+from repro.sim.metrics import ComplexityReport
+from repro.sim.runner import RunResult
+
+PathLike = Union[str, Path]
+
+#: Format tag written into every file; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: ComplexityReport) -> dict:
+    """JSON-safe form of a complexity report."""
+    return {
+        "query_complexity": report.query_complexity,
+        "total_query_bits": report.total_query_bits,
+        "message_complexity": report.message_complexity,
+        "message_bits": report.message_bits,
+        "time_complexity": report.time_complexity,
+        "per_peer_query_bits": {str(pid): bits for pid, bits
+                                in report.per_peer_query_bits.items()},
+        "per_peer_messages": {str(pid): count for pid, count
+                              in report.per_peer_messages.items()},
+    }
+
+
+def report_from_dict(payload: dict) -> ComplexityReport:
+    """Inverse of :func:`report_to_dict`."""
+    return ComplexityReport(
+        query_complexity=payload["query_complexity"],
+        total_query_bits=payload["total_query_bits"],
+        message_complexity=payload["message_complexity"],
+        message_bits=payload["message_bits"],
+        time_complexity=payload["time_complexity"],
+        per_peer_query_bits={int(pid): bits for pid, bits
+                             in payload["per_peer_query_bits"].items()},
+        per_peer_messages={int(pid): count for pid, count
+                           in payload["per_peer_messages"].items()},
+    )
+
+
+def summarize_run(result: RunResult) -> dict:
+    """The measurements of one run, JSON-safe."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "ell": len(result.data),
+        "honest": sorted(result.honest),
+        "faulty": sorted(result.faulty),
+        "download_correct": result.download_correct,
+        "events_processed": result.events_processed,
+        "elapsed_virtual_time": result.elapsed_virtual_time,
+        "report": report_to_dict(result.report),
+    }
+
+
+def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
+    """JSON-safe form of one experiment outcome (spec included)."""
+    spec = dataclasses.asdict(outcome.spec)
+    return {
+        "spec": spec,
+        "runs": outcome.runs,
+        "correct_runs": outcome.correct_runs,
+        "mean_query_complexity": outcome.mean_query_complexity,
+        "max_query_complexity": outcome.max_query_complexity,
+        "mean_message_complexity": outcome.mean_message_complexity,
+        "mean_time_complexity": outcome.mean_time_complexity,
+    }
+
+
+def outcome_from_dict(payload: dict) -> ExperimentOutcome:
+    """Inverse of :func:`outcome_to_dict`."""
+    return ExperimentOutcome(
+        spec=ExperimentSpec(**payload["spec"]),
+        runs=payload["runs"],
+        correct_runs=payload["correct_runs"],
+        mean_query_complexity=payload["mean_query_complexity"],
+        max_query_complexity=payload["max_query_complexity"],
+        mean_message_complexity=payload["mean_message_complexity"],
+        mean_time_complexity=payload["mean_time_complexity"],
+    )
+
+
+def save_outcomes(outcomes: Iterable[ExperimentOutcome],
+                  path: PathLike) -> None:
+    """Write an outcome collection to ``path`` as JSON."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "outcomes": [outcome_to_dict(outcome) for outcome in outcomes],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True),
+                          encoding="utf-8")
+
+
+def load_outcomes(path: PathLike) -> list[ExperimentOutcome]:
+    """Read an outcome collection written by :func:`save_outcomes`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {schema!r} in {path} "
+            f"(this build reads {SCHEMA_VERSION})")
+    return [outcome_from_dict(item) for item in payload["outcomes"]]

@@ -1,0 +1,99 @@
+"""Common base class for Download protocol peers.
+
+A protocol is a :class:`~repro.sim.peer.Peer` subclass whose ``body``
+implements the peer-local algorithm.  :meth:`DownloadPeer.factory`
+turns the class (plus protocol parameters) into the ``peer_factory``
+callable :class:`~repro.sim.runner.Simulation` expects, so runs read::
+
+    run_download(n=16, ell=1024,
+                 peer_factory=CrashMultiDownloadPeer.factory(),
+                 adversary=CrashAdversary(crash_fraction=0.5))
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.peer import Peer, SimEnv
+from repro.util.bitarrays import BitArray
+
+#: Sentinel bit value for "not learned yet" in working output arrays.
+UNKNOWN = -1
+
+
+class DownloadPeer(Peer):
+    """Base class for every Download protocol implementation."""
+
+    #: Human-readable protocol name (subclasses override).
+    protocol_name = "download"
+
+    def __init__(self, pid: int, env: SimEnv) -> None:
+        super().__init__(pid, env)
+        # Working copy of the output: -1 marks unknown bits.  BitArray
+        # cannot hold the sentinel, so the working array is a list and
+        # is packed only at finish time.
+        self.working: list[int] = [UNKNOWN] * env.ell
+
+    @classmethod
+    def factory(cls, **params) -> Callable[[int, SimEnv], "DownloadPeer"]:
+        """Bind protocol parameters; returns a ``peer_factory``."""
+        def make(pid: int, env: SimEnv) -> "DownloadPeer":
+            return cls(pid, env, **params)
+        make.protocol_class = cls
+        make.params = dict(params)
+        return make
+
+    # -- working-array helpers ---------------------------------------------
+
+    def learn(self, index: int, bit: int) -> None:
+        """Record bit ``index``; learned values are never overwritten.
+
+        The paper's Claim 1 proof leans on "values are never
+        overwritten": once a peer knows a bit (from its own query or an
+        honest report), later messages cannot change it.
+        """
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        if self.working[index] == UNKNOWN:
+            self.working[index] = bit
+
+    def learn_many(self, values: dict[int, int]) -> None:
+        """Record several bits at once."""
+        for index, bit in values.items():
+            self.learn(index, bit)
+
+    def learn_string(self, lo: int, string: str) -> None:
+        """Record a segment string starting at bit ``lo``."""
+        for offset, ch in enumerate(string):
+            self.learn(lo + offset, 1 if ch == "1" else 0)
+
+    def unknown_indices(self) -> list[int]:
+        """Sorted indices this peer has not learned yet."""
+        return [index for index, bit in enumerate(self.working)
+                if bit == UNKNOWN]
+
+    def known_count(self) -> int:
+        """Number of learned bits."""
+        return self.ell - len(self.unknown_indices())
+
+    def all_known(self) -> bool:
+        """True when every bit is learned."""
+        return all(bit != UNKNOWN for bit in self.working)
+
+    def known_subset(self, indices) -> dict[int, int]:
+        """The subset of ``indices`` this peer knows, with values."""
+        return {index: self.working[index] for index in indices
+                if self.working[index] != UNKNOWN}
+
+    def finish_with_working(self) -> None:
+        """Terminate, packing the working array into the output.
+
+        Raises if any bit is still unknown — terminating without the
+        full array is a protocol bug, not a tolerable outcome.
+        """
+        missing = self.unknown_indices()
+        if missing:
+            raise RuntimeError(
+                f"peer {self.pid} tried to terminate with "
+                f"{len(missing)} unknown bits (first: {missing[:5]})")
+        self.finish(BitArray.from_bits(self.working))

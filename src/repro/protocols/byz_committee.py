@@ -1,0 +1,142 @@
+"""Theorem 3.4: deterministic asynchronous Download for ``beta < 1/2``.
+
+The committee protocol from [3], adapted to asynchrony exactly as the
+paper prescribes.  The input is carved into blocks; each block gets a
+round-robin *committee* of ``2t + 1`` peers.  Committee members query
+their block and broadcast its value; everyone else accepts a block the
+moment ``t + 1`` *distinct* peers of its committee have reported the
+same string — at least one of any ``t + 1`` committee members is
+honest, so an accepted string is correct, and the ``>= t + 1`` honest
+members of every committee guarantee eventual acceptance no matter how
+messages are delayed (honest peers can be slowed, never forged).
+
+The paper forms a committee per *bit*; this implementation generalizes
+to per-*block* committees (``block_size`` bits, default 1 = the paper's
+protocol) because the committee-membership pattern — hence the query
+complexity ``ell * (2t + 1) / n`` — is independent of the block size,
+while larger blocks shrink the simulated message count by that factor.
+Benches use blocks; the test suite also runs the exact per-bit variant.
+
+Query complexity per peer: each peer sits on at most
+``ceil(blocks * (2t+1) / n)`` committees and queries one block for
+each, i.e. ``ceil(ell * (2t + 1) / n)`` bits — Theorem 3.4's bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.assignment import committee_for
+from repro.core.segments import Segmentation
+from repro.protocols.base import DownloadPeer
+from repro.sim.errors import ConfigurationError
+from repro.sim.messages import Message
+from repro.sim.peer import SimEnv
+
+
+@dataclass(frozen=True)
+class CommitteeReport(Message):
+    """A committee member's reading of its block."""
+
+    block: int
+    string: str
+
+
+class ByzCommitteeDownloadPeer(DownloadPeer):
+    """Deterministic committee download; requires ``2t < n``."""
+
+    protocol_name = "byz-committee"
+
+    def __init__(self, pid: int, env: SimEnv, block_size: int = 1,
+                 give_up_time: float = None) -> None:
+        super().__init__(pid, env)
+        if 2 * env.t >= env.n:
+            raise ConfigurationError(
+                f"the committee protocol needs 2t < n, got t={env.t}, "
+                f"n={env.n} (Theorem 3.1: impossible deterministically)")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = block_size
+        #: Application-layer escape hatch (None = pure protocol): if
+        #: the trusted-source assumption is violated (an equivocating
+        #: oracle feed), "t+1 identical reports" may never materialize;
+        #: after this much virtual time the peer queries the unresolved
+        #: blocks itself.  See Peer.wait_with_deadline for the caveat.
+        self.give_up_time = give_up_time
+        self.blocks = Segmentation(env.ell,
+                                   max(1, math.ceil(env.ell / block_size)))
+        self.committee_size = 2 * env.t + 1
+        self.accepted: dict[int, str] = {}
+        self.on_message(CommitteeReport, self._on_report)
+
+    # -- acceptance rule ---------------------------------------------------
+
+    def _on_report(self, message: CommitteeReport) -> None:
+        block = message.block
+        if block in self.accepted:
+            return
+        if not 0 <= block < self.blocks.num_segments:
+            return  # Byzantine garbage: no such block
+        committee = set(committee_for(block, self.committee_size, self.n))
+        if message.sender not in committee:
+            return  # only committee members may vouch for a block
+        lo, hi = self.blocks.bounds(block)
+        if len(message.string) != hi - lo:
+            return  # wrong length can never be the block's value
+        supporters = {report.sender
+                      for report in self.inbox.of_type(CommitteeReport)
+                      if report.block == block
+                      and report.string == message.string
+                      and report.sender in committee}
+        if len(supporters) >= self.t + 1:
+            # t + 1 identical reports include at least one honest one.
+            self.accepted[block] = message.string
+            self.learn_string(lo, message.string)
+
+    # -- body --------------------------------------------------------------------
+
+    def body(self) -> Iterator:
+        self.begin_cycle()
+        my_blocks = [block for block in range(self.blocks.num_segments)
+                     if self.pid in committee_for(block, self.committee_size,
+                                                  self.n)]
+        # One batched request for all committee duties: the committees
+        # a peer serves on are known up front, so their queries can be
+        # issued in parallel (the paper's committees operate in
+        # parallel up to the n/(2t+1) concurrency it notes).
+        wanted: list[int] = []
+        for block in my_blocks:
+            lo, hi = self.blocks.bounds(block)
+            wanted.extend(range(lo, hi))
+        values = yield from self.query_bits(wanted)
+        self.learn_many(values)
+        for block in my_blocks:
+            lo, hi = self.blocks.bounds(block)
+            string = "".join("1" if values[index] else "0"
+                             for index in range(lo, hi))
+            self.accepted.setdefault(block, string)
+            self.broadcast(CommitteeReport(sender=self.pid, block=block,
+                                           string=string))
+
+        self.begin_cycle()
+        done = lambda: len(self.accepted) == self.blocks.num_segments  # noqa: E731
+        if self.give_up_time is None:
+            yield self.wait_until(done,
+                                  "t+1 matching reports for every block")
+        else:
+            yield self.wait_with_deadline(
+                done, self.give_up_time,
+                "t+1 matching reports for every block (with deadline)")
+            if not done():
+                # The source broke its trust contract (possible only in
+                # the oracle application); read the leftovers ourselves.
+                leftovers: list[int] = []
+                for block in range(self.blocks.num_segments):
+                    if block not in self.accepted:
+                        lo, hi = self.blocks.bounds(block)
+                        leftovers.extend(range(lo, hi))
+                values = yield from self.query_bits(leftovers)
+                self.learn_many(values)
+        self.finish_with_working()

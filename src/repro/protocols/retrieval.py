@@ -1,0 +1,93 @@
+"""General retrieval problems: compute ``f(X)`` instead of ``X``.
+
+The DR model's general class (Section 1.1): every peer must output
+``f(X)`` for some computable ``f``.  The paper's footnote observes the
+reduction that makes Download *the* fundamental problem: solve
+Download, then compute ``f`` locally.  This module packages that
+reduction as a reusable peer wrapper, plus the standard functions a
+downstream user reaches for.
+
+A :class:`RetrievalPeer` runs any Download protocol unchanged and,
+upon learning ``X``, stores ``f(X)`` in :attr:`retrieval_output`
+(the Download output array remains available too — the reduction
+pays Download's full query complexity, which for ``beta >= 1/2``
+Byzantine settings is provably unavoidable even for one-bit ``f``
+whenever ``f`` depends on every input bit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.peer import SimEnv
+from repro.util.bitarrays import BitArray
+
+RetrievalFunction = Callable[[BitArray], object]
+
+
+def parity(data: BitArray) -> int:
+    """XOR of all input bits."""
+    return data.count_ones() & 1
+
+
+def count_ones(data: BitArray) -> int:
+    """Population count."""
+    return data.count_ones()
+
+
+def majority_bit(data: BitArray) -> int:
+    """1 iff more than half the bits are set (ties go to 0)."""
+    return 1 if 2 * data.count_ones() > len(data) else 0
+
+
+def segment_extractor(lo: int, hi: int) -> RetrievalFunction:
+    """Factory: extract the bit string of ``[lo, hi)``."""
+    def extract(data: BitArray) -> str:
+        return data.segment(lo, hi)
+    return extract
+
+
+def index_of_first_one(data: BitArray) -> Optional[int]:
+    """Position of the first set bit (None for all-zeros)."""
+    for index, bit in enumerate(data):
+        if bit:
+            return index
+    return None
+
+
+def make_retrieval_class(download_class, function: RetrievalFunction):
+    """Build a retrieval peer class from a Download peer class.
+
+    >>> PeerClass = make_retrieval_class(CrashMultiDownloadPeer, parity)
+    >>> run_download(..., peer_factory=PeerClass.factory())
+    """
+
+    class RetrievalPeer(download_class):
+        retrieval_function = staticmethod(function)
+        protocol_name = f"retrieval({download_class.protocol_name})"
+
+        def __init__(self, pid: int, env: SimEnv, **params) -> None:
+            super().__init__(pid, env, **params)
+            self.retrieval_output = None
+
+        def finish(self, output: BitArray) -> None:
+            self.retrieval_output = self.retrieval_function(output)
+            super().finish(output)
+
+    RetrievalPeer.__name__ = f"Retrieval{download_class.__name__}"
+    RetrievalPeer.__qualname__ = RetrievalPeer.__name__
+    return RetrievalPeer
+
+
+def retrieval_outputs(result, function: RetrievalFunction) -> dict[int, object]:
+    """Apply ``function`` to every terminated honest peer's output.
+
+    Because a :class:`RetrievalPeer` computes ``f`` on exactly the
+    array it outputs, this reproduces each peer's
+    ``retrieval_output`` from the :class:`~repro.sim.runner.RunResult`
+    alone.
+    """
+    return {pid: function(result.outputs[pid])
+            for pid in sorted(result.honest)
+            if result.statuses[pid].terminated
+            and result.outputs.get(pid) is not None}

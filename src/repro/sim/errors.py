@@ -1,0 +1,36 @@
+"""Exception hierarchy for the simulator and the protocols built on it."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation framework."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while live processes were still waiting.
+
+    In the DR model a correct protocol must never deadlock: Claims 2-3
+    of the paper prove the crash-fault protocols always make progress.
+    The simulator therefore treats an empty event queue with parked,
+    non-terminated, non-crashed processes (and no withheld messages the
+    adversary is willing to release) as a hard error, and reports which
+    process was waiting on what.
+    """
+
+    def __init__(self, waiting: list[tuple[str, str]]) -> None:
+        self.waiting = waiting
+        details = "; ".join(f"{name} waiting for {what}" for name, what in waiting)
+        super().__init__(f"simulation deadlocked: {details}")
+
+
+class ProtocolViolation(SimulationError):
+    """A peer broke a rule of the model (e.g. oversized message)."""
+
+
+class BudgetExceeded(SimulationError):
+    """A configured safety budget (events or virtual time) was exhausted."""
+
+
+class ConfigurationError(SimulationError):
+    """The simulation was assembled from inconsistent components."""

@@ -1,0 +1,33 @@
+"""Event representation and deterministic ordering.
+
+The kernel's event queue is a binary heap of :class:`Event` objects
+ordered by ``(time, seq)``.  ``seq`` is a global monotone counter
+assigned at scheduling time, which makes simultaneous events fire in
+scheduling order — so a run is a pure function of the configuration and
+the seed, with no dependence on hash ordering or iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A single scheduled action.
+
+    Attributes:
+        time: virtual time at which the action fires.
+        seq: tie-breaker; lower ``seq`` fires first at equal times.
+        action: zero-argument callable executed when the event fires.
+        kind: short label used by traces and error messages.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    kind: str = field(compare=False, default="event")
+
+    def __repr__(self) -> str:
+        return f"Event(t={self.time:.4f}, seq={self.seq}, kind={self.kind})"

@@ -1,0 +1,233 @@
+"""The complete peer-to-peer network with adversary-controlled delays.
+
+Every ``send`` consults the adversary, which returns either a finite
+latency (the message is scheduled for delivery) or the
+:data:`WITHHOLD` sentinel (the message is parked in the withheld pool).
+Withheld messages model the adversary's power to delay "by any finite
+amount": they are flushed when the system reaches quiescence — the
+point at which, per the model discussion in Section 3.1, the adversary
+is *compelled* to release delayed messages because every honest peer is
+parked waiting.
+
+Crash faults interact with sending: the adversary may crash a sender
+*between individual sends of a batch* (the model explicitly allows a
+peer to crash "after it has already sent some, but perhaps not all, of
+the messages").  The network therefore asks the adversary for
+permission before each send; a refusal halts the sender on the spot and
+drops that message and all later ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.sim.errors import ProtocolViolation
+from repro.sim.messages import Message
+from repro.sim.metrics import MetricsCollector
+from repro.sim.scheduler import Kernel
+
+
+class _Withhold:
+    """Sentinel type for adversary-withheld deliveries."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "WITHHOLD"
+
+
+#: Returned by an adversary's latency methods to park a delivery until
+#: quiescence (or until the adversary chooses to release it).
+WITHHOLD = _Withhold()
+
+Latency = "float | _Withhold"
+
+
+@runtime_checkable
+class Receiver(Protocol):
+    """Anything that can be attached to the network as a peer."""
+
+    pid: int
+
+    def deliver(self, message: Message) -> None:
+        """Accept a delivered message (called at delivery time)."""
+
+    @property
+    def live(self) -> bool:
+        """False once the process crashed or finished."""
+
+
+@dataclass
+class WithheldMessage:
+    """One delivery the adversary is currently sitting on."""
+
+    sender: int
+    destination: int
+    message: Message
+    sent_at: float
+
+
+class Network:
+    """Complete network over ``n`` peers with per-message adversary delays."""
+
+    def __init__(self, kernel: Kernel, metrics: MetricsCollector,
+                 adversary, message_size_limit: Optional[int] = None,
+                 packetize: bool = False, fifo: bool = False) -> None:
+        self.kernel = kernel
+        self.metrics = metrics
+        self.adversary = adversary
+        self.message_size_limit = message_size_limit
+        #: With packetize=True a message of ``k * b`` bits travels as
+        #: ``k`` back-to-back packets: its delivery latency is
+        #: multiplied by ``ceil(size / b)`` instead of being rejected.
+        #: This models the paper's ``X / b`` transmission-time terms
+        #: (e.g. the long responses in Theorem 2.13's analysis).
+        self.packetize = packetize
+        #: With fifo=True no message may overtake an earlier message on
+        #: the same directed link: a delivery is pushed just past the
+        #: link's previous delivery if the adversary's latency would
+        #: reorder them.  The base model is non-FIFO (the default);
+        #: the option exists because several classical arguments (e.g.
+        #: "receiving a phase-2 message implies the phase-1 message
+        #: arrived", Algorithm 1's completion case) become exact under
+        #: FIFO links.  Withheld messages released at quiescence bypass
+        #: the ordering (they are the adversary's to sequence).
+        self.fifo = fifo
+        self._receivers: dict[int, Receiver] = {}
+        self._withheld: list[WithheldMessage] = []
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        #: Optional TraceRecorder; when set, every send/delivery is
+        #: recorded (wired by the runner when tracing is enabled).
+        self.trace = None
+        kernel.on_quiescence = self._flush_withheld
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, receiver: Receiver) -> None:
+        """Register ``receiver`` under its ``pid``."""
+        if receiver.pid in self._receivers:
+            raise ValueError(f"peer {receiver.pid} attached twice")
+        self._receivers[receiver.pid] = receiver
+
+    def receiver(self, pid: int) -> Receiver:
+        """Look up the attached receiver for ``pid``."""
+        return self._receivers[pid]
+
+    @property
+    def withheld_count(self) -> int:
+        """Number of deliveries currently parked by the adversary."""
+        return len(self._withheld)
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, sender_pid: int, destination: int, message: Message,
+             *, sender_cycle: int = 0, honest: bool = True) -> bool:
+        """Send ``message`` from ``sender_pid`` to ``destination``.
+
+        Returns True if the message left the sender (it may still be
+        withheld/delayed arbitrarily), False if the sender was crashed
+        by the adversary before this send.
+        """
+        if destination not in self._receivers:
+            raise ValueError(f"unknown destination peer {destination}")
+        sender = self._receivers.get(sender_pid)
+        if sender is not None and not sender.live:
+            return False
+        if not self.adversary.permit_send(sender_pid, destination, message,
+                                          self.kernel.now):
+            # Crash mid-batch: the adversary killed the sender before
+            # this particular message went out.
+            return False
+        transformed = self.adversary.transform_message(
+            sender_pid, destination, message, self.kernel.now, sender_cycle)
+        if transformed is None:
+            return True  # dynamically-corrupted sender: message eaten
+        message = transformed
+        size = message.size_bits()
+        if honest and self.message_size_limit is not None \
+                and size > self.message_size_limit and not self.packetize:
+            raise ProtocolViolation(
+                f"peer {sender_pid} sent a {size}-bit message; the limit "
+                f"is {self.message_size_limit} bits")
+        if honest:
+            self.metrics.record_message(sender_pid, size)
+        if self.trace is not None:
+            self.trace.record(self.kernel.now, "send",
+                              sender=sender_pid, destination=destination,
+                              message=type(message).__name__, bits=size,
+                              honest=honest)
+        latency = self.adversary.message_latency(
+            sender_pid, destination, message, self.kernel.now, sender_cycle)
+        if (self.packetize and self.message_size_limit is not None
+                and isinstance(latency, (int, float))):
+            packets = -(-size // self.message_size_limit)
+            latency = float(latency) * packets
+        self._dispatch(sender_pid, destination, message, latency)
+        return True
+
+    def _dispatch(self, sender_pid: int, destination: int, message: Message,
+                  latency) -> None:
+        if isinstance(latency, _Withhold):
+            self._withheld.append(WithheldMessage(
+                sender_pid, destination, message, self.kernel.now))
+            return
+        if not isinstance(latency, (int, float)) or latency < 0:
+            raise ValueError(
+                f"adversary returned invalid latency {latency!r}")
+        delay = float(latency)
+        if self.fifo:
+            link = (sender_pid, destination)
+            earliest = self._last_delivery.get(link, 0.0) + 1e-9
+            arrival = max(self.kernel.now + delay, earliest)
+            self._last_delivery[link] = arrival
+            delay = arrival - self.kernel.now
+        self.kernel.schedule(
+            delay,
+            lambda: self._deliver(destination, message),
+            kind=f"deliver:{sender_pid}->{destination}")
+
+    def deliver_direct(self, destination: int, message: Message,
+                       latency) -> None:
+        """Schedule a delivery that bypasses send-side bookkeeping.
+
+        Used by the data source (whose responses are not peer messages)
+        and by the quiescence flush.  ``latency`` may be
+        :data:`WITHHOLD`.
+        """
+        self._dispatch(message.sender, destination, message, latency)
+
+    def _deliver(self, destination: int, message: Message) -> None:
+        receiver = self._receivers[destination]
+        if not receiver.live:
+            return  # deliveries to crashed/finished peers evaporate
+        if self.trace is not None:
+            self.trace.record(self.kernel.now, "deliver",
+                              sender=message.sender,
+                              destination=destination,
+                              message=type(message).__name__)
+        receiver.deliver(message)
+
+    # -- quiescence ----------------------------------------------------------------
+
+    def _flush_withheld(self) -> bool:
+        """Quiescence hook: let the adversary release parked deliveries.
+
+        Returns True when at least one new event was scheduled (the
+        kernel then keeps running).  The adversary chooses which
+        withheld messages to release; by the model it must eventually
+        release them all, so the default adversary policy releases
+        everything.
+        """
+        if not self._withheld:
+            return False
+        released = self.adversary.release_at_quiescence(list(self._withheld))
+        if not released:
+            return False
+        released_ids = {id(entry) for entry in released}
+        self._withheld = [entry for entry in self._withheld
+                          if id(entry) not in released_ids]
+        for entry in released:
+            self.kernel.schedule(
+                0.0,
+                lambda e=entry: self._deliver(e.destination, e.message),
+                kind=f"release:{entry.sender}->{entry.destination}")
+        return True

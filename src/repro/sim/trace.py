@@ -1,0 +1,63 @@
+"""Structured run traces (optional).
+
+Tests that assert *orderings* — e.g. "the victim peer terminated before
+any withheld message was released" in the lower-bound constructions —
+need more than end-of-run totals.  A :class:`TraceRecorder` attached to
+a simulation records one flat record per interesting occurrence; tests
+filter them with :meth:`TraceRecorder.select`.
+
+Tracing is off by default (``Simulation(trace=False)``); it costs one
+tuple append per event when enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    kind: str
+    details: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.details[key]
+
+
+@dataclass
+class TraceRecorder:
+    """Append-only log of :class:`TraceRecord` entries."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def record(self, time: float, kind: str, **details: Any) -> None:
+        """Append one record."""
+        self.records.append(TraceRecord(time, kind, details))
+
+    def select(self, kind: Optional[str] = None,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None
+               ) -> list[TraceRecord]:
+        """Return records matching ``kind`` and ``predicate``."""
+        found = self.records
+        if kind is not None:
+            found = [record for record in found if record.kind == kind]
+        if predicate is not None:
+            found = [record for record in found if predicate(record)]
+        return found
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        """Return the earliest record of ``kind``, if any."""
+        matching = self.select(kind)
+        return matching[0] if matching else None
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        """Return the latest record of ``kind``, if any."""
+        matching = self.select(kind)
+        return matching[-1] if matching else None
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,50 @@
+"""Round-native synchronous DR model (the prior-work setting).
+
+A lockstep engine (:mod:`~repro.sync.engine`), the synchronous
+originals of the paper's protocols (:mod:`~repro.sync.protocols`), and
+round-model adversaries including the classic *rushing* Byzantine
+adversary (:mod:`~repro.sync.adversaries`).  Round counts here are the
+exact round complexity the synchronous papers report.
+"""
+
+from repro.sync.adversaries import (
+    RoundCrashAdversary,
+    RushingEchoAdversary,
+    SilentSyncAdversary,
+    fraction_corrupted,
+)
+from repro.sync.engine import (
+    SyncAdversary,
+    SyncConfig,
+    SyncEngine,
+    SyncPeer,
+    SyncRunResult,
+    SyncSource,
+    run_sync_download,
+)
+from repro.sync.protocols import (
+    SyncBalancedPeer,
+    SyncCrashPeer,
+    SyncCommitteePeer,
+    SyncNaivePeer,
+    SyncTwoRoundPeer,
+)
+
+__all__ = [
+    "RoundCrashAdversary",
+    "RushingEchoAdversary",
+    "SilentSyncAdversary",
+    "SyncAdversary",
+    "SyncBalancedPeer",
+    "SyncCommitteePeer",
+    "SyncConfig",
+    "SyncCrashPeer",
+    "SyncEngine",
+    "SyncNaivePeer",
+    "SyncPeer",
+    "SyncRunResult",
+    "SyncSource",
+    "SyncTwoRoundPeer",
+    "fraction_corrupted",
+    "run_sync_download",
+]

@@ -1,0 +1,300 @@
+"""Lockstep synchronous execution of the DR model.
+
+The target paper's prior-work rows (and the companion DISC/PODC paper
+itself) live in the classic synchronous model: computation proceeds in
+global rounds; every message sent in round ``r`` arrives before round
+``r + 1``; queries are answered within the round.  The asynchronous
+kernel can *emulate* synchrony (unit latencies), but round-native
+execution is worth having on its own:
+
+- **round complexity is exact** — the engine counts rounds, which is
+  the synchronous papers' time measure;
+- the classic **rushing adversary** is expressible: corrupted peers
+  choose their round-``r`` messages *after* seeing every honest
+  round-``r`` message;
+- protocols read naturally, one ``round()`` method per paper round.
+
+The engine is deliberately independent of :mod:`repro.sim` — a
+hundred-line loop, not an event heap — because lockstep needs none of
+the machinery (and sharing it would couple the two time models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.sim.messages import Message
+from repro.util.bitarrays import BitArray
+from repro.util.rng import SplittableRNG
+from repro.util.validation import check_nonnegative, check_positive
+
+#: Safety cap: no protocol in this library needs more rounds.
+MAX_ROUNDS = 10_000
+
+
+@dataclass
+class SyncConfig:
+    """Shared parameters of one synchronous execution."""
+
+    n: int
+    t: int
+    ell: int
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+        check_nonnegative("t", self.t)
+        check_positive("ell", self.ell)
+        if self.t >= self.n:
+            raise ValueError(f"t={self.t} must be below n={self.n}")
+
+
+class SyncSource:
+    """Round-synchronous source: queries are answered immediately."""
+
+    def __init__(self, data: BitArray) -> None:
+        self.data = data
+        self.query_bits_by_peer: dict[int, int] = {}
+        self.queried_indices: dict[int, set[int]] = {}
+
+    def query(self, pid: int, indices: Sequence[int]) -> dict[int, int]:
+        unique = sorted(set(indices))
+        self.query_bits_by_peer[pid] = \
+            self.query_bits_by_peer.get(pid, 0) + len(unique)
+        self.queried_indices.setdefault(pid, set()).update(unique)
+        return {index: self.data[index] for index in unique}
+
+
+class SyncPeer:
+    """Base class for round-native protocol peers.
+
+    Subclasses implement :meth:`round`, which receives the round number
+    and the messages delivered at the end of the previous round, and
+    returns the messages to send this round (destination -> message,
+    or the :meth:`broadcast` shorthand).  Query the source with
+    ``self.query(indices)``; terminate by calling :meth:`finish`.
+    """
+
+    def __init__(self, pid: int, config: SyncConfig,
+                 rng: SplittableRNG) -> None:
+        self.pid = pid
+        self.config = config
+        self.rng = rng
+        self.output: Optional[BitArray] = None
+        self.finished_round: Optional[int] = None
+        self._source: Optional[SyncSource] = None
+        self._outbox: dict[int, list[Message]] = {}
+
+    # -- conveniences ------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.config.n
+
+    @property
+    def t(self) -> int:
+        return self.config.t
+
+    @property
+    def ell(self) -> int:
+        return self.config.ell
+
+    @property
+    def done(self) -> bool:
+        return self.output is not None
+
+    def query(self, indices: Sequence[int]) -> dict[int, int]:
+        """Query the source (answered within the round)."""
+        return self._source.query(self.pid, indices)
+
+    def send(self, destination: int, message: Message) -> None:
+        """Queue one message for end-of-round delivery."""
+        self._outbox.setdefault(destination, []).append(message)
+
+    def broadcast(self, message: Message) -> None:
+        """Queue ``message`` to every other peer."""
+        for destination in range(self.n):
+            if destination != self.pid:
+                self.send(destination, message)
+
+    def finish(self, output: BitArray) -> None:
+        """Terminate with ``output`` (recorded with the current round)."""
+        self.output = output
+
+    # -- protocol hook --------------------------------------------------------
+
+    def round(self, round_no: int, inbox: list[Message]) -> None:
+        """One protocol round; override in subclasses."""
+        raise NotImplementedError
+
+
+@dataclass
+class SyncRunResult:
+    """Outcome of one synchronous execution."""
+
+    data: BitArray
+    outputs: dict[int, Optional[BitArray]]
+    rounds: int
+    honest: set[int]
+    faulty: set[int]
+    query_complexity: int
+    total_query_bits: int
+    message_complexity: int
+    per_peer_query_bits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def download_correct(self) -> bool:
+        return all(self.outputs.get(pid) == self.data
+                   for pid in self.honest)
+
+
+class SyncAdversary:
+    """Synchronous adversary: corruption, rushing, mid-round crashes.
+
+    Hooks (all optional):
+
+    - :meth:`corrupted` — the Byzantine set (fixed for the run);
+    - :meth:`rush` — called after honest peers produced their round
+      messages; returns the corrupted peers' outbound messages, with
+      full knowledge of the honest traffic (the rushing power);
+    - :meth:`filter_sends` — may drop a suffix of a peer's outbound
+      (mid-round crash) or return None to pass everything;
+    - :meth:`crashed_before_round` — peers that are dead from this
+      round on.
+    """
+
+    def corrupted(self, n: int) -> set[int]:
+        return set()
+
+    def crashed_before_round(self, round_no: int, n: int) -> set[int]:
+        return set()
+
+    def rush(self, round_no: int, honest_traffic, config: SyncConfig,
+             source: SyncSource):
+        """Return {corrupted_pid: {destination: [messages]}}."""
+        return {}
+
+    def filter_sends(self, pid: int, round_no: int,
+                     outbox: dict[int, list[Message]]):
+        return outbox
+
+
+class SyncEngine:
+    """Run peers in lockstep rounds until every honest peer finishes."""
+
+    def __init__(self, *, config: SyncConfig, data: BitArray,
+                 peer_factory, adversary: Optional[SyncAdversary] = None,
+                 seed: int = 0) -> None:
+        if len(data) != config.ell:
+            raise ValueError(
+                f"data has {len(data)} bits, config says {config.ell}")
+        self.config = config
+        self.data = data.copy()
+        self.adversary = adversary or SyncAdversary()
+        self.source = SyncSource(self.data.copy())
+        root = SplittableRNG(seed)
+        self.corrupted = set(self.adversary.corrupted(config.n))
+        if len(self.corrupted) > config.t:
+            raise ValueError(
+                f"adversary corrupts {len(self.corrupted)} peers, "
+                f"budget is t={config.t}")
+        self.peers: dict[int, SyncPeer] = {}
+        for pid in range(config.n):
+            if pid in self.corrupted:
+                continue  # corrupted peers exist only through rush()
+            peer = peer_factory(pid, config, root.split(f"peer-{pid}"))
+            peer._source = self.source
+            self.peers[pid] = peer
+        self.messages_sent = 0
+        self.crashed: set[int] = set()
+
+    #: Consecutive rounds with no traffic and no termination before the
+    #: engine declares the run stalled (a deterministic protocol repeats
+    #: such a round forever; randomized ones get a few retries).
+    STALL_LIMIT = 3
+
+    def run(self, max_rounds: int = MAX_ROUNDS) -> SyncRunResult:
+        inboxes: dict[int, list[Message]] = {pid: []
+                                             for pid in range(self.config.n)}
+        rounds = 0
+        quiet_rounds = 0
+        for round_no in range(1, max_rounds + 1):
+            self.crashed |= self.adversary.crashed_before_round(
+                round_no, self.config.n)
+            live_honest = [pid for pid, peer in sorted(self.peers.items())
+                           if not peer.done and pid not in self.crashed]
+            if not live_honest:
+                break
+            rounds = round_no
+
+            # 1. Honest peers act (ascending ID; they cannot see each
+            #    other's round-r messages, so the order is cosmetic).
+            honest_traffic: dict[int, dict[int, list[Message]]] = {}
+            for pid in live_honest:
+                peer = self.peers[pid]
+                peer._outbox = {}
+                peer.round(round_no, inboxes[pid])
+                inboxes[pid] = []
+                if peer.done and peer.finished_round is None:
+                    peer.finished_round = round_no
+                outbox = self.adversary.filter_sends(pid, round_no,
+                                                     peer._outbox)
+                honest_traffic[pid] = outbox or {}
+
+            # 2. Corrupted peers rush: they see all honest round-r
+            #    traffic before committing their own.
+            byzantine_traffic = self.adversary.rush(
+                round_no, honest_traffic, self.config, self.source)
+
+            # 3. End-of-round delivery.
+            next_inboxes: dict[int, list[Message]] = {
+                pid: inboxes[pid] for pid in range(self.config.n)}
+            delivered = 0
+            for traffic in (honest_traffic, byzantine_traffic):
+                for sender, outbox in traffic.items():
+                    for destination, messages in outbox.items():
+                        next_inboxes[destination].extend(messages)
+                        delivered += len(messages)
+                        if sender not in self.corrupted:
+                            self.messages_sent += len(messages)
+            inboxes = next_inboxes
+
+            # Stall detection: a round with no traffic and no new
+            # termination repeats forever for deterministic protocols
+            # (the synchronous analogue of the async DeadlockError).
+            finished_now = any(self.peers[pid].finished_round == round_no
+                               for pid in live_honest)
+            if delivered == 0 and not finished_now:
+                quiet_rounds += 1
+                if quiet_rounds >= self.STALL_LIMIT:
+                    break
+            else:
+                quiet_rounds = 0
+
+        honest = set(self.peers) - self.crashed
+        per_peer = {pid: self.source.query_bits_by_peer.get(pid, 0)
+                    for pid in honest}
+        return SyncRunResult(
+            data=self.data,
+            outputs={pid: peer.output for pid, peer in self.peers.items()},
+            rounds=rounds,
+            honest=honest,
+            faulty=self.corrupted | self.crashed,
+            query_complexity=max(per_peer.values(), default=0),
+            total_query_bits=sum(per_peer.values()),
+            message_complexity=self.messages_sent,
+            per_peer_query_bits=per_peer,
+        )
+
+
+def run_sync_download(*, n: int, ell: int, t: int = 0, peer_factory,
+                      data: Optional[BitArray] = None,
+                      adversary: Optional[SyncAdversary] = None,
+                      seed: int = 0) -> SyncRunResult:
+    """One-call convenience mirroring :func:`repro.sim.run_download`."""
+    config = SyncConfig(n=n, t=t, ell=ell)
+    if data is None:
+        data = BitArray.random(ell, SplittableRNG(seed).split("input"))
+    engine = SyncEngine(config=config, data=data, peer_factory=peer_factory,
+                        adversary=adversary, seed=seed)
+    return engine.run()

@@ -1,0 +1,165 @@
+"""Conformance harness for Download protocol implementations.
+
+Anyone adding a protocol to the registry gets, for free, the battery
+of checks every Download protocol must pass:
+
+- **fault-free correctness** under synchrony and asynchrony;
+- **information-theoretic floor**: a correct run queries at least
+  ``ell`` total bits across honest peers (the source is the only
+  origin of truth);
+- **replay determinism**: same seed, same run;
+- **claimed-regime correctness**: crash and/or Byzantine runs at the
+  fractions the registry entry advertises;
+- **termination accounting**: every honest peer that the result calls
+  terminated actually produced an output.
+
+Use from a test::
+
+    report = check_download_conformance(get("my-protocol"),
+                                        params={"block_size": 8})
+    assert report.passed, report.failures
+
+Checks run small configurations (n<=10, ell<=256) so the battery stays
+fast enough to run for every registered protocol on every CI pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    EquivocateStrategy,
+    NullAdversary,
+    UniformRandomDelay,
+)
+from repro.protocols.registry import ProtocolEntry
+from repro.sim import run_download
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one protocol's conformance battery."""
+
+    protocol: str
+    checks_run: list[str] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def record(self, check: str, ok: bool, detail: str = "") -> None:
+        self.checks_run.append(check)
+        if not ok:
+            suffix = f": {detail}" if detail else ""
+            self.failures.append(f"{check}{suffix}")
+
+
+def _run(entry: ProtocolEntry, params: dict, **kwargs):
+    return run_download(peer_factory=entry.factory(**params), **kwargs)
+
+
+def check_download_conformance(
+        entry: ProtocolEntry, *, params: Optional[dict] = None,
+        n: int = 8, ell: int = 256, seed: int = 0,
+        special_t: Optional[int] = None) -> ConformanceReport:
+    """Run the full battery against ``entry`` and report.
+
+    ``special_t`` pins the fault budget for protocols whose budget is
+    structural (Algorithm 1's single crash) rather than a fraction.
+    """
+    params = dict(params or {})
+    report = ConformanceReport(protocol=entry.name)
+    base_t = special_t if special_t is not None else 0
+
+    # 1. fault-free, synchronous.
+    result = _run(entry, params, n=n, ell=ell, t=base_t,
+                  adversary=NullAdversary(), seed=seed)
+    report.record("fault-free synchronous correctness",
+                  result.download_correct,
+                  f"wrong peers {result.wrong_peers()}")
+
+    # 2. information-theoretic query floor.
+    report.record("total queries cover the input",
+                  result.report.total_query_bits >= ell,
+                  f"total {result.report.total_query_bits} < ell {ell}")
+
+    # 3. fault-free, asynchronous.
+    async_result = _run(entry, params, n=n, ell=ell, t=base_t,
+                        adversary=UniformRandomDelay(), seed=seed + 1)
+    report.record("fault-free asynchronous correctness",
+                  async_result.download_correct,
+                  f"wrong peers {async_result.wrong_peers()}")
+
+    # 4. replay determinism.
+    replay = _run(entry, params, n=n, ell=ell, t=base_t,
+                  adversary=UniformRandomDelay(), seed=seed + 1)
+    report.record("replay determinism",
+                  replay.outputs == async_result.outputs
+                  and replay.events_processed
+                  == async_result.events_processed)
+
+    # 5. termination accounting.
+    report.record("terminated peers hold outputs",
+                  all((result.outputs.get(pid) is not None)
+                      == result.statuses[pid].terminated
+                      for pid in result.honest))
+
+    # 6. claimed crash regime.
+    crash_fraction = min(entry.max_crash_fraction, 0.49 if special_t
+                         else entry.max_crash_fraction)
+    if special_t is not None:
+        crash_fraction = min(crash_fraction, 1.0 / n)
+    if crash_fraction > 0:
+        usable = min(crash_fraction, (n - 1) / n)
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crash_fraction=usable),
+            latency=UniformRandomDelay())
+        crash_result = _run(entry, params, n=n, ell=ell,
+                            adversary=adversary, seed=seed + 2)
+        report.record(
+            f"crash correctness at beta={usable:.2f}",
+            crash_result.download_correct,
+            f"wrong peers {crash_result.wrong_peers()}")
+
+    # 7. claimed Byzantine regime.
+    if entry.max_byzantine_fraction > 0:
+        usable = min(entry.max_byzantine_fraction, 0.49)
+        budget = int(usable * n)
+        if budget > 0:
+            adversary = ComposedAdversary(
+                faults=ByzantineAdversary(
+                    fraction=usable,
+                    strategy_factory=lambda pid: EquivocateStrategy()),
+                latency=UniformRandomDelay())
+            byz_result = _run(entry, params, n=n, ell=ell,
+                              adversary=adversary, seed=seed + 3)
+            report.record(
+                f"Byzantine correctness at beta={usable:.2f}",
+                byz_result.download_correct,
+                f"wrong peers {byz_result.wrong_peers()}")
+
+    # 8. naive ceiling: no protocol should ever beat... exceed paying
+    # more than the whole input per peer in the fault-free case.
+    report.record("fault-free Q within the naive ceiling",
+                  result.report.query_complexity <= ell,
+                  f"Q {result.report.query_complexity} > ell {ell}")
+    return report
+
+
+def conformance_parameters(name: str, ell: int = 256) -> dict:
+    """Reasonable small-scale parameters per registered protocol."""
+    if name == "byz-committee":
+        return {"block_size": max(1, ell // 32)}
+    if name == "byz-two-cycle":
+        return {"num_segments": 2, "tau": 2}
+    if name == "byz-multi-cycle":
+        return {"base_segments": 2, "tau": 2}
+    if name == "one-round":
+        return {"redundancy": 2}
+    return {}

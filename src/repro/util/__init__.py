@@ -1,0 +1,33 @@
+"""Shared utilities for the DR-model reproduction.
+
+This package is dependency-free (standard library only) and holds the
+plumbing shared by the simulator, the protocols, and the benchmarks:
+
+- :mod:`repro.util.rng` — seeded, stream-splittable randomness so every
+  simulation run is reproducible from a single integer seed.
+- :mod:`repro.util.bitarrays` — a compact bit-vector type used for the
+  source array ``X`` and for peer outputs.
+- :mod:`repro.util.chernoff` — Chernoff/Hoeffding helpers used by tests
+  that check "with high probability" claims quantitatively.
+- :mod:`repro.util.validation` — small argument-checking helpers shared
+  by public constructors.
+"""
+
+from repro.util.bitarrays import BitArray
+from repro.util.rng import SplittableRNG, derive_seed
+from repro.util.validation import (
+    check_fraction,
+    check_index,
+    check_positive,
+    check_range,
+)
+
+__all__ = [
+    "BitArray",
+    "SplittableRNG",
+    "derive_seed",
+    "check_fraction",
+    "check_index",
+    "check_positive",
+    "check_range",
+]

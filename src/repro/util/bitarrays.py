@@ -1,0 +1,147 @@
+"""A compact bit-vector used for the source array ``X`` and peer outputs.
+
+The DR model is defined over an ``ell``-bit input array.  The simulator
+handles arrays up to a few hundred thousand bits in tests and benches,
+so bits are packed into a ``bytearray`` (8 bits per byte) rather than
+stored as a Python list of ints.  The public surface mirrors the small
+subset of the ``list`` protocol the protocols actually need, plus
+segment extraction used by the randomized download protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.util.validation import check_index, check_nonnegative, check_range
+
+
+class BitArray:
+    """A fixed-length, mutable array of bits.
+
+    >>> x = BitArray.from_bits([1, 0, 1, 1])
+    >>> x[0], x[1]
+    (1, 0)
+    >>> x.segment(1, 4)
+    '011'
+    """
+
+    __slots__ = ("_length", "_bytes")
+
+    def __init__(self, length: int) -> None:
+        self._length = check_nonnegative("length", length)
+        self._bytes = bytearray((length + 7) // 8)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitArray":
+        """Build a :class:`BitArray` from an iterable of 0/1 values."""
+        bits = list(bits)
+        array = cls(len(bits))
+        for index, bit in enumerate(bits):
+            array[index] = bit
+        return array
+
+    @classmethod
+    def zeros(cls, length: int) -> "BitArray":
+        """Return an all-zero array of ``length`` bits."""
+        return cls(length)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitArray":
+        """Return an all-one array of ``length`` bits."""
+        array = cls(length)
+        array._bytes = bytearray(b"\xff" * len(array._bytes))
+        # Clear the padding bits in the last byte so equality stays exact.
+        for index in range(length, 8 * len(array._bytes)):
+            array._clear(index)
+        return array
+
+    @classmethod
+    def random(cls, length: int, rng) -> "BitArray":
+        """Return a uniformly random array drawn from ``rng``."""
+        return cls.from_bits(rng.random_bits(length))
+
+    @classmethod
+    def from_string(cls, bits: str) -> "BitArray":
+        """Build from a string of ``'0'``/``'1'`` characters."""
+        if any(ch not in "01" for ch in bits):
+            raise ValueError(f"bit string may only contain 0/1, got {bits!r}")
+        return cls.from_bits(int(ch) for ch in bits)
+
+    # -- element access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> int:
+        check_index("index", index, self._length)
+        return (self._bytes[index >> 3] >> (index & 7)) & 1
+
+    def __setitem__(self, index: int, bit: int) -> None:
+        check_index("index", index, self._length)
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        if bit:
+            self._bytes[index >> 3] |= 1 << (index & 7)
+        else:
+            self._clear(index)
+
+    def _clear(self, index: int) -> None:
+        self._bytes[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+
+    def __iter__(self) -> Iterator[int]:
+        for index in range(self._length):
+            yield self[index]
+
+    # -- segments ------------------------------------------------------------
+
+    def segment(self, lo: int, hi: int) -> str:
+        """Return the bits of ``[lo, hi)`` as a '0'/'1' string.
+
+        Strings are the wire format the randomized protocols exchange
+        for segments, so this is the canonical encoding.
+        """
+        lo, hi = check_range("segment", lo, hi, self._length)
+        return "".join("1" if self[index] else "0" for index in range(lo, hi))
+
+    def set_segment(self, lo: int, bits: str) -> None:
+        """Write a '0'/'1' string starting at index ``lo``."""
+        check_range("segment", lo, lo + len(bits), self._length)
+        for offset, ch in enumerate(bits):
+            if ch not in "01":
+                raise ValueError(f"bit string may only contain 0/1: {bits!r}")
+            self[lo + offset] = int(ch)
+
+    def to_bits(self) -> list[int]:
+        """Return the contents as a plain list of 0/1 ints."""
+        return list(self)
+
+    def count_ones(self) -> int:
+        """Return the number of set bits."""
+        return sum(byte.bit_count() for byte in self._bytes)
+
+    # -- comparison / repr -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitArray):
+            return self._length == other._length and self._bytes == other._bytes
+        if isinstance(other, Sequence):
+            return len(other) == self._length and all(
+                self[index] == other[index] for index in range(self._length))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._length, bytes(self._bytes)))
+
+    def copy(self) -> "BitArray":
+        """Return an independent copy."""
+        duplicate = BitArray(self._length)
+        duplicate._bytes = bytearray(self._bytes)
+        return duplicate
+
+    def __repr__(self) -> str:
+        if self._length <= 64:
+            return f"BitArray('{self.segment(0, self._length)}')"
+        head = self.segment(0, 32)
+        return f"BitArray('{head}...', length={self._length})"

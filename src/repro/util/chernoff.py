@@ -1,0 +1,73 @@
+"""Chernoff/Hoeffding helpers for quantitative "w.h.p." checks.
+
+The paper's randomized claims (Claim 5, Lemma 3.8) are of the form
+"every segment is picked by at least tau honest peers with probability
+``1 - n^{-c}``".  The test suite does not merely eyeball success rates:
+it computes the bound the paper's argument yields and asserts the
+*measured* failure frequency over repeated seeded runs stays within it
+(plus sampling slack).  These helpers centralize that arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def chernoff_lower_tail(mean: float, delta: float) -> float:
+    """Probability bound ``P[X <= (1 - delta) * mean]`` for sums of
+    independent 0/1 variables with expectation ``mean``.
+
+    Uses the standard multiplicative form ``exp(-delta^2 * mean / 2)``.
+    """
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError(f"delta must lie in [0, 1], got {delta}")
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    return math.exp(-delta * delta * mean / 2.0)
+
+
+def chernoff_upper_tail(mean: float, delta: float) -> float:
+    """Probability bound ``P[X >= (1 + delta) * mean]``.
+
+    Uses ``exp(-delta^2 * mean / (2 + delta))``, valid for all
+    ``delta >= 0``.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    return math.exp(-delta * delta * mean / (2.0 + delta))
+
+
+def hoeffding_two_sided(samples: int, deviation: float) -> float:
+    """Hoeffding bound ``P[|mean_hat - mean| >= deviation]`` for
+    ``samples`` i.i.d. variables in ``[0, 1]``."""
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    if deviation < 0:
+        raise ValueError(f"deviation must be non-negative, got {deviation}")
+    return 2.0 * math.exp(-2.0 * samples * deviation * deviation)
+
+
+def union_bound(per_event: float, events: int) -> float:
+    """Union bound over ``events`` events, clipped to ``1.0``."""
+    if events < 0:
+        raise ValueError(f"events must be non-negative, got {events}")
+    return min(1.0, per_event * events)
+
+
+def min_samples_for_failure_bound(failure_probability: float,
+                                  confidence: float = 0.99) -> int:
+    """Number of independent runs needed so that *zero observed
+    failures* certifies the failure probability is below
+    ``failure_probability`` with the given ``confidence``.
+
+    Solves ``(1 - p)^k <= 1 - confidence`` for ``k``.
+    """
+    if not 0.0 < failure_probability < 1.0:
+        raise ValueError(
+            f"failure_probability must lie in (0, 1), got {failure_probability}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    return math.ceil(math.log(1.0 - confidence)
+                     / math.log(1.0 - failure_probability))

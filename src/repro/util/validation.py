@@ -1,0 +1,71 @@
+"""Argument-validation helpers used throughout the public API.
+
+Every public constructor in the library validates its arguments eagerly
+and raises :class:`ValueError`/:class:`TypeError` with a message naming
+the offending parameter.  Centralizing the checks keeps the error
+messages uniform and the call sites one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_positive(name: str, value: Any) -> int:
+    """Require ``value`` to be a positive integer and return it.
+
+    Booleans are rejected even though ``bool`` subclasses ``int``:
+    passing ``True`` for a count is always a bug.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative(name: str, value: Any) -> int:
+    """Require ``value`` to be a non-negative integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: Any, *, inclusive_low: bool = True,
+                   inclusive_high: bool = True) -> float:
+    """Require ``value`` to be a fraction in ``[0, 1]`` and return it.
+
+    The bounds can be made exclusive: the fault fraction ``beta`` for
+    instance must satisfy ``0 <= beta < 1``.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok):
+        low = "[0" if inclusive_low else "(0"
+        high = "1]" if inclusive_high else "1)"
+        raise ValueError(f"{name} must lie in {low}, {high}, got {value}")
+    return value
+
+
+def check_index(name: str, value: Any, length: int) -> int:
+    """Require ``value`` to be a valid index into a sequence of ``length``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if not 0 <= value < length:
+        raise ValueError(f"{name} must lie in [0, {length}), got {value}")
+    return value
+
+
+def check_range(name: str, lo: int, hi: int, length: int) -> tuple[int, int]:
+    """Require ``[lo, hi)`` to be a valid sub-range of ``[0, length)``."""
+    if not (isinstance(lo, int) and isinstance(hi, int)):
+        raise TypeError(f"{name} bounds must be ints, got ({lo!r}, {hi!r})")
+    if not 0 <= lo <= hi <= length:
+        raise ValueError(
+            f"{name} must satisfy 0 <= lo <= hi <= {length}, got [{lo}, {hi})")
+    return lo, hi

@@ -1,0 +1,137 @@
+"""Plain-text visualizations of traced runs.
+
+Terminal-friendly renderings for debugging and for papers' "what
+actually happened" figures, built purely from
+:class:`~repro.sim.trace.TraceRecorder` records (enable with
+``Simulation(trace=True)``):
+
+- :func:`ascii_timeline` — one row per peer, virtual time rendered on
+  a character grid: sends, terminations, crashes;
+- :func:`message_matrix` — who sent how many messages to whom;
+- :func:`event_log` — the flat chronological record, filtered.
+
+Everything returns strings (print them yourself), so the functions are
+trivially testable and usable in docs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Optional
+
+from repro.sim.runner import RunResult
+
+#: Glyphs used on the timeline grid, in precedence order (later wins).
+_GLYPHS = {
+    "send": "+",
+    "deliver": ".",
+    "terminate": "#",
+    "crash": "X",
+}
+
+
+def _require_trace(result: RunResult):
+    if result.trace is None:
+        raise ValueError(
+            "result has no trace; run the simulation with trace=True")
+    return result.trace
+
+
+def ascii_timeline(result: RunResult, *, width: int = 72) -> str:
+    """Render per-peer activity on a character grid.
+
+    Columns are equal slices of virtual time; cell glyphs: ``+`` sent a
+    message, ``.`` received one, ``#`` terminated, ``X`` crashed.
+    """
+    trace = _require_trace(result)
+    horizon = max(result.elapsed_virtual_time, 1e-9)
+    peers = sorted(result.statuses)
+    grid = {pid: [" "] * width for pid in peers}
+    precedence = {glyph: rank
+                  for rank, glyph in enumerate([" ", ".", "+", "#", "X"])}
+
+    def mark(pid: int, time: float, glyph: str) -> None:
+        if pid not in grid:
+            return
+        column = min(width - 1, int(time / horizon * width))
+        current = grid[pid][column]
+        if precedence[glyph] >= precedence[current]:
+            grid[pid][column] = glyph
+
+    for record in trace.records:
+        if record.kind == "send":
+            mark(record["sender"], record.time, _GLYPHS["send"])
+        elif record.kind == "deliver":
+            mark(record["destination"], record.time, _GLYPHS["deliver"])
+        elif record.kind == "terminate":
+            mark(record["pid"], record.time, _GLYPHS["terminate"])
+        elif record.kind == "crash":
+            mark(record["pid"], record.time, _GLYPHS["crash"])
+
+    label_width = max(len(f"peer {pid}") for pid in peers)
+    lines = [f"virtual time 0 .. {horizon:.2f}  "
+             f"(+ send, . deliver, # terminate, X crash)"]
+    for pid in peers:
+        role = ("byz" if result.statuses[pid].byzantine
+                else "crash" if result.statuses[pid].crashed
+                else "ok")
+        label = f"peer {pid}".ljust(label_width)
+        lines.append(f"{label} |{''.join(grid[pid])}| {role}")
+    return "\n".join(lines)
+
+
+def message_matrix(result: RunResult,
+                   message_kind: Optional[str] = None) -> str:
+    """Sender x destination message counts as a fixed-width table."""
+    trace = _require_trace(result)
+    counts: Counter = Counter()
+    for record in trace.select("send"):
+        if message_kind is not None and record["message"] != message_kind:
+            continue
+        counts[(record["sender"], record["destination"])] += 1
+    peers = sorted(result.statuses)
+    cell = max(3, len(str(max(counts.values(), default=0))))
+    header = "to:".rjust(6) + "".join(str(pid).rjust(cell + 1)
+                                      for pid in peers)
+    lines = [header]
+    for sender in peers:
+        row = f"from {sender}".rjust(6)
+        for destination in peers:
+            value = counts.get((sender, destination), 0)
+            row += (str(value) if value else "-").rjust(cell + 1)
+        lines.append(row)
+    if message_kind is not None:
+        lines.insert(0, f"[{message_kind} only]")
+    return "\n".join(lines)
+
+
+def event_log(result: RunResult, *, kinds: Optional[set[str]] = None,
+              limit: int = 50) -> str:
+    """The chronological trace as readable lines (newest truncated)."""
+    trace = _require_trace(result)
+    lines = []
+    for record in trace.records:
+        if kinds is not None and record.kind not in kinds:
+            continue
+        details = " ".join(f"{key}={value}"
+                           for key, value in record.details.items())
+        lines.append(f"t={record.time:8.3f}  {record.kind:<9} {details}")
+        if len(lines) >= limit:
+            lines.append(f"... ({len(trace.records)} records total)")
+            break
+    return "\n".join(lines)
+
+
+def query_histogram(result: RunResult, *, width: int = 50) -> str:
+    """Horizontal bar chart of per-peer query bits (honest peers)."""
+    loads = {pid: result.report.per_peer_query_bits.get(pid, 0)
+             for pid in sorted(result.honest)}
+    peak = max(loads.values(), default=0)
+    lines = [f"per-peer query bits (max {peak})"]
+    for pid, load in loads.items():
+        bar = "#" * (0 if peak == 0
+                     else max(1 if load else 0,
+                              math.ceil(load / peak * width)))
+        lines.append(f"peer {pid:>3} {str(load).rjust(len(str(peak)))} {bar}")
+    return "\n".join(lines)

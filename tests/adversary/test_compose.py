@@ -1,0 +1,66 @@
+"""Unit tests for ComposedAdversary delegation."""
+
+from repro.adversary import (
+    ComposedAdversary,
+    CrashAdversary,
+    CrashAtTime,
+    TargetedSlowdown,
+    UniformRandomDelay,
+)
+from repro.protocols import CrashMultiDownloadPeer, NaiveDownloadPeer
+from repro.sim import run_download
+
+
+class TestDelegation:
+    def build(self):
+        faults = CrashAdversary(crashes={1: CrashAtTime(0.25)})
+        latency = TargetedSlowdown({0})
+        return ComposedAdversary(faults=faults, latency=latency), \
+            faults, latency
+
+    def test_fault_plan_from_fault_part(self):
+        composed, faults, _ = self.build()
+        assert composed.fault_budget(8) == faults.fault_budget(8)
+
+    def test_run_applies_both_powers(self):
+        composed, faults, latency = self.build()
+        result = run_download(n=6, ell=256,
+                              peer_factory=CrashMultiDownloadPeer.factory(),
+                              adversary=composed, seed=2)
+        assert result.download_correct
+        assert result.faulty == {1}
+        # Slow peer 0 still terminated, just later than the rest.
+        times = {pid: status.termination_time
+                 for pid, status in result.statuses.items()
+                 if status.terminated}
+        assert times[0] >= min(times.values())
+
+    def test_both_parts_bound_to_env(self):
+        composed, faults, latency = self.build()
+        run_download(n=4, ell=16, peer_factory=NaiveDownloadPeer.factory(),
+                     adversary=composed, seed=1)
+        assert faults.env is not None
+        assert latency.env is not None
+
+    def test_latencies_from_latency_part(self):
+        composed, _, latency = self.build()
+        run_download(n=4, ell=16, peer_factory=NaiveDownloadPeer.factory(),
+                     adversary=composed, seed=1)
+        from repro.sim.messages import Message
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Probe(Message):
+            pass
+
+        slow = composed.message_latency(0, 1, Probe(sender=0), 0.0, 1)
+        assert slow > 0.9  # TargetedSlowdown slows sender 0
+
+    def test_actually_faulty_tracks_real_crashes(self):
+        composed = ComposedAdversary(
+            faults=CrashAdversary(crashes={2: CrashAtTime(10_000.0)}),
+            latency=UniformRandomDelay())
+        result = run_download(n=4, ell=16,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              adversary=composed, seed=1)
+        assert result.faulty == set()

@@ -1,0 +1,141 @@
+"""Unit tests for latency adversaries (determinism, bounds, cycle
+independence)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.adversary.latency import (
+    BurstyDelay,
+    StaggeredStart,
+    TargetedSlowdown,
+    UniformRandomDelay,
+)
+from repro.sim.messages import Message
+from repro.sim.peer import SimEnv
+from repro.util.rng import SplittableRNG
+
+
+@dataclass(frozen=True)
+class Dummy(Message):
+    payload: str
+
+
+def bind(adversary, seed=7, n=8):
+    env = SimEnv(kernel=None, network=None, source=None, metrics=None,
+                 adversary=adversary, n=n, t=0, ell=16,
+                 rng=SplittableRNG(seed))
+    adversary.bind(env)
+    return adversary
+
+
+class TestUniformRandomDelay:
+    def test_latencies_within_bounds(self):
+        adversary = bind(UniformRandomDelay(min_delay=0.1, max_delay=2.0))
+        for k in range(50):
+            latency = adversary.message_latency(
+                0, 1, Dummy(sender=0, payload="x"), 0.0, 1)
+            assert 0.1 <= latency <= 2.0
+
+    def test_repeat_messages_get_fresh_latencies(self):
+        adversary = bind(UniformRandomDelay())
+        first = adversary.message_latency(0, 1, Dummy(sender=0, payload="x"),
+                                          0.0, 1)
+        second = adversary.message_latency(0, 1, Dummy(sender=0, payload="x"),
+                                           0.0, 1)
+        assert first != second
+
+    def test_content_independent(self):
+        # Cycle restriction: the latency may not depend on the message
+        # content (which could encode coin flips).
+        a = bind(UniformRandomDelay())
+        b = bind(UniformRandomDelay())
+        first = a.message_latency(0, 1, Dummy(sender=0, payload="HEADS"),
+                                  0.0, 1)
+        second = b.message_latency(0, 1, Dummy(sender=0, payload="TAILS"),
+                                   0.0, 1)
+        assert first == second
+
+    def test_seed_deterministic(self):
+        a = bind(UniformRandomDelay(), seed=3)
+        b = bind(UniformRandomDelay(), seed=3)
+        sequence_a = [a.message_latency(0, 1, Dummy(sender=0, payload=""),
+                                        0.0, 1) for _ in range(5)]
+        sequence_b = [b.message_latency(0, 1, Dummy(sender=0, payload=""),
+                                        0.0, 1) for _ in range(5)]
+        assert sequence_a == sequence_b
+
+    def test_order_independence_across_edges(self):
+        a = bind(UniformRandomDelay(), seed=3)
+        b = bind(UniformRandomDelay(), seed=3)
+        message = Dummy(sender=0, payload="")
+        # a samples edge (0,1) first; b samples (2,3) first.
+        a01 = a.message_latency(0, 1, message, 0.0, 1)
+        a.message_latency(2, 3, message, 0.0, 1)
+        b.message_latency(2, 3, message, 0.0, 1)
+        b01 = b.message_latency(0, 1, message, 0.0, 1)
+        assert a01 == b01
+
+    def test_query_latency_bounded(self):
+        adversary = bind(UniformRandomDelay(min_delay=0.2, max_delay=0.9))
+        assert 0.2 <= adversary.query_latency(0, 0.0) <= 0.9
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformRandomDelay(min_delay=0.0)
+        with pytest.raises(ValueError):
+            UniformRandomDelay(min_delay=2.0, max_delay=1.0)
+
+
+class TestTargetedSlowdown:
+    def test_slow_peers_always_slower(self):
+        adversary = bind(TargetedSlowdown({0}, fast_delay=0.05,
+                                          slow_delay=1.0))
+        message = Dummy(sender=0, payload="")
+        slow = adversary.message_latency(0, 1, message, 0.0, 1)
+        fast = adversary.message_latency(1, 0, message, 0.0, 1)
+        assert slow > 0.9 and fast <= 0.05
+
+    def test_slow_queries_too(self):
+        adversary = bind(TargetedSlowdown({2}))
+        assert adversary.query_latency(2, 0.0) > adversary.query_latency(
+            3, 0.0)
+
+
+class TestBurstyDelay:
+    def test_stalls_hit_max_delay(self):
+        adversary = bind(BurstyDelay(stall_fraction=1.0, max_delay=3.0,
+                                     min_delay=0.1))
+        latency = adversary.message_latency(0, 1, Dummy(sender=0, payload=""),
+                                            0.0, 1)
+        assert latency == 3.0
+
+    def test_zero_stall_fraction_never_stalls(self):
+        adversary = bind(BurstyDelay(stall_fraction=0.0, max_delay=3.0))
+        for _ in range(20):
+            latency = adversary.message_latency(
+                0, 1, Dummy(sender=0, payload=""), 0.0, 1)
+            assert latency < 3.0
+
+    def test_mixture_for_intermediate_fraction(self):
+        adversary = bind(BurstyDelay(stall_fraction=0.5, max_delay=2.0))
+        latencies = [adversary.message_latency(
+            0, 1, Dummy(sender=0, payload=""), 0.0, 1) for _ in range(60)]
+        stalled = sum(1 for latency in latencies if latency == 2.0)
+        assert 10 < stalled < 50
+
+
+class TestStaggeredStart:
+    def test_starts_within_spread(self):
+        adversary = bind(StaggeredStart(spread=5.0))
+        starts = [adversary.start_time(pid) for pid in range(8)]
+        assert all(0 <= start <= 5.0 for start in starts)
+        assert len(set(starts)) > 1
+
+    def test_zero_spread_all_zero(self):
+        adversary = bind(StaggeredStart(spread=0.0))
+        assert all(adversary.start_time(pid) == 0.0 for pid in range(4))
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            StaggeredStart(spread=-1.0)

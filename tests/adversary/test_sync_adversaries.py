@@ -1,0 +1,95 @@
+"""Unit tests for the synchronous adversaries' mechanics."""
+
+import pytest
+
+from repro.protocols.byz_committee import CommitteeReport
+from repro.sync import (
+    RoundCrashAdversary,
+    RushingEchoAdversary,
+    SilentSyncAdversary,
+    SyncConfig,
+    fraction_corrupted,
+)
+
+
+class TestFractionCorrupted:
+    def test_size_and_range(self):
+        corrupted = fraction_corrupted(20, 0.25, seed=1)
+        assert len(corrupted) == 5
+        assert all(0 <= pid < 20 for pid in corrupted)
+
+    def test_seed_deterministic(self):
+        assert fraction_corrupted(20, 0.25, seed=1) == \
+            fraction_corrupted(20, 0.25, seed=1)
+
+    def test_seed_sensitive(self):
+        draws = {frozenset(fraction_corrupted(30, 0.3, seed=seed))
+                 for seed in range(5)}
+        assert len(draws) > 1
+
+    def test_rejects_full_fraction(self):
+        with pytest.raises(ValueError):
+            fraction_corrupted(10, 1.0)
+
+
+class TestRushingEcho:
+    def make_traffic(self):
+        report = CommitteeReport(sender=3, block=0, string="0011")
+        return {3: {0: [report], 1: [report]}}
+
+    def test_fakes_cloned_from_busiest_honest_sender(self):
+        adversary = RushingEchoAdversary(corrupted={7}, seed=1)
+        config = SyncConfig(n=8, t=1, ell=4)
+        traffic = adversary.rush(2, self.make_traffic(), config, None)
+        assert set(traffic) == {7}
+        fakes = traffic[7][0]
+        assert fakes[0].sender == 7          # re-attributed
+        assert fakes[0].string == "1100"     # bit payload flipped
+        assert fakes[0].block == 0           # structure preserved
+
+    def test_quiet_round_produces_no_fakes(self):
+        adversary = RushingEchoAdversary(corrupted={7}, seed=1)
+        config = SyncConfig(n=8, t=1, ell=4)
+        assert adversary.rush(2, {3: {}}, config, None) == {}
+        assert adversary.rush(2, {}, config, None) == {}
+
+    def test_every_corrupted_peer_speaks(self):
+        adversary = RushingEchoAdversary(corrupted={5, 6, 7}, seed=1)
+        config = SyncConfig(n=8, t=3, ell=4)
+        traffic = adversary.rush(1, self.make_traffic(), config, None)
+        assert set(traffic) == {5, 6, 7}
+
+
+class TestRoundCrash:
+    def test_dead_from_the_round_after(self):
+        adversary = RoundCrashAdversary({2: (3, None)})
+        assert adversary.crashed_before_round(3, 8) == set()
+        assert adversary.crashed_before_round(4, 8) == {2}
+
+    def test_filter_keeps_prefix_in_final_round(self):
+        adversary = RoundCrashAdversary({2: (1, 2)})
+        outbox = {0: ["a"], 1: ["b"], 3: ["c"]}
+        kept = adversary.filter_sends(2, 1, outbox)
+        assert set(kept) == {0, 1}  # first two destinations, ascending
+
+    def test_filter_passes_other_peers_untouched(self):
+        adversary = RoundCrashAdversary({2: (1, 0)})
+        outbox = {0: ["a"]}
+        assert adversary.filter_sends(5, 1, outbox) is outbox
+
+    def test_filter_before_crash_round_is_identity(self):
+        adversary = RoundCrashAdversary({2: (3, 1)})
+        outbox = {0: ["a"], 1: ["b"]}
+        assert adversary.filter_sends(2, 2, outbox) is outbox
+
+    def test_filter_after_crash_round_drops_everything(self):
+        adversary = RoundCrashAdversary({2: (1, None)})
+        assert adversary.filter_sends(2, 2, {0: ["a"]}) == {}
+
+
+class TestSilent:
+    def test_silent_corrupted_never_rush(self):
+        adversary = SilentSyncAdversary(corrupted={1, 2})
+        config = SyncConfig(n=4, t=2, ell=4)
+        assert adversary.corrupted(4) == {1, 2}
+        assert adversary.rush(1, {0: {3: ["m"]}}, config, None) == {}

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    UniformRandomDelay,
+)
+from repro.sim import run_download
+from repro.util.rng import SplittableRNG
+
+
+@pytest.fixture
+def rng() -> SplittableRNG:
+    """A fresh seeded RNG per test."""
+    return SplittableRNG(20250706)
+
+
+def crash_async_adversary(fraction: float, *, mode: str = "mid_broadcast"):
+    """Crash + asynchronous-delay adversary used across protocol tests."""
+    return ComposedAdversary(
+        faults=CrashAdversary(crash_fraction=fraction, mode=mode),
+        latency=UniformRandomDelay())
+
+
+def byzantine_async_adversary(fraction: float, strategy_factory):
+    """Byzantine + asynchronous-delay adversary."""
+    return ComposedAdversary(
+        faults=ByzantineAdversary(fraction=fraction,
+                                  strategy_factory=strategy_factory),
+        latency=UniformRandomDelay())
+
+
+def assert_download_correct(result, context: str = "") -> None:
+    """Fail with a readable message naming the wrong peers."""
+    if not result.download_correct:
+        wrong = result.wrong_peers()
+        raise AssertionError(
+            f"download failed{' (' + context + ')' if context else ''}: "
+            f"wrong/unterminated honest peers {wrong}; "
+            f"faulty set {sorted(result.faulty)}")
+
+
+__all__ = [
+    "assert_download_correct",
+    "byzantine_async_adversary",
+    "crash_async_adversary",
+    "run_download",
+]

@@ -1,0 +1,74 @@
+"""Unit tests for the executable complexity bounds."""
+
+import pytest
+
+from repro.core import bounds
+
+
+class TestCrashBounds:
+    def test_ideal(self):
+        assert bounds.ideal_query_bound(1000, 10) == 100
+
+    def test_crash_optimal(self):
+        assert bounds.crash_optimal_query_bound(1000, 10, 5) == 200
+
+    def test_crash_optimal_rejects_t_at_n(self):
+        with pytest.raises(ValueError):
+            bounds.crash_optimal_query_bound(10, 4, 4)
+
+    def test_crash_multi_adds_residue(self):
+        assert bounds.crash_multi_query_bound(1000, 10, 5) == 200 + 10
+
+    def test_phase_bound_t_zero(self):
+        assert bounds.crash_multi_phase_bound(1000, 10, 0) == 1
+
+    def test_phase_bound_small_input(self):
+        assert bounds.crash_multi_phase_bound(8, 10, 5) == 1
+
+    def test_phase_bound_grows_with_t(self):
+        few = bounds.crash_multi_phase_bound(10 ** 6, 100, 10)
+        many = bounds.crash_multi_phase_bound(10 ** 6, 100, 90)
+        assert many > few
+
+
+class TestByzantineBounds:
+    def test_committee(self):
+        assert bounds.committee_query_bound(1000, 10, 2) == 500
+
+    def test_committee_rejects_majority(self):
+        with pytest.raises(ValueError):
+            bounds.committee_query_bound(1000, 10, 5)
+
+    def test_majority_lower_bounds(self):
+        assert bounds.byzantine_majority_lower_bound(1000) == 500
+        assert bounds.deterministic_majority_lower_bound(1000) == 1000
+
+    def test_naive(self):
+        assert bounds.naive_query_bound(123) == 123
+
+    def test_two_cycle_combines_segment_and_trees(self):
+        value = bounds.two_cycle_query_bound(1024, 64, 8, tau=4,
+                                             num_segments=4)
+        assert value == 256 + 16
+
+    def test_multi_cycle_positive(self):
+        assert bounds.multi_cycle_query_bound(1024, 64, 8, tau=4,
+                                              base_segments=8) > 0
+
+
+class TestOracleBounds:
+    def test_baseline_total(self):
+        assert bounds.odc_baseline_total_queries(10, 5, 100, 16) == \
+            10 * 5 * 100 * 16
+
+    def test_download_scales_inverse_in_nodes(self):
+        small = bounds.odc_download_total_queries(10, 5, 100, 16, t=1)
+        big = bounds.odc_download_total_queries(100, 5, 100, 16, t=1)
+        # Per-source cost shared over more nodes: total roughly flat,
+        # per-node cost shrinks; totals stay within 2x here.
+        assert big < small * 2
+
+    def test_download_beats_baseline_for_moderate_t(self):
+        baseline = bounds.odc_baseline_total_queries(20, 5, 100, 16)
+        download = bounds.odc_download_total_queries(20, 5, 100, 16, t=4)
+        assert download < baseline

@@ -1,0 +1,140 @@
+"""Unit tests for Protocol 3 (decision trees)."""
+
+import pytest
+
+from repro.core.decision_tree import (
+    Inner,
+    Leaf,
+    build_tree,
+    contains,
+    depth,
+    determine,
+    first_separating_index,
+    internal_count,
+    leaves,
+)
+
+
+def oracle_for(truth: str):
+    """query_bit implementation backed by ``truth``, counting calls."""
+    calls = []
+
+    def query_bit(index):
+        calls.append(index)
+        return int(truth[index])
+
+    return query_bit, calls
+
+
+class TestFirstSeparatingIndex:
+    def test_finds_first_difference(self):
+        assert first_separating_index("0010", "0110") == 1
+
+    def test_identical_raises(self):
+        with pytest.raises(ValueError, match="identical"):
+            first_separating_index("01", "01")
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            first_separating_index("0", "01")
+
+
+class TestBuildTree:
+    def test_single_string_is_leaf(self):
+        tree = build_tree(["1010"])
+        assert isinstance(tree, Leaf)
+        assert tree.string == "1010"
+
+    def test_two_strings_one_inner_node(self):
+        tree = build_tree(["00", "01"])
+        assert isinstance(tree, Inner)
+        assert tree.index == 1
+        assert {tree.zero.string, tree.one.string} == {"00", "01"}
+
+    def test_duplicates_collapsed(self):
+        tree = build_tree(["11", "11", "11"])
+        assert isinstance(tree, Leaf)
+
+    def test_internal_count_is_candidates_minus_one(self):
+        candidates = ["000", "001", "010", "100", "111"]
+        tree = build_tree(candidates)
+        assert internal_count(tree) == len(candidates) - 1
+
+    def test_leaves_are_exactly_the_candidates(self):
+        candidates = {"0011", "0101", "1100", "1111"}
+        assert set(leaves(build_tree(candidates))) == candidates
+
+    def test_branch_bits_partition_candidates(self):
+        tree = build_tree(["000", "011", "101"])
+        assert all(string[tree.index] == "0" for string in leaves(tree.zero))
+        assert all(string[tree.index] == "1" for string in leaves(tree.one))
+
+    def test_deterministic_construction(self):
+        a = build_tree(["01", "10", "11"])
+        b = build_tree(["11", "01", "10"])
+        assert a == b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no candidates"):
+            build_tree([])
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError, match="mixed lengths"):
+            build_tree(["0", "01"])
+
+
+class TestDetermine:
+    def test_returns_true_string_when_present(self):
+        truth = "0110"
+        candidates = ["0110", "0000", "1111", "0100"]
+        query_bit, calls = oracle_for(truth)
+        resolved, spent = determine(build_tree(candidates), query_bit)
+        assert resolved == truth
+        assert spent == len(calls)
+
+    def test_cost_at_most_candidates_minus_one(self):
+        truth = "10101010"
+        candidates = {truth, "00000000", "11111111", "10100000", "00001010"}
+        query_bit, calls = oracle_for(truth)
+        _, spent = determine(build_tree(candidates), query_bit)
+        assert spent <= len(candidates) - 1
+
+    def test_leaf_needs_no_queries(self):
+        query_bit, calls = oracle_for("111")
+        resolved, spent = determine(Leaf("111"), query_bit)
+        assert resolved == "111" and spent == 0 and calls == []
+
+    def test_consistent_leaf_when_truth_absent(self):
+        # With the true string missing, the walk still ends at a leaf
+        # that agrees with every queried separating index.
+        truth = "0110"
+        candidates = ["0000", "1111"]
+        query_bit, calls = oracle_for(truth)
+        resolved, _ = determine(build_tree(candidates), query_bit)
+        for index in calls:
+            assert resolved[index] == truth[index]
+
+    def test_invalid_oracle_value_rejected(self):
+        tree = build_tree(["0", "1"])
+        with pytest.raises(ValueError, match="expected 0 or 1"):
+            determine(tree, lambda index: 2)
+
+    def test_every_candidate_reachable(self):
+        candidates = ["000", "001", "010", "011", "100"]
+        tree = build_tree(candidates)
+        for truth in candidates:
+            query_bit, _ = oracle_for(truth)
+            resolved, _ = determine(tree, query_bit)
+            assert resolved == truth
+
+
+class TestShapeHelpers:
+    def test_depth_bounds(self):
+        candidates = ["00", "01", "10", "11"]
+        tree = build_tree(candidates)
+        assert 1 <= depth(tree) <= len(candidates) - 1
+
+    def test_contains(self):
+        tree = build_tree(["01", "10"])
+        assert contains(tree, "01")
+        assert not contains(tree, "11")

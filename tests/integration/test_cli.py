@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_every_protocol(self):
+        code, output = run_cli("list")
+        assert code == 0
+        for name in ("naive", "crash-multi", "byz-committee",
+                     "byz-two-cycle"):
+            assert name in output
+
+
+class TestRun:
+    def test_fault_free_run(self):
+        code, output = run_cli("run", "--protocol", "balanced",
+                               "--n", "4", "--ell", "64")
+        assert code == 0
+        assert "correct    : True" in output
+        assert "Q=16" in output
+
+    def test_crash_run(self):
+        code, output = run_cli("run", "--protocol", "crash-multi",
+                               "--n", "8", "--ell", "200",
+                               "--fault-model", "crash", "--beta", "0.5",
+                               "--seed", "3")
+        assert code == 0
+        assert "correct    : True" in output
+
+    def test_byzantine_run_with_strategy(self):
+        code, output = run_cli("run", "--protocol", "byz-committee",
+                               "--n", "9", "--ell", "90",
+                               "--block-size", "9",
+                               "--fault-model", "byzantine",
+                               "--beta", "0.3", "--strategy", "equivocate")
+        assert code == 0
+        assert "correct    : True" in output
+
+    def test_dynamic_run(self):
+        code, output = run_cli("run", "--protocol", "byz-committee",
+                               "--n", "9", "--ell", "90",
+                               "--block-size", "9",
+                               "--fault-model", "dynamic", "--beta", "0.2")
+        assert code == 0
+        assert "correct    : True" in output
+
+    def test_synchronous_flag(self):
+        code, output = run_cli("run", "--protocol", "naive",
+                               "--n", "3", "--ell", "30", "--synchronous")
+        assert code == 0
+        assert "Q=30" in output
+
+    def test_randomized_protocol_parameters(self):
+        code, output = run_cli("run", "--protocol", "byz-two-cycle",
+                               "--n", "30", "--ell", "600",
+                               "--segments", "3", "--tau", "2")
+        assert code == 0
+        assert "correct    : True" in output
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            run_cli("run", "--protocol", "definitely-not-real")
+
+
+class TestLowerBound:
+    def test_lower_bound_command(self):
+        code, output = run_cli("lower-bound", "--n", "10", "--ell", "100")
+        assert code == 0
+        assert "victim fooled  : True" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "naive",
+                                       "--strategy", "nope"])
+
+
+class TestSweep:
+    def test_sweep_prints_table(self):
+        code, output = run_cli("sweep", "--protocol", "crash-multi",
+                               "--n", "8", "--ell", "200",
+                               "--fault-model", "crash", "--beta", "0.5",
+                               "--repeats", "1",
+                               "--axis", "beta", "--values", "0.25,0.5")
+        assert code == 0
+        assert "mean Q" in output
+        assert "0.25" in output and "0.5" in output
+
+    def test_sweep_persists_json_and_markdown(self, tmp_path):
+        json_path = tmp_path / "out.json"
+        md_path = tmp_path / "report.md"
+        code, output = run_cli(
+            "sweep", "--protocol", "balanced", "--n", "4", "--ell", "64",
+            "--repeats", "1", "--axis", "n", "--values", "4,8",
+            "--json-out", str(json_path), "--markdown-out", str(md_path))
+        assert code == 0
+        from repro.persistence import load_outcomes
+        outcomes = load_outcomes(json_path)
+        assert [outcome.spec.n for outcome in outcomes] == [4, 8]
+        report = md_path.read_text()
+        assert report.startswith("# Experiment report")
+        assert "balanced n sweep" in report
+
+    def test_sweep_rejects_unknown_axis(self):
+        with pytest.raises(ValueError):
+            run_cli("sweep", "--protocol", "naive", "--axis", "flavor",
+                    "--values", "1")
+
+    def test_sweep_rejects_empty_values(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_cli("sweep", "--protocol", "naive", "--axis", "n",
+                    "--values", " ")

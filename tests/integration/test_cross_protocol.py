@@ -1,0 +1,108 @@
+"""Cross-protocol integration: every registered protocol against the
+fault setups it claims to support, on the same inputs."""
+
+import pytest
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    UniformRandomDelay,
+    WrongBitsStrategy,
+)
+from repro.protocols import all_protocols, get, protocols_for
+from repro.sim import run_download
+
+FACTORY_PARAMS = {
+    "byz-committee": {"block_size": 8},
+    "byz-two-cycle": {},  # auto parameters
+    "byz-multi-cycle": {},
+}
+
+
+def factory_for(entry):
+    return entry.factory(**FACTORY_PARAMS.get(entry.name, {}))
+
+
+class TestFaultFreeMatrix:
+    @pytest.mark.parametrize("name", [entry.name
+                                      for entry in all_protocols()])
+    def test_every_protocol_fault_free(self, name):
+        entry = get(name)
+        result = run_download(n=8, ell=256, t=1 if name == "crash-one" else 0,
+                              peer_factory=factory_for(entry), seed=3)
+        assert result.download_correct, name
+
+    @pytest.mark.parametrize("name", [entry.name
+                                      for entry in all_protocols()])
+    def test_every_protocol_under_pure_asynchrony(self, name):
+        entry = get(name)
+        result = run_download(n=8, ell=256, t=1 if name == "crash-one" else 0,
+                              peer_factory=factory_for(entry),
+                              adversary=UniformRandomDelay(), seed=4)
+        assert result.download_correct, name
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("beta", [0.2, 0.45])
+    def test_all_crash_capable_protocols(self, beta):
+        adversary_factory = lambda: ComposedAdversary(  # noqa: E731
+            faults=CrashAdversary(crash_fraction=beta),
+            latency=UniformRandomDelay())
+        for entry in protocols_for(fault_model="crash", beta=beta):
+            if entry.name == "crash-one":
+                continue  # its budget is a single crash, not a fraction
+            result = run_download(n=10, ell=400,
+                                  peer_factory=factory_for(entry),
+                                  adversary=adversary_factory(), seed=5)
+            assert result.download_correct, entry.name
+
+
+class TestByzantineMatrix:
+    def test_all_minority_byzantine_protocols(self):
+        for entry in protocols_for(fault_model="byzantine", beta=0.24):
+            adversary = ComposedAdversary(
+                faults=ByzantineAdversary(
+                    fraction=0.24,
+                    strategy_factory=lambda pid: WrongBitsStrategy()),
+                latency=UniformRandomDelay())
+            # Randomized protocols get safe explicit parameters at this
+            # small scale.
+            params = dict(FACTORY_PARAMS.get(entry.name, {}))
+            if entry.name in ("byz-two-cycle",):
+                params = {"num_segments": 2, "tau": 2}
+            if entry.name == "byz-multi-cycle":
+                params = {"base_segments": 2, "tau": 2}
+            result = run_download(n=25, ell=500,
+                                  peer_factory=entry.factory(**params),
+                                  adversary=adversary, seed=6)
+            assert result.download_correct, entry.name
+
+
+class TestQueryComplexityOrdering:
+    def test_protocol_costs_ranked_as_theory_predicts(self):
+        # Fault-free, same input: balanced <= crash-multi << committee
+        # << naive.
+        n, ell = 10, 1000
+
+        def q_of(name, **params):
+            entry = get(name)
+            return run_download(n=n, ell=ell, t=2,
+                                peer_factory=entry.factory(**params),
+                                seed=7).report.query_complexity
+
+        balanced = q_of("balanced")
+        committee = q_of("byz-committee", block_size=10)
+        naive = q_of("naive")
+        assert balanced <= committee < naive
+
+    def test_shared_input_same_output_across_protocols(self):
+        from repro.util.bitarrays import BitArray
+        from repro.util.rng import SplittableRNG
+        data = BitArray.random(300, SplittableRNG(99))
+        outputs = []
+        for name in ("naive", "balanced", "crash-multi"):
+            result = run_download(n=6, ell=None, data=data.copy(), t=0,
+                                  peer_factory=get(name).factory(), seed=8)
+            outputs.append(result.outputs[0])
+        assert outputs[0] == outputs[1] == outputs[2] == data

@@ -1,0 +1,110 @@
+"""Tests for the declarative experiment layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    outcomes_table,
+    run_experiment,
+    sweep_experiment,
+)
+
+
+def spec(**overrides):
+    base = dict(protocol="crash-multi", n=8, ell=256,
+                fault_model="crash", beta=0.5, repeats=2)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSpecValidation:
+    def test_valid_spec_builds(self):
+        assert spec().t == 4
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            spec(protocol="nonexistent")
+
+    def test_unknown_fault_model_rejected(self):
+        with pytest.raises(ValueError, match="fault_model"):
+            spec(fault_model="cosmic")
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ValueError, match="network"):
+            spec(network="carrier-pigeon")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            spec(strategy="lie-sometimes")
+
+    def test_faulty_model_needs_beta(self):
+        with pytest.raises(ValueError, match="beta"):
+            spec(beta=0.0)
+
+    def test_seed_is_stable_and_spec_sensitive(self):
+        first = spec()
+        assert first.seed_for(0) == spec().seed_for(0)
+        assert first.seed_for(0) != first.seed_for(1)
+        assert first.seed_for(0) != spec(ell=512).seed_for(0)
+
+
+class TestRunExperiment:
+    def test_runs_and_aggregates(self):
+        outcome = run_experiment(spec())
+        assert outcome.runs == 2
+        assert outcome.success_rate == 1.0
+        assert outcome.mean_query_complexity > 0
+        assert outcome.max_query_complexity >= \
+            outcome.mean_query_complexity
+
+    def test_fault_free_spec(self):
+        outcome = run_experiment(
+            spec(fault_model="none", beta=0.0, protocol="balanced"))
+        assert outcome.success_rate == 1.0
+        assert outcome.mean_query_complexity == 256 / 8
+
+    def test_byzantine_spec(self):
+        outcome = run_experiment(ExperimentSpec(
+            protocol="byz-committee", n=9, ell=90,
+            protocol_params={"block_size": 9},
+            fault_model="byzantine", beta=0.3, strategy="equivocate",
+            repeats=2))
+        assert outcome.success_rate == 1.0
+
+    def test_dynamic_spec(self):
+        outcome = run_experiment(ExperimentSpec(
+            protocol="byz-committee", n=9, ell=90,
+            protocol_params={"block_size": 9},
+            fault_model="dynamic", beta=0.2, repeats=2))
+        assert outcome.success_rate == 1.0
+
+    def test_synchronous_network(self):
+        outcome = run_experiment(
+            spec(network="synchronous", fault_model="none", beta=0.0))
+        assert outcome.success_rate == 1.0
+
+    def test_deterministic_replay(self):
+        assert run_experiment(spec()) == run_experiment(spec())
+
+
+class TestSweep:
+    def test_beta_sweep_covers_requested_points(self):
+        outcomes = sweep_experiment(spec(repeats=1), axis="beta",
+                                    values=[0.25, 0.75])
+        assert [outcome.spec.beta for outcome in outcomes] == [0.25, 0.75]
+        assert all(outcome.success_rate == 1.0 for outcome in outcomes)
+        # (Per-seed Q is not monotone in beta at tiny scales — the
+        # monotone shape claim lives in benchmark E3 at proper scale.)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="axis"):
+            sweep_experiment(spec(), axis="flavor", values=[1])
+
+    def test_table_renders(self):
+        outcomes = sweep_experiment(spec(repeats=1), axis="n",
+                                    values=[4, 8])
+        table = outcomes_table(outcomes, axis="n")
+        assert "mean Q" in table
+        assert "4" in table and "8" in table

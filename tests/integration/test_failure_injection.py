@@ -1,0 +1,157 @@
+"""Failure-injection integration: hostile combinations aimed at the
+protocols' weak points."""
+
+import pytest
+
+from repro.adversary import (
+    BurstyDelay,
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    CrashAfterSends,
+    CrashAtTime,
+    EquivocateStrategy,
+    SilentStrategy,
+    StaggeredStart,
+    TargetedSlowdown,
+    UniformRandomDelay,
+)
+from repro.protocols import (
+    ByzCommitteeDownloadPeer,
+    CrashMultiDownloadPeer,
+    CrashMultiFastDownloadPeer,
+    CrashOneDownloadPeer,
+)
+from repro.sim import run_download
+
+from tests.conftest import assert_download_correct
+
+
+class TestCrashTimingSweep:
+    """Crashes at every interesting moment of Algorithm 2's schedule."""
+
+    @pytest.mark.parametrize("send_budget", [0, 1, 5, 9, 15, 30, 60])
+    def test_crash_at_every_send_budget(self, send_budget):
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes={3: CrashAfterSends(send_budget)}),
+            latency=UniformRandomDelay())
+        result = run_download(n=8, ell=512,
+                              peer_factory=CrashMultiDownloadPeer.factory(),
+                              adversary=adversary, seed=1)
+        assert_download_correct(result, f"send_budget={send_budget}")
+
+    @pytest.mark.parametrize("when", [0.0, 0.3, 1.0, 2.5, 5.0, 9.0])
+    def test_crash_at_every_time(self, when):
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes={5: CrashAtTime(when)}),
+            latency=UniformRandomDelay())
+        result = run_download(n=8, ell=512,
+                              peer_factory=CrashMultiDownloadPeer.factory(),
+                              adversary=adversary, seed=2)
+        assert_download_correct(result, f"time={when}")
+
+    def test_cascading_crashes(self):
+        # Peers die one by one as the protocol progresses.
+        crashes = {pid: CrashAtTime(float(pid)) for pid in range(1, 5)}
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes=crashes),
+            latency=UniformRandomDelay())
+        result = run_download(n=10, ell=500,
+                              peer_factory=CrashMultiDownloadPeer.factory(),
+                              adversary=adversary, seed=3)
+        assert_download_correct(result, "cascade")
+
+    def test_simultaneous_mass_crash(self):
+        crashes = {pid: CrashAtTime(1.0) for pid in range(1, 6)}
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes=crashes),
+            latency=UniformRandomDelay())
+        result = run_download(n=10, ell=500,
+                              peer_factory=CrashMultiDownloadPeer.factory(),
+                              adversary=adversary, seed=4)
+        assert_download_correct(result, "mass crash at t=1")
+
+
+class TestCompoundAdversaries:
+    def test_crash_plus_slowdown_plus_stagger(self):
+        class Nasty(StaggeredStart):
+            pass
+
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crash_fraction=0.3),
+            latency=Nasty(spread=3.0, min_delay=0.05, max_delay=1.0))
+        result = run_download(n=12, ell=600,
+                              peer_factory=CrashMultiDownloadPeer.factory(),
+                              adversary=adversary, seed=5)
+        assert_download_correct(result)
+
+    def test_byzantine_silent_plus_bursty_network(self):
+        adversary = ComposedAdversary(
+            faults=ByzantineAdversary(
+                fraction=0.3, strategy_factory=lambda pid: SilentStrategy()),
+            latency=BurstyDelay(stall_fraction=0.4))
+        result = run_download(
+            n=9, ell=270,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=9),
+            adversary=adversary, seed=6)
+        assert_download_correct(result)
+
+    def test_equivocators_with_slow_honest_majority(self):
+        faults = ByzantineAdversary(
+            corrupted={0, 1}, strategy_factory=lambda pid:
+            EquivocateStrategy())
+        latency = TargetedSlowdown({2, 3, 4})
+        result = run_download(
+            n=9, ell=180,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=4),
+            adversary=ComposedAdversary(faults=faults, latency=latency),
+            seed=7)
+        assert_download_correct(result)
+
+
+class TestOneCrashEdgeCases:
+    def test_crash_of_highest_id_peer(self):
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes={7: CrashAfterSends(2)}),
+            latency=UniformRandomDelay())
+        result = run_download(n=8, ell=512,
+                              peer_factory=CrashOneDownloadPeer.factory(),
+                              adversary=adversary, seed=8)
+        assert_download_correct(result)
+
+    def test_tiny_input_one_bit(self):
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes={1: CrashAfterSends(0)}),
+            latency=UniformRandomDelay())
+        result = run_download(n=4, ell=1,
+                              peer_factory=CrashOneDownloadPeer.factory(),
+                              adversary=adversary, seed=9)
+        assert_download_correct(result)
+
+    def test_minimum_network_size(self):
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes={2: CrashAfterSends(1)}),
+            latency=UniformRandomDelay())
+        result = run_download(n=3, ell=30,
+                              peer_factory=CrashOneDownloadPeer.factory(),
+                              adversary=adversary, seed=10)
+        assert_download_correct(result)
+
+
+class TestFastVariantInjection:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fast_variant_matches_base_outputs(self, seed):
+        adversary_a = ComposedAdversary(
+            faults=CrashAdversary(crash_fraction=0.4),
+            latency=UniformRandomDelay())
+        adversary_b = ComposedAdversary(
+            faults=CrashAdversary(crash_fraction=0.4),
+            latency=UniformRandomDelay())
+        base = run_download(n=8, ell=400,
+                            peer_factory=CrashMultiDownloadPeer.factory(),
+                            adversary=adversary_a, seed=seed)
+        fast = run_download(n=8, ell=400,
+                            peer_factory=CrashMultiFastDownloadPeer.factory(),
+                            adversary=adversary_b, seed=seed)
+        assert base.download_correct and fast.download_correct
+        assert base.data == fast.data

@@ -1,0 +1,82 @@
+"""Protocols under the model's message-size parameter ``b``.
+
+The model bounds messages by ``b`` bits.  Two enforcement modes exist:
+hard rejection (`message_size_limit=`) and packetization
+(`packetize=True`, a message of ``k*b`` bits takes ``k`` packet times).
+These tests pin both behaviours on real protocol runs.
+"""
+
+import pytest
+
+from repro.adversary import UniformRandomDelay
+from repro.protocols import (
+    ByzCommitteeDownloadPeer,
+    ByzTwoCycleDownloadPeer,
+    CrashMultiDownloadPeer,
+    NaiveDownloadPeer,
+)
+from repro.sim import ProtocolViolation, run_download
+
+from tests.conftest import assert_download_correct, crash_async_adversary
+
+
+class TestHardLimit:
+    def test_small_messages_pass_under_generous_limit(self):
+        result = run_download(
+            n=8, ell=256, t=2,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=8),
+            message_size_limit=10_000, seed=1)
+        assert_download_correct(result)
+
+    def test_oversized_protocol_messages_rejected(self):
+        # crash-multi's terminal FullArray is ell bits; a tight limit
+        # must catch it.
+        with pytest.raises(ProtocolViolation):
+            run_download(n=4, ell=2048,
+                         peer_factory=CrashMultiDownloadPeer.factory(),
+                         message_size_limit=256, seed=1)
+
+    def test_naive_protocol_needs_no_messages_so_any_limit_works(self):
+        result = run_download(n=4, ell=256,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              message_size_limit=1, seed=1)
+        assert_download_correct(result)
+
+
+class TestPacketization:
+    def test_crash_multi_correct_when_packetized(self):
+        result = run_download(
+            n=8, ell=1024, peer_factory=CrashMultiDownloadPeer.factory(),
+            adversary=crash_async_adversary(0.25),
+            message_size_limit=128, packetize=True, seed=2)
+        assert_download_correct(result)
+
+    def test_two_cycle_correct_when_packetized(self):
+        result = run_download(
+            n=30, ell=1200, t=0,
+            peer_factory=ByzTwoCycleDownloadPeer.factory(num_segments=3,
+                                                         tau=2),
+            adversary=UniformRandomDelay(),
+            message_size_limit=64, packetize=True, seed=3)
+        assert_download_correct(result)
+
+    def test_smaller_b_means_slower_runs(self):
+        def time_with(limit):
+            return run_download(
+                n=6, ell=1200, t=0,
+                peer_factory=CrashMultiDownloadPeer.factory(),
+                message_size_limit=limit, packetize=True,
+                seed=4).report.time_complexity
+
+        # Paper: time scales with X/b for the bulk transfers.
+        assert time_with(64) > time_with(4096)
+
+    def test_packetize_without_limit_is_identity(self):
+        plain = run_download(n=4, ell=200,
+                             peer_factory=CrashMultiDownloadPeer.factory(),
+                             seed=5)
+        packetized = run_download(n=4, ell=200,
+                                  peer_factory=CrashMultiDownloadPeer.factory(),
+                                  packetize=True, seed=5)
+        assert plain.report.time_complexity == \
+            packetized.report.time_complexity

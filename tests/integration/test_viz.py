@@ -1,0 +1,95 @@
+"""Tests for the text visualizations."""
+
+import pytest
+
+from repro.adversary import ComposedAdversary, CrashAdversary, CrashAtTime, \
+    UniformRandomDelay
+from repro.protocols import BalancedDownloadPeer, CrashMultiDownloadPeer
+from repro.sim import run_download
+from repro.viz import ascii_timeline, event_log, message_matrix, \
+    query_histogram
+
+
+def traced_run(**kwargs):
+    defaults = dict(n=4, ell=64,
+                    peer_factory=BalancedDownloadPeer.factory(),
+                    seed=1, trace=True)
+    defaults.update(kwargs)
+    return run_download(**defaults)
+
+
+class TestTimeline:
+    def test_has_one_row_per_peer(self):
+        result = traced_run()
+        text = ascii_timeline(result)
+        for pid in range(4):
+            assert f"peer {pid}" in text
+
+    def test_marks_terminations(self):
+        text = ascii_timeline(traced_run())
+        assert "#" in text
+
+    def test_marks_crashes(self):
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes={2: CrashAtTime(1.0)}),
+            latency=UniformRandomDelay())
+        result = traced_run(peer_factory=CrashMultiDownloadPeer.factory(),
+                            adversary=adversary)
+        text = ascii_timeline(result)
+        assert "X" in text
+        assert "crash" in text  # the role column
+
+    def test_requires_trace(self):
+        result = run_download(n=2, ell=8,
+                              peer_factory=BalancedDownloadPeer.factory(),
+                              seed=1)
+        with pytest.raises(ValueError, match="trace=True"):
+            ascii_timeline(result)
+
+    def test_custom_width(self):
+        text = ascii_timeline(traced_run(), width=30)
+        row = [line for line in text.splitlines() if "peer 0" in line][0]
+        assert row.count("|") == 2
+        inner = row.split("|")[1]
+        assert len(inner) == 30
+
+
+class TestMessageMatrix:
+    def test_balanced_protocol_fills_off_diagonal(self):
+        text = message_matrix(traced_run())
+        # Each peer broadcasts to 3 others exactly once.
+        assert text.count(" 1") >= 12
+
+    def test_diagonal_is_empty(self):
+        result = traced_run()
+        text = message_matrix(result)
+        lines = text.splitlines()[1:]
+        for offset, line in enumerate(lines):
+            cells = line.split()[2:]
+            assert cells[offset] == "-"
+
+    def test_kind_filter(self):
+        text = message_matrix(traced_run(), message_kind="NoSuchKind")
+        assert "[NoSuchKind only]" in text
+        body = text.splitlines()[2:]
+        assert all(cell == "-" for line in body
+                   for cell in line.split()[2:])
+
+
+class TestEventLogAndHistogram:
+    def test_event_log_orders_and_limits(self):
+        text = event_log(traced_run(), limit=5)
+        lines = text.splitlines()
+        assert len(lines) == 6  # 5 + truncation notice
+        assert "records total" in lines[-1]
+
+    def test_event_log_kind_filter(self):
+        text = event_log(traced_run(), kinds={"terminate"}, limit=50)
+        assert all("terminate" in line for line in text.splitlines())
+
+    def test_query_histogram_shows_all_honest_peers(self):
+        result = traced_run()
+        text = query_histogram(result)
+        for pid in range(4):
+            assert f"peer   {pid}" in text
+        assert "#" in text

@@ -1,0 +1,86 @@
+"""Edge-case tests for the visualizations (roles, empties, widths)."""
+
+import pytest
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    SilentStrategy,
+    UniformRandomDelay,
+)
+from repro.protocols import ByzCommitteeDownloadPeer, NaiveDownloadPeer
+from repro.sim import run_download
+from repro.viz import ascii_timeline, event_log, message_matrix, \
+    query_histogram
+
+
+class TestRoles:
+    def test_byzantine_role_shown(self):
+        adversary = ComposedAdversary(
+            faults=ByzantineAdversary(
+                corrupted={1}, strategy_factory=lambda pid: SilentStrategy()),
+            latency=UniformRandomDelay())
+        result = run_download(
+            n=5, ell=50, trace=True,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=10),
+            adversary=adversary, seed=1)
+        text = ascii_timeline(result)
+        byz_line = [line for line in text.splitlines()
+                    if line.startswith("peer 1")][0]
+        assert byz_line.rstrip().endswith("byz")
+
+    def test_ok_role_for_honest(self):
+        result = run_download(n=3, ell=12, trace=True,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              seed=2)
+        for line in ascii_timeline(result).splitlines()[1:]:
+            assert line.rstrip().endswith("ok")
+
+
+class TestDegenerateRuns:
+    def traced_naive(self):
+        return run_download(n=2, ell=4, trace=True,
+                            peer_factory=NaiveDownloadPeer.factory(),
+                            seed=3)
+
+    def test_timeline_with_no_messages(self):
+        body = ascii_timeline(self.traced_naive()).splitlines()[1:]
+        assert all("+" not in line for line in body)  # nothing sent
+        assert any("#" in line for line in body)      # terminations shown
+
+    def test_matrix_with_no_messages(self):
+        text = message_matrix(self.traced_naive())
+        body = text.splitlines()[1:]
+        assert all(cell == "-" for line in body
+                   for cell in line.split()[2:])
+
+    def test_event_log_empty_filter(self):
+        text = event_log(self.traced_naive(), kinds={"nonexistent"})
+        assert text == ""
+
+    def test_histogram_equal_loads_full_bars(self):
+        text = query_histogram(self.traced_naive(), width=10)
+        bars = [line.count("#") for line in text.splitlines()[1:]]
+        assert bars == [10, 10]
+
+    def test_tiny_width_timeline(self):
+        text = ascii_timeline(self.traced_naive(), width=3)
+        row = [line for line in text.splitlines() if "peer 0" in line][0]
+        assert len(row.split("|")[1]) == 3
+
+
+class TestHistogramShapes:
+    def test_unbalanced_loads_render_proportionally(self):
+        from repro.adversary import CrashAdversary, CrashAfterSends
+        from repro.protocols import CrashMultiDownloadPeer
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes={0: CrashAfterSends(0)}),
+            latency=UniformRandomDelay())
+        result = run_download(n=4, ell=400,
+                              peer_factory=CrashMultiDownloadPeer.factory(),
+                              adversary=adversary, seed=4, trace=True)
+        assert result.download_correct
+        text = query_histogram(result, width=20)
+        bars = {line.split()[1]: line.count("#")
+                for line in text.splitlines()[1:]}
+        assert max(bars.values()) == 20  # the heaviest peer fills

@@ -1,0 +1,47 @@
+"""Tests for the Theorem 3.2 construction."""
+
+import pytest
+
+from repro.lowerbounds import run_randomized_construction
+from repro.protocols import ByzTwoCycleDownloadPeer, NaiveDownloadPeer
+
+
+class TestAgainstTwoCycle:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_randomized_construction(
+            peer_factory=ByzTwoCycleDownloadPeer.factory(num_segments=4,
+                                                         tau=1),
+            n=12, ell=256, claimed_t=6,
+            estimation_trials=12, attack_trials=20, base_seed=0)
+
+    def test_fooling_rate_meets_theoretical_floor(self, report):
+        # Thm 3.2: the victim is fooled unless it happens to query the
+        # target — probability at most mean_Q / ell.  Allow sampling
+        # slack of 0.2 for the 20-trial estimate.
+        assert report.fooling_rate >= report.theoretical_floor - 0.2
+
+    def test_fooling_happens_at_all(self, report):
+        assert report.fooled_trials > 0
+
+    def test_mean_queries_well_below_ell(self, report):
+        assert report.mean_victim_queries < report.ell / 2
+
+    def test_target_is_rarely_queried(self, report):
+        assert report.estimated_hit_probability <= 0.5
+
+    def test_no_abandonment_in_majority_regime(self, report):
+        # claimed_t >= n/2 means the corrupted set satisfies every
+        # victim wait; the adversary never has to give up.
+        assert report.abandoned_trials == 0
+
+
+class TestAgainstNaive:
+    def test_naive_is_never_fooled(self):
+        report = run_randomized_construction(
+            peer_factory=NaiveDownloadPeer.factory(),
+            n=8, ell=64, claimed_t=4,
+            estimation_trials=3, attack_trials=5, base_seed=1)
+        assert report.fooling_rate == 0.0
+        assert report.mean_victim_queries == 64
+        assert report.theoretical_floor == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the chain stub and aggregation contract."""
+
+import pytest
+
+from repro.oracle.chain import AggregationContract, Chain
+
+
+class TestChain:
+    def test_publish_links_blocks(self):
+        chain = Chain()
+        first = chain.publish({"a": 1})
+        second = chain.publish({"b": 2})
+        assert second.parent_hash == first.block_hash
+        assert first.parent_hash == "genesis"
+        assert len(chain) == 2
+
+    def test_hash_depends_on_payload(self):
+        chain = Chain()
+        block = chain.publish({"a": 1})
+        other = Chain().publish({"a": 2})
+        assert block.block_hash != other.block_hash
+
+    def test_hash_deterministic(self):
+        a = Chain().publish({"x": [1, 2]})
+        b = Chain().publish({"x": [1, 2]})
+        assert a.block_hash == b.block_hash
+
+
+class TestAggregationContract:
+    def build(self, node_fault_bound=1, cells=2):
+        chain = Chain()
+        contract = AggregationContract(chain, cells=cells,
+                                       node_fault_bound=node_fault_bound)
+        return chain, contract
+
+    def test_finalizes_at_quorum(self):
+        chain, contract = self.build()
+        assert contract.quorum == 3
+        contract.submit(0, [10, 20])
+        contract.submit(1, [11, 21])
+        assert contract.finalized is None
+        contract.submit(2, [12, 22])
+        assert contract.finalized == [11, 21]
+        assert len(chain) == 1
+
+    def test_median_absorbs_byzantine_report(self):
+        _, contract = self.build()
+        contract.submit(0, [10, 20])
+        contract.submit(1, [12, 22])
+        contract.submit(9, [10 ** 6, 0])  # Byzantine extremes
+        low, high = contract.finalized
+        assert 10 <= low <= 12
+        assert 20 <= high <= 22
+
+    def test_duplicate_reports_ignored(self):
+        _, contract = self.build()
+        contract.submit(0, [10, 20])
+        contract.submit(0, [99, 99])
+        contract.submit(1, [10, 20])
+        contract.submit(2, [10, 20])
+        assert contract.finalized == [10, 20]
+
+    def test_late_reports_after_finalization_ignored(self):
+        chain, contract = self.build()
+        for node in range(3):
+            contract.submit(node, [1, 1])
+        contract.submit(7, [9, 9])
+        assert len(contract.reports) == 3
+        assert len(chain) == 1
+
+    def test_wrong_cell_count_rejected(self):
+        _, contract = self.build(cells=3)
+        with pytest.raises(ValueError, match="cells"):
+            contract.submit(0, [1, 2])
+
+    def test_published_block_carries_values_and_reporters(self):
+        chain, contract = self.build()
+        for node in (4, 2, 0):
+            contract.submit(node, [5, 6])
+        payload = chain.blocks[0].payload
+        assert payload["values"] == [5, 6]
+        assert payload["reporters"] == [0, 2, 4]

@@ -1,0 +1,67 @@
+"""Tests for the numeric codec and median."""
+
+import pytest
+
+from repro.oracle.numeric import (
+    cell_bounds,
+    decode_values,
+    encode_values,
+    max_value,
+    median,
+)
+from repro.util.bitarrays import BitArray
+
+
+class TestCodec:
+    def test_round_trip(self):
+        values = [0, 1, 65535, 12345]
+        assert decode_values(encode_values(values, 16), 16) == values
+
+    def test_big_endian_layout(self):
+        array = encode_values([5], 4)  # 0101
+        assert array.segment(0, 4) == "0101"
+
+    def test_cell_bounds(self):
+        assert cell_bounds(3, 16) == (48, 64)
+
+    def test_cell_isolated_in_encoding(self):
+        array = encode_values([0, 15, 0], 4)
+        lo, hi = cell_bounds(1, 4)
+        assert array.segment(lo, hi) == "1111"
+        assert array.count_ones() == 4
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="fit"):
+            encode_values([16], 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_values([-1], 4)
+
+    def test_decode_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            decode_values(BitArray.zeros(10), 4)
+
+    def test_max_value(self):
+        assert max_value(8) == 255
+
+
+class TestMedian:
+    def test_odd_count(self):
+        assert median([5, 1, 9]) == 5
+
+    def test_even_count_lower_median(self):
+        assert median([1, 2, 3, 4]) == 2
+
+    def test_single(self):
+        assert median([7]) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_majority_honest_implies_range(self):
+        # The ODD argument in miniature: with honest values {10, 12}
+        # and one outlier, the median stays within the honest range.
+        assert 10 <= median([10, 12, 10 ** 6]) <= 12
+        assert 10 <= median([10, 12, 0]) <= 12

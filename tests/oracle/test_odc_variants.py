@@ -1,0 +1,63 @@
+"""Download-based ODC with alternative download protocols.
+
+The ODC pipeline is parameterized over the Download protocol; these
+tests swap in the crash-tolerant and naive protocols and check the ODD
+guarantee survives each choice (with the fault model matched to what
+the protocol tolerates).
+"""
+
+import pytest
+
+from repro.oracle import make_setup, odd_satisfied, run_download_odc
+from repro.protocols import (
+    ByzTwoCycleDownloadPeer,
+    CrashMultiDownloadPeer,
+    NaiveDownloadPeer,
+)
+
+
+class TestCrashOnlyOracleNetwork:
+    def test_crash_multi_as_the_download_protocol(self):
+        # An oracle network whose nodes fail only by crashing can run
+        # the cheaper Algorithm 2 instead of committees.
+        setup = make_setup(nodes=9, node_fault_bound=0, feed_count=5,
+                           corrupt_feeds=2, cells=6, value_bits=16,
+                           noise_bound=2, seed=21)
+        outcome = run_download_odc(
+            setup, peer_factory=CrashMultiDownloadPeer.factory(), seed=22)
+        assert odd_satisfied(setup, outcome.finalized)
+
+    def test_crash_multi_beats_committee_on_queries(self):
+        setup = make_setup(nodes=12, node_fault_bound=0, feed_count=5,
+                           corrupt_feeds=2, cells=12, value_bits=16,
+                           noise_bound=2, seed=23)
+        committee = run_download_odc(setup, seed=24)
+        crash = run_download_odc(
+            setup, peer_factory=CrashMultiDownloadPeer.factory(), seed=24)
+        assert odd_satisfied(setup, crash.finalized)
+        assert crash.max_honest_node_query_bits \
+            <= committee.max_honest_node_query_bits
+
+
+class TestOtherProtocols:
+    def test_naive_download_odc(self):
+        # Expensive but bulletproof: per-node cost equals the baseline.
+        setup = make_setup(nodes=7, node_fault_bound=0, feed_count=3,
+                           corrupt_feeds=1, cells=4, value_bits=16,
+                           noise_bound=1, seed=25)
+        outcome = run_download_odc(
+            setup, peer_factory=NaiveDownloadPeer.factory(), seed=26)
+        assert odd_satisfied(setup, outcome.finalized)
+        assert outcome.max_honest_node_query_bits == \
+            len(setup.feeds) * setup.cells * setup.value_bits
+
+    def test_two_cycle_download_odc(self):
+        setup = make_setup(nodes=30, node_fault_bound=0, feed_count=3,
+                           corrupt_feeds=1, cells=30, value_bits=16,
+                           noise_bound=1, equivocate=False, seed=27)
+        outcome = run_download_odc(
+            setup,
+            peer_factory=ByzTwoCycleDownloadPeer.factory(num_segments=3,
+                                                         tau=2),
+            seed=28)
+        assert odd_satisfied(setup, outcome.finalized)

@@ -1,0 +1,76 @@
+"""Property-based tests for BitArray and the numeric codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.oracle.numeric import decode_values, encode_values
+from repro.util.bitarrays import BitArray
+
+bits_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=0,
+                      max_size=200)
+
+
+class TestBitArrayProperties:
+    @given(bits_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, bits):
+        assert BitArray.from_bits(bits).to_bits() == bits
+
+    @given(bits_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_count_ones_matches_sum(self, bits):
+        assert BitArray.from_bits(bits).count_ones() == sum(bits)
+
+    @given(bits_lists, st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_segment_matches_slice(self, bits, data):
+        array = BitArray.from_bits(bits)
+        lo = data.draw(st.integers(min_value=0, max_value=len(bits)))
+        hi = data.draw(st.integers(min_value=lo, max_value=len(bits)))
+        expected = "".join(str(bit) for bit in bits[lo:hi])
+        assert array.segment(lo, hi) == expected
+
+    @given(bits_lists, st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_set_segment_then_read_back(self, bits, data):
+        array = BitArray.from_bits(bits)
+        if not bits:
+            return
+        lo = data.draw(st.integers(min_value=0, max_value=len(bits) - 1))
+        width = data.draw(st.integers(min_value=0,
+                                      max_value=len(bits) - lo))
+        replacement = data.draw(st.text(alphabet="01", min_size=width,
+                                        max_size=width))
+        array.set_segment(lo, replacement)
+        assert array.segment(lo, lo + width) == replacement
+
+    @given(bits_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_string_round_trip(self, bits):
+        string = "".join(str(bit) for bit in bits)
+        assert BitArray.from_string(string).segment(0, len(bits)) == string
+
+    @given(bits_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_copy_equal_but_independent(self, bits):
+        array = BitArray.from_bits(bits)
+        duplicate = array.copy()
+        assert duplicate == array
+        if bits:
+            duplicate[0] = 1 - duplicate[0]
+            assert duplicate != array
+
+
+class TestNumericCodecProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 16 - 1),
+                    min_size=0, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_codec_round_trip_16(self, values):
+        assert decode_values(encode_values(values, 16), 16) == values
+
+    @given(st.integers(min_value=1, max_value=24), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_codec_round_trip_any_width(self, width, data):
+        values = data.draw(st.lists(
+            st.integers(min_value=0, max_value=2 ** width - 1),
+            min_size=0, max_size=10))
+        assert decode_values(encode_values(values, width), width) == values

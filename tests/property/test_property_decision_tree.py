@@ -1,0 +1,93 @@
+"""Property-based tests for Protocol 3 (decision trees).
+
+The invariants the protocols rely on, checked over arbitrary candidate
+sets:
+
+1. determine() returns the true string whenever it labels some leaf;
+2. the walk spends at most ``|candidates| - 1`` queries;
+3. leaves(build_tree(S)) == S exactly;
+4. when the true string is absent, the returned leaf still agrees with
+   the truth on every queried index.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.decision_tree import (
+    build_tree,
+    determine,
+    internal_count,
+    leaves,
+)
+
+
+def bit_strings(length, min_size=1, max_size=8):
+    return st.sets(st.text(alphabet="01", min_size=length, max_size=length),
+                   min_size=min_size, max_size=max_size)
+
+
+@st.composite
+def candidate_sets_with_truth(draw):
+    length = draw(st.integers(min_value=1, max_value=12))
+    candidates = draw(bit_strings(length, min_size=1, max_size=8))
+    truth = draw(st.sampled_from(sorted(candidates)))
+    return candidates, truth
+
+
+@st.composite
+def candidate_sets_and_external_truth(draw):
+    length = draw(st.integers(min_value=1, max_value=10))
+    candidates = draw(bit_strings(length, min_size=1, max_size=6))
+    truth = draw(st.text(alphabet="01", min_size=length, max_size=length))
+    return candidates, truth
+
+
+class TestDetermineCorrectness:
+    @given(candidate_sets_with_truth())
+    @settings(max_examples=150, deadline=None)
+    def test_true_string_always_recovered(self, case):
+        candidates, truth = case
+        tree = build_tree(candidates)
+        resolved, _ = determine(tree, lambda index: int(truth[index]))
+        assert resolved == truth
+
+    @given(candidate_sets_with_truth())
+    @settings(max_examples=150, deadline=None)
+    def test_query_cost_below_candidate_count(self, case):
+        candidates, truth = case
+        tree = build_tree(candidates)
+        _, spent = determine(tree, lambda index: int(truth[index]))
+        assert spent <= len(candidates) - 1
+
+    @given(candidate_sets_and_external_truth())
+    @settings(max_examples=150, deadline=None)
+    def test_returned_leaf_consistent_with_queried_indices(self, case):
+        candidates, truth = case
+        tree = build_tree(candidates)
+        queried = []
+
+        def query_bit(index):
+            queried.append(index)
+            return int(truth[index])
+
+        resolved, _ = determine(tree, query_bit)
+        for index in queried:
+            assert resolved[index] == truth[index]
+
+
+class TestTreeShape:
+    @given(bit_strings(6, min_size=1, max_size=10))
+    @settings(max_examples=150, deadline=None)
+    def test_leaves_are_exactly_the_candidates(self, candidates):
+        assert set(leaves(build_tree(candidates))) == candidates
+
+    @given(bit_strings(6, min_size=1, max_size=10))
+    @settings(max_examples=150, deadline=None)
+    def test_internal_count_is_leaves_minus_one(self, candidates):
+        tree = build_tree(candidates)
+        assert internal_count(tree) == len(candidates) - 1
+
+    @given(bit_strings(8, min_size=2, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_construction_order_independent(self, candidates):
+        ordered = sorted(candidates)
+        assert build_tree(ordered) == build_tree(reversed(ordered))

@@ -1,0 +1,83 @@
+"""Adversary fuzzing: protocols vs thousands of generated environments.
+
+Hypothesis draws only the *seed*; :mod:`repro.fuzz` expands it into a
+full adversary (latency shape x fault plan) within the model.  Any
+failure here is a genuine counterexample to an upper-bound theorem,
+reproducible from the printed seed.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fuzz import random_adversary
+from repro.protocols import (
+    ByzCommitteeDownloadPeer,
+    CrashMultiDownloadPeer,
+    NaiveDownloadPeer,
+)
+from repro.sim import run_download
+
+FUZZ_SETTINGS = dict(max_examples=20, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+seeds = st.integers(min_value=0, max_value=10 ** 9)
+
+
+class TestFuzzedCrashEnvironments:
+    @given(seeds)
+    @settings(**FUZZ_SETTINGS)
+    def test_crash_multi_survives_any_generated_crash_world(self, seed):
+        adversary, t, plan = random_adversary(
+            seed, n=8, fault_model="crash", beta_cap=0.75)
+        result = run_download(n=8, ell=200,
+                              peer_factory=CrashMultiDownloadPeer.factory(),
+                              adversary=adversary, t=t, seed=seed)
+        assert result.download_correct, plan
+
+    @given(seeds)
+    @settings(**FUZZ_SETTINGS)
+    def test_naive_survives_everything(self, seed):
+        adversary, t, plan = random_adversary(
+            seed, n=6, fault_model="crash", beta_cap=0.8)
+        result = run_download(n=6, ell=120,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              adversary=adversary, t=t, seed=seed)
+        assert result.download_correct, plan
+
+
+class TestFuzzedByzantineEnvironments:
+    @given(seeds)
+    @settings(**FUZZ_SETTINGS)
+    def test_committee_survives_any_generated_minority_corruption(
+            self, seed):
+        adversary, t, plan = random_adversary(
+            seed, n=9, fault_model="byzantine", beta_cap=0.44)
+        result = run_download(
+            n=9, ell=180,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=4),
+            adversary=adversary, t=t, seed=seed)
+        assert result.download_correct, plan
+
+
+class TestGeneratorProperties:
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_same_seed_same_plan(self, seed):
+        _, t1, plan1 = random_adversary(seed, n=10, fault_model="crash",
+                                        beta_cap=0.5)
+        _, t2, plan2 = random_adversary(seed, n=10, fault_model="crash",
+                                        beta_cap=0.5)
+        assert (t1, plan1) == (t2, plan2)
+
+    @given(seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_budget_respected(self, seed):
+        _, t, plan = random_adversary(seed, n=12, fault_model="byzantine",
+                                      beta_cap=0.4)
+        assert plan.fault_count <= int(0.4 * 12)
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_none_model_has_no_faults(self, seed):
+        _, t, plan = random_adversary(seed, n=8, fault_model="none",
+                                      beta_cap=0.5)
+        assert t == 0 and plan.fault_count == 0

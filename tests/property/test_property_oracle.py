@@ -1,0 +1,75 @@
+"""Property-based tests for the oracle layer's aggregation guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.oracle.chain import AggregationContract, Chain
+from repro.oracle.numeric import median
+
+
+@st.composite
+def honest_and_byzantine_reports(draw):
+    """Reports where honest values dominate: > half from a known range."""
+    honest_count = draw(st.integers(min_value=2, max_value=8))
+    byzantine_count = draw(st.integers(min_value=0,
+                                       max_value=honest_count - 1))
+    low = draw(st.integers(min_value=0, max_value=1000))
+    high = draw(st.integers(min_value=low, max_value=low + 100))
+    honest = [draw(st.integers(min_value=low, max_value=high))
+              for _ in range(honest_count)]
+    byzantine = [draw(st.integers(min_value=0, max_value=10 ** 6))
+                 for _ in range(byzantine_count)]
+    return honest, byzantine, low, high
+
+
+class TestMedianRangeGuarantee:
+    @given(honest_and_byzantine_reports())
+    @settings(max_examples=250, deadline=None)
+    def test_median_with_honest_majority_stays_in_range(self, case):
+        honest, byzantine, low, high = case
+        combined = honest + byzantine
+        value = median(combined)
+        # The ODD argument: with a strict honest majority, the median
+        # lies between two honest values, hence within [min_h, max_h].
+        assert min(honest) <= value <= max(honest)
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_median_is_an_element(self, values):
+        assert median(values) in values
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_median_splits_the_sample(self, values):
+        value = median(values)
+        not_above = sum(1 for item in values if item <= value)
+        not_below = sum(1 for item in values if item >= value)
+        assert 2 * not_above >= len(values)
+        assert 2 * not_below >= len(values)
+
+
+class TestContractProperties:
+    @given(honest_and_byzantine_reports())
+    @settings(max_examples=150, deadline=None)
+    def test_contract_median_in_honest_range(self, case):
+        honest, byzantine, low, high = case
+        fault_bound = len(byzantine)
+        contract = AggregationContract(Chain(), cells=1,
+                                       node_fault_bound=fault_bound)
+        node = 0
+        # Byzantine first — worst submission order.
+        for value in byzantine:
+            contract.submit(node, [value])
+            node += 1
+        for value in honest:
+            contract.submit(node, [value])
+            node += 1
+        # The contract finalizes at quorum = 2t+1; since all t
+        # Byzantine reports race in first, the quorum holds exactly t
+        # Byzantine + (t+1) honest reports — an honest strict majority,
+        # so the median is bracketed by the quorum's honest values.
+        assert contract.finalized is not None
+        honest_in_quorum = honest[:contract.quorum - fault_bound]
+        assert min(honest_in_quorum) <= contract.finalized[0] \
+            <= max(honest_in_quorum)

@@ -1,0 +1,80 @@
+"""Property-based tests for segmentations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.segments import HierarchicalSegmentation, Segmentation
+
+
+@st.composite
+def flat_configs(draw):
+    ell = draw(st.integers(min_value=1, max_value=5000))
+    segments = draw(st.integers(min_value=1, max_value=min(ell, 64)))
+    return ell, segments
+
+
+@st.composite
+def hierarchy_configs(draw):
+    power = draw(st.integers(min_value=0, max_value=5))
+    base = 1 << power
+    ell = draw(st.integers(min_value=base, max_value=5000))
+    return ell, base
+
+
+class TestFlatSegmentation:
+    @given(flat_configs())
+    @settings(max_examples=200, deadline=None)
+    def test_partition_covers_input(self, config):
+        ell, segments = config
+        seg = Segmentation(ell, segments)
+        total = sum(seg.length(i) for i in range(segments))
+        assert total == ell
+
+    @given(flat_configs())
+    @settings(max_examples=200, deadline=None)
+    def test_lengths_near_equal(self, config):
+        ell, segments = config
+        seg = Segmentation(ell, segments)
+        lengths = [seg.length(i) for i in range(segments)]
+        assert max(lengths) - min(lengths) <= 1
+
+    @given(flat_configs(), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_segment_of_inverts_bounds(self, config, data):
+        ell, segments = config
+        seg = Segmentation(ell, segments)
+        index = data.draw(st.integers(min_value=0, max_value=ell - 1))
+        found = seg.segment_of(index)
+        lo, hi = seg.bounds(found)
+        assert lo <= index < hi
+
+
+class TestHierarchy:
+    @given(hierarchy_configs())
+    @settings(max_examples=150, deadline=None)
+    def test_every_cycle_partitions(self, config):
+        ell, base = config
+        hierarchy = HierarchicalSegmentation(ell, base)
+        for cycle in range(1, hierarchy.num_cycles + 1):
+            total = sum(
+                hierarchy.length(cycle, segment)
+                for segment in range(hierarchy.segments_in_cycle(cycle)))
+            assert total == ell
+
+    @given(hierarchy_configs())
+    @settings(max_examples=150, deadline=None)
+    def test_children_concatenate(self, config):
+        ell, base = config
+        hierarchy = HierarchicalSegmentation(ell, base)
+        for cycle in range(2, hierarchy.num_cycles + 1):
+            for segment in range(hierarchy.segments_in_cycle(cycle)):
+                left, right = hierarchy.children(cycle, segment)
+                lo, hi = hierarchy.bounds(cycle, segment)
+                assert hierarchy.bounds(cycle - 1, left)[0] == lo
+                assert hierarchy.bounds(cycle - 1, right)[1] == hi
+
+    @given(hierarchy_configs())
+    @settings(max_examples=100, deadline=None)
+    def test_top_is_whole_input(self, config):
+        ell, base = config
+        hierarchy = HierarchicalSegmentation(ell, base)
+        assert hierarchy.bounds(hierarchy.num_cycles, 0) == (0, ell)

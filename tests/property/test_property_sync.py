@@ -1,0 +1,89 @@
+"""Property-based tests for the synchronous engine and protocols."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sync import (
+    RoundCrashAdversary,
+    RushingEchoAdversary,
+    SilentSyncAdversary,
+    SyncCommitteePeer,
+    SyncCrashPeer,
+    run_sync_download,
+)
+
+SYNC_SETTINGS = dict(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def crash_factory(pid, config, rng):
+    return SyncCrashPeer(pid, config, rng)
+
+
+@st.composite
+def crash_plans(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    ell = draw(st.integers(min_value=1, max_value=300))
+    t = draw(st.integers(min_value=0, max_value=n - 1))
+    victim_count = draw(st.integers(min_value=0, max_value=t))
+    victims = draw(st.permutations(range(n)))[:victim_count]
+    plan = {}
+    for victim in victims:
+        crash_round = draw(st.integers(min_value=1, max_value=6))
+        keep = draw(st.one_of(st.none(),
+                              st.integers(min_value=0, max_value=n - 1)))
+        plan[victim] = (crash_round, keep)
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    return n, ell, t, plan, seed
+
+
+class TestSyncCrashProperty:
+    @given(crash_plans())
+    @settings(**SYNC_SETTINGS)
+    def test_survivors_always_learn_everything(self, case):
+        n, ell, t, plan, seed = case
+        result = run_sync_download(
+            n=n, ell=ell, t=t, peer_factory=crash_factory,
+            adversary=RoundCrashAdversary(plan), seed=seed)
+        for pid in result.honest:
+            assert result.outputs[pid] == result.data, \
+                (pid, plan, seed)
+
+    @given(crash_plans())
+    @settings(**SYNC_SETTINGS)
+    def test_rounds_bounded_by_crashes_plus_constant(self, case):
+        n, ell, t, plan, seed = case
+        result = run_sync_download(
+            n=n, ell=ell, t=t, peer_factory=crash_factory,
+            adversary=RoundCrashAdversary(plan), seed=seed)
+        assert result.rounds <= len(plan) + 6
+
+
+@st.composite
+def committee_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=11))
+    t = draw(st.integers(min_value=0, max_value=(n - 1) // 2))
+    ell = draw(st.integers(min_value=1, max_value=200))
+    corrupted = set(draw(st.permutations(range(n)))[:t])
+    rushing = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    return n, t, ell, corrupted, rushing, seed
+
+
+class TestSyncCommitteeProperty:
+    @given(committee_cases())
+    @settings(**SYNC_SETTINGS)
+    def test_committee_correct_under_arbitrary_minority(self, case):
+        n, t, ell, corrupted, rushing, seed = case
+        if corrupted:
+            adversary = (RushingEchoAdversary(corrupted=corrupted, seed=seed)
+                         if rushing else
+                         SilentSyncAdversary(corrupted=corrupted))
+        else:
+            adversary = None
+        result = run_sync_download(
+            n=n, t=t, ell=ell,
+            peer_factory=lambda pid, config, rng: SyncCommitteePeer(
+                pid, config, rng, block_size=max(1, ell // 8)),
+            adversary=adversary, seed=seed)
+        assert result.download_correct, (corrupted, rushing, seed)
+        assert result.rounds == 2

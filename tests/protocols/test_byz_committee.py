@@ -1,0 +1,162 @@
+"""Tests for the deterministic committee protocol (Theorem 3.4)."""
+
+import math
+
+import pytest
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    EquivocateStrategy,
+    SelectiveSilenceStrategy,
+    SilentStrategy,
+    TargetedSlowdown,
+    UniformRandomDelay,
+    WrongBitsStrategy,
+)
+from repro.core.bounds import committee_query_bound
+from repro.protocols import ByzCommitteeDownloadPeer
+from repro.sim import ConfigurationError, run_download
+
+from tests.conftest import assert_download_correct, byzantine_async_adversary
+
+ALL_STRATEGIES = [SilentStrategy, WrongBitsStrategy, EquivocateStrategy,
+                  SelectiveSilenceStrategy]
+
+
+class TestCorrectness:
+    def test_no_fault(self):
+        result = run_download(
+            n=8, ell=256, t=0,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=8),
+            seed=1)
+        assert_download_correct(result)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_every_strategy_at_max_minority(self, strategy):
+        # n=9, t=4: the largest t with 2t < n.
+        adversary = ComposedAdversary(
+            faults=ByzantineAdversary(
+                corrupted={0, 2, 4, 6},
+                strategy_factory=lambda pid: strategy()),
+            latency=UniformRandomDelay())
+        result = run_download(
+            n=9, ell=270,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=9),
+            adversary=adversary, seed=2)
+        assert_download_correct(result, strategy.__name__)
+
+    def test_per_bit_committees_paper_exact(self):
+        result = run_download(
+            n=7, ell=70,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=1),
+            adversary=byzantine_async_adversary(
+                0.28, lambda pid: WrongBitsStrategy()), seed=3)
+        assert_download_correct(result)
+
+    def test_slow_honest_committee_members(self):
+        result = run_download(
+            n=9, ell=180, t=2,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=4),
+            adversary=TargetedSlowdown({1, 2}), seed=4)
+        assert_download_correct(result)
+
+    def test_seed_sweep_with_equivocation(self):
+        for seed in range(5):
+            result = run_download(
+                n=10, ell=200,
+                peer_factory=ByzCommitteeDownloadPeer.factory(block_size=10),
+                adversary=byzantine_async_adversary(
+                    0.3, lambda pid: EquivocateStrategy()),
+                seed=seed)
+            assert_download_correct(result, f"seed={seed}")
+
+
+class TestComplexity:
+    def test_query_complexity_matches_theorem(self):
+        n, ell, t = 10, 1000, 3
+        result = run_download(
+            n=n, ell=ell, t=t,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=10),
+            seed=1)
+        bound = committee_query_bound(ell, n, t)
+        assert result.report.query_complexity <= bound + n
+        # And the protocol really uses committees (queries way below ell
+        # but above the fault-free ideal):
+        assert result.report.query_complexity >= ell * (2 * t + 1) / n - n
+
+    def test_block_size_does_not_change_query_complexity(self):
+        def q_for(block_size):
+            return run_download(
+                n=8, ell=512, t=2,
+                peer_factory=ByzCommitteeDownloadPeer.factory(
+                    block_size=block_size),
+                seed=1).report.query_complexity
+
+        small, large = q_for(4), q_for(32)
+        assert abs(small - large) <= 64  # boundary effects only
+
+    def test_committee_grows_with_t(self):
+        def q_for(t):
+            return run_download(
+                n=9, ell=900, t=t,
+                peer_factory=ByzCommitteeDownloadPeer.factory(block_size=9),
+                seed=1).report.query_complexity
+
+        assert q_for(1) < q_for(3) < q_for(4)
+
+
+class TestAcceptanceRule:
+    def test_rejects_majority_configuration(self):
+        with pytest.raises(ConfigurationError, match="2t < n"):
+            run_download(
+                n=8, ell=64, t=4,
+                peer_factory=ByzCommitteeDownloadPeer.factory(),
+                seed=1)
+
+    def test_wrong_length_reports_ignored(self):
+        from repro.adversary import ScriptedByzantinePeer
+        from repro.protocols.byz_committee import CommitteeReport
+
+        class WrongLength(ScriptedByzantinePeer):
+            def body(self):
+                self.inject_all(CommitteeReport(sender=self.pid, block=0,
+                                                string="1"))  # too short
+                return None
+
+        adversary = ComposedAdversary(
+            faults=ByzantineAdversary(
+                corrupted={0, 1},
+                scripted_factory=lambda pid, env: WrongLength(pid, env)),
+            latency=UniformRandomDelay())
+        result = run_download(
+            n=7, ell=70,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=10),
+            adversary=adversary, seed=5)
+        assert_download_correct(result)
+
+    def test_non_member_reports_ignored(self):
+        # A scripted attacker reports for every block, including blocks
+        # whose committee it is not in; t+1 threshold must still hold.
+        from repro.adversary.attacks import CommitteeForgeAttacker
+        adversary = ComposedAdversary(
+            faults=ByzantineAdversary(
+                corrupted={3},
+                scripted_factory=lambda pid, env: CommitteeForgeAttacker(
+                    pid, env, block_size=10)),
+            latency=UniformRandomDelay())
+        result = run_download(
+            n=7, ell=70,
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=10),
+            adversary=adversary, seed=6)
+        assert_download_correct(result)
+
+    def test_give_up_deadline_with_honest_source_changes_nothing(self):
+        result = run_download(
+            n=8, ell=128, t=2,
+            peer_factory=ByzCommitteeDownloadPeer.factory(
+                block_size=8, give_up_time=100.0),
+            adversary=byzantine_async_adversary(
+                0.25, lambda pid: WrongBitsStrategy()),
+            seed=7)
+        assert_download_correct(result)

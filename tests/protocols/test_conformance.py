@@ -1,0 +1,59 @@
+"""Every registered protocol passes the conformance battery."""
+
+import pytest
+
+from repro.protocols import all_protocols, get
+from repro.testing import check_download_conformance, conformance_parameters
+
+# Protocols with structural (non-fractional) fault budgets.
+SPECIAL_T = {"crash-one": 1, "balanced": 0}
+
+
+@pytest.mark.parametrize("name", [entry.name for entry in all_protocols()])
+def test_registered_protocol_conformance(name):
+    entry = get(name)
+    report = check_download_conformance(
+        entry,
+        params=conformance_parameters(name),
+        n=8, ell=256, seed=11,
+        special_t=SPECIAL_T.get(name))
+    assert report.passed, f"{name}: {report.failures}"
+    # Every protocol runs the core five checks at minimum.
+    assert len(report.checks_run) >= 5
+
+
+class TestHarnessItself:
+    def test_report_records_failures(self):
+        from repro.testing import ConformanceReport
+        report = ConformanceReport(protocol="x")
+        report.record("a", True)
+        report.record("b", False, "boom")
+        assert not report.passed
+        assert report.failures == ["b: boom"]
+        assert report.checks_run == ["a", "b"]
+
+    def test_parameters_cover_special_protocols(self):
+        assert "block_size" in conformance_parameters("byz-committee")
+        assert conformance_parameters("naive") == {}
+
+    def test_conformance_catches_a_broken_protocol(self):
+        # A protocol that terminates with garbage must fail the battery.
+        from repro.protocols.base import DownloadPeer
+        from repro.protocols.registry import ProtocolEntry
+        from repro.util.bitarrays import BitArray
+
+        class LiarPeer(DownloadPeer):
+            protocol_name = "liar"
+
+            def body(self):
+                self.finish(BitArray.zeros(self.ell))
+                return
+                yield  # pragma: no cover
+
+        entry = ProtocolEntry(
+            name="liar", peer_class=LiarPeer, fault_model="none",
+            randomized=False, max_crash_fraction=0.0,
+            max_byzantine_fraction=0.0, description="outputs zeros")
+        report = check_download_conformance(entry, n=4, ell=64, seed=1)
+        assert not report.passed
+        assert any("correctness" in failure for failure in report.failures)

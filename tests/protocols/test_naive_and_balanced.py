@@ -1,0 +1,108 @@
+"""Tests for the two baselines: naive and fault-free balanced."""
+
+import pytest
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    SilentStrategy,
+    StaggeredStart,
+    UniformRandomDelay,
+)
+from repro.protocols import BalancedDownloadPeer, NaiveDownloadPeer
+from repro.sim import DeadlockError, run_download
+
+from tests.conftest import assert_download_correct
+
+
+class TestNaive:
+    def test_correct_without_faults(self):
+        result = run_download(n=4, ell=256,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              seed=1)
+        assert_download_correct(result)
+
+    def test_query_complexity_is_exactly_ell(self):
+        result = run_download(n=4, ell=300,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              seed=1)
+        assert result.report.query_complexity == 300
+
+    def test_sends_no_messages(self):
+        result = run_download(n=4, ell=64,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              seed=1)
+        assert result.report.message_complexity == 0
+
+    def test_survives_byzantine_majority(self):
+        adversary = ComposedAdversary(
+            faults=ByzantineAdversary(
+                fraction=0.6, strategy_factory=lambda pid: SilentStrategy()),
+            latency=UniformRandomDelay())
+        result = run_download(n=10, ell=128,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              adversary=adversary, seed=2)
+        assert_download_correct(result)
+
+    def test_survives_heavy_crashes(self):
+        adversary = CrashAdversary(crash_fraction=0.7)
+        result = run_download(n=10, ell=128,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              adversary=adversary, seed=3)
+        assert_download_correct(result)
+
+    def test_large_input_chunked_queries(self):
+        result = run_download(n=2, ell=10_000,
+                              peer_factory=NaiveDownloadPeer.factory(),
+                              seed=1)
+        assert_download_correct(result)
+        assert result.report.query_complexity == 10_000
+
+
+class TestBalanced:
+    def test_correct_without_faults(self):
+        result = run_download(n=8, ell=512,
+                              peer_factory=BalancedDownloadPeer.factory(),
+                              seed=1)
+        assert_download_correct(result)
+
+    def test_query_complexity_is_ell_over_n(self):
+        result = run_download(n=8, ell=512,
+                              peer_factory=BalancedDownloadPeer.factory(),
+                              seed=1)
+        assert result.report.query_complexity == 512 // 8
+
+    def test_uneven_division_load_gap_at_most_one(self):
+        result = run_download(n=8, ell=515,
+                              peer_factory=BalancedDownloadPeer.factory(),
+                              seed=1)
+        loads = result.report.per_peer_query_bits.values()
+        assert max(loads) - min(loads) <= 1
+
+    def test_message_complexity_quadratic(self):
+        result = run_download(n=6, ell=60,
+                              peer_factory=BalancedDownloadPeer.factory(),
+                              seed=1)
+        assert result.report.message_complexity == 6 * 5
+
+    def test_correct_under_asynchrony_and_staggered_starts(self):
+        result = run_download(n=8, ell=512,
+                              peer_factory=BalancedDownloadPeer.factory(),
+                              adversary=StaggeredStart(spread=4.0), seed=2)
+        assert_download_correct(result)
+
+    def test_single_crash_deadlocks_it(self):
+        # The reason the paper's protocols exist at all.
+        from repro.adversary import CrashAfterSends
+        adversary = CrashAdversary(crashes={3: CrashAfterSends(0)})
+        with pytest.raises(DeadlockError):
+            run_download(n=8, ell=64,
+                         peer_factory=BalancedDownloadPeer.factory(),
+                         adversary=adversary, seed=1)
+
+    def test_total_queries_equal_ell(self):
+        result = run_download(n=8, ell=512,
+                              peer_factory=BalancedDownloadPeer.factory(),
+                              seed=1)
+        assert result.report.total_query_bits == 512

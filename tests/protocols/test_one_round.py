@@ -1,0 +1,116 @@
+"""Tests for the single-round protocol and the adaptive crash adversary."""
+
+import pytest
+
+from repro.adversary import AdaptiveCrashAdversary, UniformRandomDelay
+from repro.adversary.adaptive import greedy_coverage_kill
+from repro.protocols import CrashMultiDownloadPeer, OneRoundDownloadPeer
+from repro.sim import run_download
+
+from tests.conftest import assert_download_correct, crash_async_adversary
+
+
+class TestGreedyCoverageKill:
+    def test_kills_sole_owners_first(self):
+        coverage = {0: {1, 2, 3}, 1: {3, 4}, 2: {5}}
+        victims = greedy_coverage_kill(coverage, ell=6, budget=1)
+        assert victims == {0}  # orphans bits 1, 2 (3 is shared)
+
+    def test_respects_budget(self):
+        coverage = {pid: {pid} for pid in range(10)}
+        assert len(greedy_coverage_kill(coverage, ell=10, budget=3)) == 3
+
+    def test_zero_budget(self):
+        assert greedy_coverage_kill({0: {1}}, ell=2, budget=0) == set()
+
+    def test_sequential_gains_account_for_prior_kills(self):
+        # After killing 0, bit 3 becomes solely owned by 1.
+        coverage = {0: {1, 2, 3}, 1: {3}, 2: {9}}
+        victims = greedy_coverage_kill(coverage, ell=10, budget=2)
+        assert victims == {0, 1}
+
+
+class TestOneRoundProtocol:
+    def test_correct_fault_free(self):
+        result = run_download(n=8, ell=512, t=0,
+                              peer_factory=OneRoundDownloadPeer.factory(),
+                              seed=1)
+        assert_download_correct(result)
+        assert result.report.query_complexity == 512 // 8
+
+    def test_correct_under_oblivious_crashes(self):
+        result = run_download(
+            n=8, ell=512,
+            peer_factory=OneRoundDownloadPeer.factory(redundancy=2),
+            adversary=crash_async_adversary(0.25), seed=2)
+        assert_download_correct(result)
+
+    def test_redundancy_bounds_validated(self):
+        with pytest.raises(ValueError):
+            run_download(n=4, ell=16, t=0,
+                         peer_factory=OneRoundDownloadPeer.factory(
+                             redundancy=5),
+                         seed=1)
+
+    def test_randomized_slices_differ_across_peers(self):
+        result = run_download(
+            n=12, ell=240, t=0,
+            peer_factory=OneRoundDownloadPeer.factory(redundancy=3,
+                                                      randomized=True),
+            adversary=UniformRandomDelay(), seed=3)
+        assert_download_correct(result)
+
+
+class TestAdaptiveSeparation:
+    def test_adaptive_adversary_forces_completion_queries(self):
+        adversary = AdaptiveCrashAdversary(crash_fraction=0.5)
+        result = run_download(
+            n=16, ell=4096,
+            peer_factory=OneRoundDownloadPeer.factory(redundancy=1),
+            adversary=adversary, seed=4)
+        assert_download_correct(result)
+        # Half the slices lost: survivors re-query them all.
+        assert len(adversary.killed_bits()) >= 4096 // 4
+        assert result.report.query_complexity >= 4096 // 4
+
+    def test_redundancy_cannot_buy_out_of_the_plateau(self):
+        # One-round cost stays ~ (t+1) * ell / n across redundancy —
+        # the qualitative content of the single-round lower bound.
+        costs = []
+        for redundancy in (1, 2, 4):
+            adversary = AdaptiveCrashAdversary(crash_fraction=0.5)
+            result = run_download(
+                n=16, ell=4096,
+                peer_factory=OneRoundDownloadPeer.factory(
+                    redundancy=redundancy),
+                adversary=adversary, seed=5)
+            assert result.download_correct
+            costs.append(result.report.query_complexity)
+        floor = (16 // 2) * 4096 // 16  # beta * ell
+        assert all(cost >= floor for cost in costs)
+
+    def test_iterated_protocol_escapes_the_adaptive_adversary(self):
+        adversary = AdaptiveCrashAdversary(crash_fraction=0.5)
+        iterated = run_download(
+            n=16, ell=4096,
+            peer_factory=CrashMultiDownloadPeer.factory(),
+            adversary=adversary, seed=6)
+        assert iterated.download_correct
+
+        one_round_adversary = AdaptiveCrashAdversary(crash_fraction=0.5)
+        one_round = run_download(
+            n=16, ell=4096,
+            peer_factory=OneRoundDownloadPeer.factory(redundancy=2),
+            adversary=one_round_adversary, seed=6)
+        assert one_round.download_correct
+        # The separation: iterating is strictly cheaper than any
+        # single-exchange coverage under the adaptive adversary.
+        assert iterated.report.query_complexity \
+            < one_round.report.query_complexity
+
+    def test_adaptive_victims_within_budget(self):
+        adversary = AdaptiveCrashAdversary(crash_fraction=0.25)
+        run_download(n=12, ell=240,
+                     peer_factory=OneRoundDownloadPeer.factory(),
+                     adversary=adversary, seed=7)
+        assert len(adversary.actually_faulty()) <= 3

@@ -1,0 +1,91 @@
+"""Tests for the general retrieval layer (f(X) problems)."""
+
+import pytest
+
+from repro.adversary import ComposedAdversary, CrashAdversary, \
+    UniformRandomDelay
+from repro.protocols import (
+    CrashMultiDownloadPeer,
+    NaiveDownloadPeer,
+    count_ones,
+    index_of_first_one,
+    majority_bit,
+    make_retrieval_class,
+    parity,
+    retrieval_outputs,
+    segment_extractor,
+)
+from repro.sim import run_download
+from repro.util.bitarrays import BitArray
+
+
+class TestFunctions:
+    def test_parity(self):
+        assert parity(BitArray.from_string("1101")) == 1
+        assert parity(BitArray.from_string("1100")) == 0
+
+    def test_count_ones(self):
+        assert count_ones(BitArray.from_string("10110")) == 3
+
+    def test_majority_bit(self):
+        assert majority_bit(BitArray.from_string("110")) == 1
+        assert majority_bit(BitArray.from_string("100")) == 0
+        assert majority_bit(BitArray.from_string("10")) == 0  # tie -> 0
+
+    def test_segment_extractor(self):
+        extract = segment_extractor(1, 4)
+        assert extract(BitArray.from_string("01101")) == "110"
+
+    def test_index_of_first_one(self):
+        assert index_of_first_one(BitArray.from_string("0010")) == 2
+        assert index_of_first_one(BitArray.from_string("000")) is None
+
+
+class TestRetrievalPeer:
+    def test_wraps_download_protocol(self):
+        PeerClass = make_retrieval_class(CrashMultiDownloadPeer, parity)
+        data = BitArray.from_string("110100101011")
+        result = run_download(n=4, data=data, t=0,
+                              peer_factory=PeerClass.factory(), seed=1)
+        assert result.download_correct
+        outputs = retrieval_outputs(result, parity)
+        assert set(outputs.values()) == {parity(data)}
+
+    def test_retrieval_under_crashes(self):
+        PeerClass = make_retrieval_class(CrashMultiDownloadPeer, count_ones)
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crash_fraction=0.5),
+            latency=UniformRandomDelay())
+        result = run_download(n=8, ell=400, peer_factory=PeerClass.factory(),
+                              adversary=adversary, seed=2)
+        assert result.download_correct
+        outputs = retrieval_outputs(result, count_ones)
+        assert len(set(outputs.values())) == 1
+        assert outputs.popitem()[1] == result.data.count_ones()
+
+    def test_protocol_name_reflects_wrapping(self):
+        PeerClass = make_retrieval_class(NaiveDownloadPeer, parity)
+        assert PeerClass.protocol_name == "retrieval(naive)"
+        assert PeerClass.__name__ == "RetrievalNaiveDownloadPeer"
+
+    def test_wrapper_preserves_query_complexity(self):
+        PeerClass = make_retrieval_class(NaiveDownloadPeer, majority_bit)
+        wrapped = run_download(n=3, ell=90,
+                               peer_factory=PeerClass.factory(), seed=3)
+        plain = run_download(n=3, ell=90,
+                             peer_factory=NaiveDownloadPeer.factory(),
+                             seed=3)
+        assert wrapped.report.query_complexity == \
+            plain.report.query_complexity
+
+    def test_retrieval_outputs_skips_unterminated(self):
+        PeerClass = make_retrieval_class(NaiveDownloadPeer, parity)
+        from repro.adversary import CrashAtTime
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes={1: CrashAtTime(0.0)}),
+            latency=UniformRandomDelay())
+        result = run_download(n=4, ell=64, peer_factory=PeerClass.factory(),
+                              adversary=adversary, seed=4)
+        outputs = retrieval_outputs(result, parity)
+        assert 1 not in outputs
+        assert set(outputs) == {0, 2, 3}

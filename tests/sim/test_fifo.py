@@ -1,0 +1,115 @@
+"""Tests for the per-link FIFO delivery option."""
+
+from dataclasses import dataclass
+
+from repro.adversary.base import Adversary
+from repro.sim.messages import Message
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.scheduler import Kernel
+
+
+@dataclass(frozen=True)
+class Tagged(Message):
+    tag: int
+
+
+class DecreasingLatency(Adversary):
+    """Later messages get smaller latencies — overtaking bait."""
+
+    def __init__(self):
+        super().__init__()
+        self.next_latency = 10.0
+
+    def message_latency(self, sender, destination, message, now, cycle):
+        latency = self.next_latency
+        self.next_latency = max(0.5, latency / 2)
+        return latency
+
+
+class StubReceiver:
+    def __init__(self, pid):
+        self.pid = pid
+        self.received = []
+        self.live = True
+
+    def deliver(self, message):
+        self.received.append(message)
+
+
+def build(fifo):
+    kernel = Kernel()
+    network = Network(kernel, MetricsCollector(), DecreasingLatency(),
+                      fifo=fifo)
+    receivers = [StubReceiver(pid) for pid in range(3)]
+    for receiver in receivers:
+        network.attach(receiver)
+    return kernel, network, receivers
+
+
+class TestFifoOrdering:
+    def test_non_fifo_allows_overtaking(self):
+        kernel, network, receivers = build(fifo=False)
+        for tag in range(4):
+            network.send(0, 1, Tagged(sender=0, tag=tag))
+        kernel.run()
+        tags = [message.tag for message in receivers[1].received]
+        assert tags == [3, 2, 1, 0]  # latencies 10, 5, 2.5, 1.25
+
+    def test_fifo_preserves_per_link_order(self):
+        kernel, network, receivers = build(fifo=True)
+        for tag in range(4):
+            network.send(0, 1, Tagged(sender=0, tag=tag))
+        kernel.run()
+        tags = [message.tag for message in receivers[1].received]
+        assert tags == [0, 1, 2, 3]
+
+    def test_fifo_is_per_link_not_global(self):
+        kernel, network, receivers = build(fifo=True)
+        network.send(0, 1, Tagged(sender=0, tag=0))   # latency 10
+        network.send(2, 1, Tagged(sender=2, tag=99))  # latency 5
+        kernel.run()
+        tags = [message.tag for message in receivers[1].received]
+        # Different links may interleave freely: 99 arrives first.
+        assert tags == [99, 0]
+
+    def test_fifo_does_not_delay_already_ordered_traffic(self):
+        class Unit(Adversary):
+            def message_latency(self, *args):
+                return 1.0
+
+        kernel = Kernel()
+        network = Network(kernel, MetricsCollector(), Unit(), fifo=True)
+        receiver = StubReceiver(1)
+        network.attach(StubReceiver(0))
+        network.attach(receiver)
+        network.send(0, 1, Tagged(sender=0, tag=0))
+        kernel.run()
+        assert kernel.now == 1.0
+
+
+class TestFifoThroughRunner:
+    def test_protocols_run_under_fifo(self):
+        from repro.adversary import UniformRandomDelay
+        from repro.protocols import CrashMultiDownloadPeer
+        from repro.sim import run_download
+        result = run_download(n=8, ell=256, t=0,
+                              peer_factory=CrashMultiDownloadPeer.factory(),
+                              adversary=UniformRandomDelay(), fifo=True,
+                              seed=1)
+        assert result.download_correct
+
+    def test_crash_one_under_fifo(self):
+        # FIFO is the regime where Algorithm 1's "phase-2 message
+        # implies phase-1 arrived" reasoning is exact.
+        from repro.adversary import (ComposedAdversary, CrashAdversary,
+                                     CrashAfterSends, UniformRandomDelay)
+        from repro.protocols import CrashOneDownloadPeer
+        from repro.sim import run_download
+        adversary = ComposedAdversary(
+            faults=CrashAdversary(crashes={3: CrashAfterSends(4)}),
+            latency=UniformRandomDelay())
+        result = run_download(n=8, ell=256,
+                              peer_factory=CrashOneDownloadPeer.factory(),
+                              adversary=adversary, fifo=True, seed=2)
+        assert result.download_correct

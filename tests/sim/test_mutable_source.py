@@ -1,0 +1,102 @@
+"""Unit tests for MutableDataSource semantics."""
+
+import pytest
+
+from repro.adversary.base import Adversary
+from repro.protocols import NaiveDownloadPeer
+from repro.sim import (
+    MutableDataSource,
+    Simulation,
+    WITHHOLD,
+    mutable_source_factory,
+)
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Network
+from repro.sim.scheduler import Kernel
+from repro.util.bitarrays import BitArray
+
+
+class StubReceiver:
+    def __init__(self, pid):
+        self.pid = pid
+        self.received = []
+        self.live = True
+
+    def deliver(self, message):
+        self.received.append(message)
+
+
+def build(bits="0000", mutations=(), adversary=None):
+    kernel = Kernel()
+    metrics = MetricsCollector()
+    adversary = adversary or Adversary()
+    network = Network(kernel, metrics, adversary)
+    receiver = StubReceiver(0)
+    network.attach(receiver)
+    source = MutableDataSource(BitArray.from_string(bits), metrics, network,
+                               adversary, mutations=mutations)
+    return kernel, metrics, source, receiver
+
+
+class TestReadAtArrival:
+    def test_read_happens_at_half_latency(self):
+        # Flip at 0.4; query round trip is 1.0, so the read at 0.5
+        # sees the flipped value.
+        kernel, _, source, receiver = build("0000", mutations=[(0.4, 2)])
+        source.request_bits(0, 1, [2])
+        kernel.run()
+        (response,) = receiver.received
+        assert response.values == {2: 1}
+
+    def test_flip_after_read_invisible(self):
+        kernel, _, source, receiver = build("0000", mutations=[(0.9, 2)])
+        source.request_bits(0, 1, [2])
+        kernel.run()
+        (response,) = receiver.received
+        assert response.values == {2: 0}
+
+    def test_charging_still_at_request_time(self):
+        kernel, metrics, source, _ = build("0000")
+        source.request_bits(0, 1, [0, 1])
+        assert metrics.queried_bits_of(0) == 2  # before any delivery
+
+    def test_applied_mutations_logged(self):
+        kernel, _, source, _ = build("0000",
+                                     mutations=[(0.5, 1), (0.25, 3)])
+        kernel.run()
+        assert source.applied_mutations == [(0.25, 3), (0.5, 1)]
+
+    def test_flip_flips_back_on_second_mutation(self):
+        kernel, _, source, _ = build("0000",
+                                     mutations=[(0.1, 0), (0.2, 0)])
+        kernel.run()
+        assert source.peek(0) == 0
+
+    def test_invalid_mutation_index_rejected(self):
+        with pytest.raises(ValueError):
+            build("0000", mutations=[(0.1, 9)])
+
+
+class TestWithheldQueries:
+    class WithholdingQueries(Adversary):
+        def query_latency(self, pid, now):
+            return WITHHOLD
+
+    def test_withheld_query_snapshots_at_request(self):
+        kernel, _, source, receiver = build(
+            "0000", mutations=[(0.5, 1)],
+            adversary=self.WithholdingQueries())
+        source.request_bits(0, 1, [1])
+        kernel.run()  # quiescence releases the parked response
+        (response,) = receiver.received
+        # Snapshot semantics for withheld queries: value from request
+        # time (0), not from after the flip.
+        assert response.values == {1: 0}
+
+
+class TestFactory:
+    def test_factory_builds_mutable_source(self):
+        result = Simulation(
+            n=2, data="1100", peer_factory=NaiveDownloadPeer.factory(),
+            source_factory=mutable_source_factory([]), seed=1).run()
+        assert result.download_correct

@@ -1,0 +1,190 @@
+"""Unit tests for the network: delivery, withholding, crash-permit,
+packetization, size limits."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.adversary.base import Adversary
+from repro.sim.errors import ProtocolViolation
+from repro.sim.messages import Message
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import WITHHOLD, Network
+from repro.sim.scheduler import Kernel
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    payload: str
+
+
+class StubReceiver:
+    def __init__(self, pid):
+        self.pid = pid
+        self.received = []
+        self.live = True
+
+    def deliver(self, message):
+        self.received.append(message)
+
+
+class WithholdingAdversary(Adversary):
+    """Withholds messages from chosen senders; releases per policy."""
+
+    def __init__(self, withhold_from=(), release_batches=None):
+        super().__init__()
+        self.withhold_from = set(withhold_from)
+        self.release_batches = release_batches  # None = release all
+
+    def message_latency(self, sender, destination, message, now, cycle):
+        if sender in self.withhold_from:
+            return WITHHOLD
+        return 1.0
+
+    def release_at_quiescence(self, withheld):
+        if self.release_batches is None:
+            return withheld
+        if not self.release_batches:
+            return []
+        count = self.release_batches.pop(0)
+        return withheld[:count]
+
+
+def build(adversary=None, **kwargs):
+    kernel = Kernel()
+    metrics = MetricsCollector()
+    adversary = adversary or Adversary()
+    adversary_env = type("E", (), {})()  # bind() unused in these tests
+    network = Network(kernel, metrics, adversary, **kwargs)
+    receivers = [StubReceiver(pid) for pid in range(3)]
+    for receiver in receivers:
+        network.attach(receiver)
+    return kernel, metrics, network, receivers
+
+
+class TestBasicDelivery:
+    def test_send_delivers_after_latency(self):
+        kernel, _, network, receivers = build()
+        network.send(0, 1, Ping(sender=0, payload="x"))
+        assert receivers[1].received == []
+        kernel.run()
+        assert len(receivers[1].received) == 1
+        assert kernel.now == 1.0
+
+    def test_unknown_destination_raises(self):
+        _, _, network, _ = build()
+        with pytest.raises(ValueError, match="unknown destination"):
+            network.send(0, 9, Ping(sender=0, payload="x"))
+
+    def test_duplicate_attach_rejected(self):
+        _, _, network, _ = build()
+        with pytest.raises(ValueError, match="attached twice"):
+            network.attach(StubReceiver(0))
+
+    def test_delivery_to_dead_receiver_evaporates(self):
+        kernel, _, network, receivers = build()
+        network.send(0, 1, Ping(sender=0, payload="x"))
+        receivers[1].live = False
+        kernel.run()
+        assert receivers[1].received == []
+
+    def test_crashed_sender_cannot_send(self):
+        kernel, metrics, network, receivers = build()
+        receivers[0].live = False
+        sent = network.send(0, 1, Ping(sender=0, payload="x"))
+        assert not sent
+        kernel.run()
+        assert receivers[1].received == []
+
+    def test_message_accounting_honest_only(self):
+        kernel, metrics, network, _ = build()
+        network.send(0, 1, Ping(sender=0, payload="abc"))
+        network.send(0, 2, Ping(sender=0, payload="abc"), honest=False)
+        assert metrics.messages_sent[0] == 1
+
+
+class TestWithholding:
+    def test_withheld_released_at_quiescence(self):
+        adversary = WithholdingAdversary(withhold_from={0})
+        kernel, _, network, receivers = build(adversary)
+        network.send(0, 1, Ping(sender=0, payload="slow"))
+        network.send(2, 1, Ping(sender=2, payload="fast"))
+        kernel.run()
+        payloads = [m.payload for m in receivers[1].received]
+        assert payloads == ["fast", "slow"]
+
+    def test_staged_release(self):
+        adversary = WithholdingAdversary(withhold_from={0},
+                                         release_batches=[1, 1])
+        kernel, _, network, receivers = build(adversary)
+        network.send(0, 1, Ping(sender=0, payload="a"))
+        network.send(0, 1, Ping(sender=0, payload="b"))
+        kernel.run()
+        assert [m.payload for m in receivers[1].received] == ["a", "b"]
+
+    def test_withheld_count_visible(self):
+        adversary = WithholdingAdversary(withhold_from={0})
+        kernel, _, network, _ = build(adversary)
+        network.send(0, 1, Ping(sender=0, payload="a"))
+        assert network.withheld_count == 1
+
+    def test_release_nothing_leaves_messages_parked(self):
+        adversary = WithholdingAdversary(withhold_from={0},
+                                         release_batches=[])
+        kernel, _, network, receivers = build(adversary)
+        network.send(0, 1, Ping(sender=0, payload="a"))
+        kernel.run()  # no essential processes -> clean exit
+        assert receivers[1].received == []
+        assert network.withheld_count == 1
+
+
+class TestCrashPermit:
+    class RefusingAdversary(Adversary):
+        def __init__(self, allow):
+            super().__init__()
+            self.allow = allow
+
+        def permit_send(self, sender, destination, message, now):
+            if self.allow > 0:
+                self.allow -= 1
+                return True
+            return False
+
+    def test_permit_refusal_drops_message(self):
+        kernel, metrics, network, receivers = build(
+            self.RefusingAdversary(allow=1))
+        assert network.send(0, 1, Ping(sender=0, payload="a"))
+        assert not network.send(0, 2, Ping(sender=0, payload="b"))
+        kernel.run()
+        assert len(receivers[1].received) == 1
+        assert receivers[2].received == []
+        assert metrics.messages_sent[0] == 1  # refused send not charged
+
+
+class TestSizeLimits:
+    def test_oversized_honest_message_rejected(self):
+        _, _, network, _ = build(message_size_limit=8)
+        with pytest.raises(ProtocolViolation, match="limit"):
+            network.send(0, 1, Ping(sender=0, payload="x" * 100))
+
+    def test_byzantine_messages_exempt(self):
+        kernel, _, network, receivers = build(message_size_limit=8)
+        network.send(0, 1, Ping(sender=0, payload="x" * 100), honest=False)
+        kernel.run()
+        assert len(receivers[1].received) == 1
+
+    def test_packetize_scales_latency_instead_of_rejecting(self):
+        kernel, _, network, receivers = build(message_size_limit=100,
+                                              packetize=True)
+        big = Ping(sender=0, payload="x" * 150)  # > 2 packets with header
+        network.send(0, 1, big)
+        kernel.run()
+        packets = -(-big.size_bits() // 100)
+        assert kernel.now == pytest.approx(float(packets))
+
+    def test_packetize_leaves_small_messages_alone(self):
+        kernel, _, network, _ = build(message_size_limit=10_000,
+                                      packetize=True)
+        network.send(0, 1, Ping(sender=0, payload="x"))
+        kernel.run()
+        assert kernel.now == 1.0

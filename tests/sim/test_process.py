@@ -1,0 +1,115 @@
+"""Direct unit tests for the process model."""
+
+import pytest
+
+from repro.sim.process import Process, Sleep, WaitUntil
+
+
+class Scripted(Process):
+    def __init__(self):
+        super().__init__("scripted")
+
+    def body(self):
+        yield Sleep(1.0)
+
+
+class TestWaitRequests:
+    def test_sleep_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Sleep(-0.5)
+
+    def test_sleep_repr(self):
+        assert "2.5" in repr(Sleep(2.5))
+
+    def test_wait_until_repr_carries_description(self):
+        assert "the thing" in repr(WaitUntil(lambda: True, "the thing"))
+
+    def test_wait_until_default_description(self):
+        assert "condition" in repr(WaitUntil(lambda: True))
+
+
+class TestProcessState:
+    def test_new_process_is_live_and_essential(self):
+        process = Scripted()
+        assert process.live
+        assert process.essential
+        assert process.waiting_on is None
+
+    def test_halt_makes_not_live(self):
+        process = Scripted()
+        process.halt()
+        assert not process.live
+        assert process.halted and not process.finished
+
+    def test_halt_clears_pending_wait(self):
+        process = Scripted()
+        process._waiting = WaitUntil(lambda: False, "x")
+        process.halt()
+        assert process.waiting_on is None
+
+    def test_finished_makes_not_live(self):
+        process = Scripted()
+        process.finished = True
+        assert not process.live
+
+    def test_repr_reflects_state(self):
+        process = Scripted()
+        assert "runnable" in repr(process)
+        process._waiting = WaitUntil(lambda: False, "messages")
+        assert "waiting" in repr(process)
+        process.halt()
+        assert "halted" in repr(process)
+        process.halted = False
+        process.finished = True
+        assert "finished" in repr(process)
+
+    def test_abstract_body_raises(self):
+        with pytest.raises(NotImplementedError):
+            Process("bare").body()
+
+
+class TestDeadlineWait:
+    def test_deadline_fires_even_without_messages(self):
+        from repro.sim import Simulation
+        from repro.sim.peer import Peer
+        from repro.util.bitarrays import BitArray
+        woke_at = {}
+
+        class Deadliner(Peer):
+            def body(self):
+                yield self.wait_with_deadline(lambda: False, 3.0,
+                                              "never-satisfied")
+                woke_at[self.pid] = self.env.kernel.now
+                self.finish(BitArray.zeros(self.ell))
+
+        result = Simulation(n=2, data="10", peer_factory=Deadliner,
+                            seed=1).run()
+        assert result.all_honest_terminated
+        assert woke_at[0] == pytest.approx(3.0)
+
+    def test_deadline_wait_still_wakes_early_on_predicate(self):
+        from repro.sim import Simulation
+        from repro.sim.peer import Peer
+        from repro.sim.messages import Message
+        from repro.util.bitarrays import BitArray
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Ping(Message):
+            pass
+
+        woke_at = {}
+
+        class Early(Peer):
+            def body(self):
+                if self.pid == 1:
+                    self.send(0, Ping(sender=self.pid))
+                    self.finish(BitArray.zeros(self.ell))
+                    return
+                yield self.wait_with_deadline(
+                    lambda: len(self.inbox) > 0, 50.0, "ping or deadline")
+                woke_at[self.pid] = self.env.kernel.now
+                self.finish(BitArray.zeros(self.ell))
+
+        Simulation(n=2, data="10", peer_factory=Early, seed=1).run()
+        assert woke_at[0] < 50.0

@@ -1,0 +1,40 @@
+"""Unit tests for TraceRecorder."""
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def build(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "crash", pid=3)
+        trace.record(2.0, "terminate", pid=0)
+        trace.record(3.0, "terminate", pid=1)
+        return trace
+
+    def test_select_by_kind(self):
+        trace = self.build()
+        assert len(trace.select("terminate")) == 2
+        assert len(trace.select("crash")) == 1
+
+    def test_select_with_predicate(self):
+        trace = self.build()
+        found = trace.select("terminate", lambda r: r["pid"] == 1)
+        assert len(found) == 1
+        assert found[0].time == 3.0
+
+    def test_first_and_last(self):
+        trace = self.build()
+        assert trace.first("terminate").time == 2.0
+        assert trace.last("terminate").time == 3.0
+        assert trace.first("nope") is None
+        assert trace.last("nope") is None
+
+    def test_len(self):
+        assert len(self.build()) == 3
+
+    def test_getitem_reads_details(self):
+        record = self.build().first("crash")
+        assert record["pid"] == 3
+
+    def test_select_all(self):
+        assert len(self.build().select()) == 3

@@ -1,0 +1,130 @@
+"""Unit tests for repro.util.bitarrays."""
+
+import pytest
+
+from repro.util.bitarrays import BitArray
+from repro.util.rng import SplittableRNG
+
+
+class TestConstruction:
+    def test_zeros_has_requested_length_and_all_zero(self):
+        array = BitArray.zeros(17)
+        assert len(array) == 17
+        assert array.count_ones() == 0
+
+    def test_ones_sets_every_bit(self):
+        array = BitArray.ones(13)
+        assert array.count_ones() == 13
+        assert all(bit == 1 for bit in array)
+
+    def test_ones_clears_padding_so_equality_is_exact(self):
+        assert BitArray.ones(9) == BitArray.from_bits([1] * 9)
+
+    def test_from_bits_round_trips(self):
+        bits = [1, 0, 0, 1, 1, 0, 1]
+        assert BitArray.from_bits(bits).to_bits() == bits
+
+    def test_from_string_parses_01(self):
+        array = BitArray.from_string("0110")
+        assert array.to_bits() == [0, 1, 1, 0]
+
+    def test_from_string_rejects_other_characters(self):
+        with pytest.raises(ValueError, match="0/1"):
+            BitArray.from_string("01x0")
+
+    def test_random_is_seed_deterministic(self):
+        first = BitArray.random(64, SplittableRNG(5))
+        second = BitArray.random(64, SplittableRNG(5))
+        assert first == second
+
+    def test_random_differs_across_seeds(self):
+        first = BitArray.random(256, SplittableRNG(5))
+        second = BitArray.random(256, SplittableRNG(6))
+        assert first != second
+
+    def test_empty_array_is_allowed(self):
+        assert len(BitArray(0)) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitArray(-1)
+
+
+class TestElementAccess:
+    def test_set_and_get(self):
+        array = BitArray(10)
+        array[3] = 1
+        assert array[3] == 1
+        array[3] = 0
+        assert array[3] == 0
+
+    def test_out_of_range_read_raises(self):
+        with pytest.raises(ValueError):
+            BitArray(4)[4]
+
+    def test_out_of_range_write_raises(self):
+        array = BitArray(4)
+        with pytest.raises(ValueError):
+            array[-1] = 1
+
+    def test_non_bit_value_rejected(self):
+        array = BitArray(4)
+        with pytest.raises(ValueError, match="bit must be 0 or 1"):
+            array[0] = 2
+
+    def test_setting_does_not_disturb_neighbours(self):
+        array = BitArray.from_bits([1, 0, 1, 0, 1])
+        array[2] = 0
+        assert array.to_bits() == [1, 0, 0, 0, 1]
+
+
+class TestSegments:
+    def test_segment_extracts_expected_window(self):
+        array = BitArray.from_string("00110101")
+        assert array.segment(2, 6) == "1101"
+
+    def test_full_segment_equals_whole_string(self):
+        array = BitArray.from_string("1010")
+        assert array.segment(0, 4) == "1010"
+
+    def test_empty_segment_is_empty_string(self):
+        assert BitArray.from_string("111").segment(1, 1) == ""
+
+    def test_set_segment_writes_in_place(self):
+        array = BitArray.zeros(8)
+        array.set_segment(3, "101")
+        assert array.segment(0, 8) == "00010100"
+
+    def test_set_segment_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            BitArray.zeros(4).set_segment(2, "111")
+
+    def test_set_segment_rejects_bad_characters(self):
+        with pytest.raises(ValueError):
+            BitArray.zeros(4).set_segment(0, "1a")
+
+    def test_segment_bounds_validated(self):
+        with pytest.raises(ValueError):
+            BitArray.zeros(4).segment(3, 2)
+
+
+class TestEqualityAndCopy:
+    def test_equal_to_plain_list(self):
+        assert BitArray.from_bits([1, 0, 1]) == [1, 0, 1]
+
+    def test_not_equal_to_different_length(self):
+        assert BitArray.from_bits([1, 0]) != [1, 0, 0]
+
+    def test_copy_is_independent(self):
+        original = BitArray.from_bits([1, 1, 0])
+        duplicate = original.copy()
+        duplicate[0] = 0
+        assert original[0] == 1
+
+    def test_hashable_and_stable(self):
+        array = BitArray.from_string("0101")
+        assert hash(array) == hash(array.copy())
+
+    def test_repr_short_and_long(self):
+        assert "0101" in repr(BitArray.from_string("0101"))
+        assert "length=100" in repr(BitArray.zeros(100))

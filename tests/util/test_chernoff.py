@@ -1,0 +1,92 @@
+"""Unit tests for repro.util.chernoff."""
+
+import math
+
+import pytest
+
+from repro.util.chernoff import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_two_sided,
+    min_samples_for_failure_bound,
+    union_bound,
+)
+
+
+class TestChernoffLowerTail:
+    def test_matches_closed_form(self):
+        assert chernoff_lower_tail(10, 0.5) == pytest.approx(
+            math.exp(-0.25 * 10 / 2))
+
+    def test_zero_delta_gives_trivial_bound(self):
+        assert chernoff_lower_tail(10, 0.0) == 1.0
+
+    def test_monotone_in_mean(self):
+        assert chernoff_lower_tail(100, 0.5) < chernoff_lower_tail(10, 0.5)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.5)
+
+    def test_rejects_negative_mean(self):
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(-1, 0.5)
+
+
+class TestChernoffUpperTail:
+    def test_matches_closed_form(self):
+        assert chernoff_upper_tail(10, 1.0) == pytest.approx(
+            math.exp(-10 / 3))
+
+    def test_allows_delta_above_one(self):
+        assert 0 < chernoff_upper_tail(5, 3.0) < 1
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(5, -0.1)
+
+
+class TestHoeffding:
+    def test_matches_closed_form(self):
+        assert hoeffding_two_sided(100, 0.1) == pytest.approx(
+            2 * math.exp(-2 * 100 * 0.01))
+
+    def test_tightens_with_samples(self):
+        assert hoeffding_two_sided(1000, 0.1) < hoeffding_two_sided(10, 0.1)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            hoeffding_two_sided(0, 0.1)
+
+
+class TestUnionBound:
+    def test_multiplies(self):
+        assert union_bound(0.01, 5) == pytest.approx(0.05)
+
+    def test_clips_at_one(self):
+        assert union_bound(0.5, 10) == 1.0
+
+    def test_zero_events(self):
+        assert union_bound(0.5, 0) == 0.0
+
+    def test_rejects_negative_events(self):
+        with pytest.raises(ValueError):
+            union_bound(0.1, -1)
+
+
+class TestMinSamples:
+    def test_known_value(self):
+        # (1 - 0.1)^k <= 0.01  =>  k >= log(0.01)/log(0.9) ~ 43.7
+        assert min_samples_for_failure_bound(0.1, confidence=0.99) == 44
+
+    def test_smaller_probability_needs_more_samples(self):
+        assert (min_samples_for_failure_bound(0.01)
+                > min_samples_for_failure_bound(0.1))
+
+    def test_rejects_degenerate_probability(self):
+        with pytest.raises(ValueError):
+            min_samples_for_failure_bound(0.0)
+
+    def test_rejects_degenerate_confidence(self):
+        with pytest.raises(ValueError):
+            min_samples_for_failure_bound(0.1, confidence=1.0)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import SplittableRNG, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(123456789, "label") < 2 ** 64
+
+
+class TestSplittableRNG:
+    def test_same_seed_same_stream(self):
+        a = SplittableRNG(7)
+        b = SplittableRNG(7)
+        assert [a.randint(0, 99) for _ in range(10)] == \
+               [b.randint(0, 99) for _ in range(10)]
+
+    def test_split_children_are_independent_of_creation_order(self):
+        root = SplittableRNG(7)
+        first = root.split("x").randint(0, 10 ** 9)
+        root2 = SplittableRNG(7)
+        root2.split("y")  # create another child first
+        second = root2.split("x").randint(0, 10 ** 9)
+        assert first == second
+
+    def test_split_children_differ_by_label(self):
+        root = SplittableRNG(7)
+        xs = [root.split("x").random() for _ in range(1)]
+        ys = [root.split("y").random() for _ in range(1)]
+        assert xs != ys
+
+    def test_consuming_parent_does_not_shift_children(self):
+        root = SplittableRNG(3)
+        root.random()
+        child_after_use = root.split("c").randint(0, 10 ** 9)
+        fresh_child = SplittableRNG(3).split("c").randint(0, 10 ** 9)
+        assert child_after_use == fresh_child
+
+    def test_random_bits_are_bits(self):
+        bits = SplittableRNG(1).random_bits(100)
+        assert len(bits) == 100
+        assert set(bits) <= {0, 1}
+
+    def test_sample_without_replacement(self):
+        sample = SplittableRNG(1).sample(range(20), 5)
+        assert len(set(sample)) == 5
+
+    def test_shuffle_permutes(self):
+        items = list(range(30))
+        shuffled = items[:]
+        SplittableRNG(1).shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_randrange_bounds(self):
+        rng = SplittableRNG(2)
+        assert all(0 <= rng.randrange(5) < 5 for _ in range(50))
+
+    def test_uniform_bounds(self):
+        rng = SplittableRNG(2)
+        assert all(1.5 <= rng.uniform(1.5, 2.5) <= 2.5 for _ in range(50))
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            SplittableRNG("seed")
+
+    def test_rejects_bool_seed(self):
+        with pytest.raises(TypeError):
+            SplittableRNG(True)
+
+    def test_geometric_delays_positive(self):
+        stream = SplittableRNG(4).geometric_delays(2.0)
+        assert all(next(stream) > 0 for _ in range(20))

@@ -1,0 +1,103 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_index,
+    check_nonnegative,
+    check_positive,
+    check_range,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive("x", 1.0)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+
+class TestCheckFraction:
+    def test_accepts_bounds_by_default(self):
+        assert check_fraction("b", 0) == 0.0
+        assert check_fraction("b", 1) == 1.0
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError):
+            check_fraction("b", 1.0, inclusive_high=False)
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError):
+            check_fraction("b", 0.0, inclusive_low=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction("b", 1.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_fraction("b", True)
+
+    def test_returns_float(self):
+        assert isinstance(check_fraction("b", 0.5), float)
+
+
+class TestCheckIndex:
+    def test_accepts_valid(self):
+        assert check_index("i", 3, 4) == 3
+
+    def test_rejects_equal_to_length(self):
+        with pytest.raises(ValueError):
+            check_index("i", 4, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_index("i", -1, 4)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_index("i", False, 4)
+
+
+class TestCheckRange:
+    def test_accepts_valid(self):
+        assert check_range("r", 1, 3, 4) == (1, 3)
+
+    def test_accepts_empty_range(self):
+        assert check_range("r", 2, 2, 4) == (2, 2)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            check_range("r", 3, 1, 4)
+
+    def test_rejects_past_end(self):
+        with pytest.raises(ValueError):
+            check_range("r", 0, 5, 4)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            check_range("r", 0.0, 2, 4)
