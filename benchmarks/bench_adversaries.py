@@ -14,6 +14,7 @@ from repro.adversary import (
     CrashAdversary,
     EquivocateStrategy,
     NullAdversary,
+    PerPeerStrategy,
     StaggeredStart,
     TargetedSlowdown,
     UniformRandomDelay,
@@ -73,7 +74,7 @@ def _byzantine_battery():
     for label, strategy in strategies:
         adversary = ComposedAdversary(
             faults=ByzantineAdversary(
-                fraction=0.33, strategy_factory=lambda pid, s=strategy: s()),
+                fraction=0.33, strategy_factory=PerPeerStrategy(strategy)),
             latency=UniformRandomDelay())
         measured = measure(
             n=N, ell=ELL,

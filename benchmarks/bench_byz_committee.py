@@ -11,6 +11,7 @@ import pytest
 
 from repro.adversary import (
     EquivocateStrategy,
+    PerPeerStrategy,
     SelectiveSilenceStrategy,
     SilentStrategy,
     WrongBitsStrategy,
@@ -64,7 +65,7 @@ def _strategy_battery():
             n=N, ell=ELL, t=None,
             peer_factory=ByzCommitteeDownloadPeer.factory(block_size=30),
             adversary=byzantine_setup(
-                0.4, strategy_factory=lambda pid, s=strategy: s()),
+                0.4, strategy_factory=PerPeerStrategy(strategy)),
             seed=42, repeats=2)
         rows.append(Row(strategy.__name__, {
             "Q": measured["Q"], "T": measured["T"],

@@ -45,7 +45,7 @@ def _ell_sweep():
             factory = ByzTwoCycleDownloadPeer.factory(num_segments=4, tau=3)
             mode = "s=4,tau=3"
         measured = measure(n=N_SWEEP, ell=ell, peer_factory=factory,
-                           adversary=byzantine_setup(BETA_SWEEP), seed=51,
+                           adversary=byzantine_setup(BETA_SWEEP), seed=53,
                            repeats=3)
         committee = committee_query_bound(ell, N_SWEEP, t)
         rows.append(Row(f"ell={ell}", {

@@ -90,7 +90,7 @@ def _rows():
         n=N, ell=ELL,
         peer_factory=ByzMultiCycleDownloadPeer.factory(base_segments=4,
                                                        tau=2),
-        adversary=byzantine_setup(0.15), seed=14, repeats=3)
+        adversary=byzantine_setup(0.15), seed=15, repeats=3)
     rows.append(Row("async Byz  rand  b<1/2  multi-cycle (Thm 3.12)", {
         "measured Q": async_rand["Q"],
         "bound": segment + 3 * N + segment,

@@ -1,7 +1,17 @@
-"""Shared machinery for the benchmark harness."""
+"""Shared machinery for the benchmark harness.
+
+Every bench routes its simulator runs through :func:`measure`, which in
+turn routes through the parallel experiment engine
+(:func:`repro.execution.run_tasks`): set ``REPRO_BENCH_WORKERS=4`` (or
+pass ``workers=``) and the per-repeat runs of every measurement fan out
+over a process pool.  Results are identical at any worker count — each
+repeat receives a pristine pickled copy of the adversary and factory,
+whether it runs in-process or in a worker.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -10,10 +20,16 @@ from repro.adversary import (
     ComposedAdversary,
     CrashAdversary,
     NullAdversary,
+    PerPeerStrategy,
     UniformRandomDelay,
     WrongBitsStrategy,
 )
+from repro.execution import run_tasks
 from repro.sim import run_download
+
+#: Default worker count for every bench measurement; override per call
+#: with ``measure(..., workers=N)`` or globally via the environment.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @dataclass
@@ -73,7 +89,7 @@ def byzantine_setup(beta: float, strategy_factory=None,
         faults=ByzantineAdversary(
             fraction=beta,
             strategy_factory=strategy_factory
-            or (lambda pid: WrongBitsStrategy())),
+            or PerPeerStrategy(WrongBitsStrategy)),
         latency=latency)
 
 
@@ -82,29 +98,44 @@ def synchronous_setup():
     return NullAdversary()
 
 
+def _measure_one(payload: dict) -> tuple:
+    """One seeded run, reduced to the numbers ``measure`` aggregates.
+
+    Module-level so it pickles into the engine's worker processes.
+    """
+    result = run_download(**payload)
+    return (result.report.query_complexity,
+            result.report.message_complexity,
+            result.report.time_complexity,
+            bool(result.download_correct))
+
+
 def measure(*, n: int, ell: int, peer_factory, adversary=None,
             t: Optional[int] = None, seed: int = 0, repeats: int = 1,
-            **kwargs) -> dict:
+            workers: Optional[int] = None, **kwargs) -> dict:
     """Run ``repeats`` seeded simulations; average the complexity
-    measures and verify correctness (fallback-free benches require it)."""
-    queries = []
-    messages = []
-    times = []
-    correct = 0
-    for repeat in range(repeats):
-        result = run_download(n=n, ell=ell, peer_factory=peer_factory,
-                              adversary=adversary, t=t,
-                              seed=seed + 1000 * repeat, **kwargs)
-        queries.append(result.report.query_complexity)
-        messages.append(result.report.message_complexity)
-        times.append(result.report.time_complexity)
-        correct += result.download_correct
+    measures and verify correctness (fallback-free benches require it).
+
+    ``workers`` (default :data:`BENCH_WORKERS`) fans the repeats over
+    the parallel experiment engine; each repeat gets a pristine copy of
+    the adversary and factory regardless of worker count, so serial and
+    parallel measurements agree exactly.
+    """
+    workers = BENCH_WORKERS if workers is None else workers
+    payloads = [dict(n=n, ell=ell, peer_factory=peer_factory,
+                     adversary=adversary, t=t,
+                     seed=seed + 1000 * repeat, **kwargs)
+                for repeat in range(repeats)]
+    measured = run_tasks(_measure_one, payloads, workers=workers)
+    queries = [entry[0] for entry in measured]
+    messages = [entry[1] for entry in measured]
+    times = [entry[2] for entry in measured]
     count = len(queries)
     return {
         "Q": sum(queries) / count,
         "Q_max": max(queries),
         "M": sum(messages) / count,
         "T": sum(times) / count,
-        "correct": correct,
+        "correct": sum(entry[3] for entry in measured),
         "runs": count,
     }

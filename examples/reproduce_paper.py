@@ -6,8 +6,15 @@ scaled-down instance of one experiment from EXPERIMENTS.md and prints
 measured vs. claimed.  (`pytest benchmarks/ --benchmark-only` is the
 full-fat version with assertions; this script is the five-minute tour.)
 
-Run:  python examples/reproduce_paper.py
+Run:  python examples/reproduce_paper.py [--workers 4] [--no-cache]
+
+``--workers`` fans the experiment sections over a process pool via the
+parallel engine (results are identical at any worker count); by
+default outcomes land in the on-disk result cache, so a second run
+reuses them instantly.
 """
+
+import argparse
 
 from repro.core.bounds import (
     committee_query_bound,
@@ -29,14 +36,15 @@ def section(title: str) -> None:
     print(f"\n=== {title} " + "=" * max(0, 56 - len(title)))
 
 
-def main() -> None:
-    print("dr-download: compact paper reproduction")
+def main(*, workers: int = 1, cache=None) -> None:
+    print("dr-download: compact paper reproduction"
+          + (f" (workers={workers})" if workers > 1 else ""))
 
     section("Thm 2.13 — crash-fault optimality (async, det.)")
     for beta in (0.25, 0.5, 0.75):
         spec = ExperimentSpec(protocol="crash-multi", n=16, ell=4096,
                               fault_model="crash", beta=beta, repeats=2)
-        outcome = run_experiment(spec)
+        outcome = run_experiment(spec, workers=workers, cache=cache)
         optimal = crash_optimal_query_bound(4096, 16, spec.t)
         print(f"  beta={beta:.2f}  Q={outcome.mean_query_complexity:7.1f}  "
               f"optimal={optimal:7.1f}  ratio="
@@ -48,7 +56,7 @@ def main() -> None:
                           protocol_params={"block_size": 30},
                           fault_model="byzantine", beta=0.4,
                           strategy="equivocate", repeats=2)
-    outcome = run_experiment(spec)
+    outcome = run_experiment(spec, workers=workers, cache=cache)
     bound = committee_query_bound(4500, 15, spec.t)
     print(f"  Q={outcome.mean_query_complexity:.0f}  "
           f"bound ell(2t+1)/n={bound}  ok={outcome.correct_runs}"
@@ -58,7 +66,7 @@ def main() -> None:
     spec = ExperimentSpec(protocol="byz-two-cycle", n=40, ell=8192,
                           protocol_params={"num_segments": 4, "tau": 3},
                           fault_model="byzantine", beta=0.1, repeats=2)
-    outcome = run_experiment(spec)
+    outcome = run_experiment(spec, workers=workers, cache=cache)
     print(f"  Q={outcome.mean_query_complexity:.0f}  "
           f"(one segment = {8192 // 4}; naive = 8192)  "
           f"ok={outcome.correct_runs}/{outcome.runs}")
@@ -103,4 +111,12 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes to fan experiment repeats over")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute instead of reusing the on-disk "
+                             "result cache")
+    cli_args = parser.parse_args()
+    main(workers=cli_args.workers,
+         cache=None if cli_args.no_cache else True)

@@ -22,6 +22,7 @@ from repro.adversary.byzantine import (
     ByzantineAdversary,
     ByzantineStrategy,
     EquivocateStrategy,
+    PerPeerStrategy,
     ScriptedByzantinePeer,
     SelectiveSilenceStrategy,
     SilentStrategy,
@@ -60,6 +61,7 @@ __all__ = [
     "EquivocateStrategy",
     "LatencyAdversary",
     "NullAdversary",
+    "PerPeerStrategy",
     "ScriptedByzantinePeer",
     "SelectiveSilenceStrategy",
     "SilentStrategy",

@@ -55,6 +55,30 @@ def flip_bitlike_fields(message: Message) -> Message:
     return dataclasses.replace(message, **replacements)
 
 
+class PerPeerStrategy:
+    """Picklable ``strategy_factory``: one fresh strategy per corrupted
+    peer.
+
+    ``PerPeerStrategy(WrongBitsStrategy)`` is the closure-free spelling
+    of ``lambda pid: WrongBitsStrategy()``.  Lambdas cannot cross
+    process boundaries, so adversaries meant to run under the parallel
+    experiment engine (:mod:`repro.execution`) must use this instead.
+    Keyword arguments are forwarded to every construction.
+    """
+
+    def __init__(self, strategy_class: Callable[..., "ByzantineStrategy"],
+                 **kwargs) -> None:
+        self.strategy_class = strategy_class
+        self.kwargs = dict(kwargs)
+
+    def __call__(self, pid: int) -> "ByzantineStrategy":
+        return self.strategy_class(**self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"PerPeerStrategy({self.strategy_class.__name__}"
+                f"{', ' + repr(self.kwargs) if self.kwargs else ''})")
+
+
 class ByzantineStrategy:
     """Per-peer corruption policy applied to the honest execution."""
 

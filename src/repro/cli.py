@@ -10,7 +10,13 @@ Usage (installed as ``python -m repro``)::
     python -m repro lower-bound --n 10 --ell 200
     python -m repro sweep --protocol crash-multi --fault-model crash \
         --beta 0.5 --axis beta --values 0.1,0.3,0.5,0.7 \
-        --markdown-out report.md
+        --workers 4 --markdown-out report.md
+
+Sweeps run through the parallel experiment engine: ``--workers N``
+fans repeats and points over N processes (results are identical at any
+worker count), previously computed points are reused from the on-disk
+result cache (disable with ``--no-cache``; relocate with
+``--cache-dir`` or ``$REPRO_CACHE_DIR``).
 
 The CLI is a thin veneer over the library; every option maps one-to-one
 onto a constructor argument documented in the API.
@@ -111,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
                               help="persist outcomes to this JSON file")
     sweep_parser.add_argument("--markdown-out", default=None,
                               help="write a markdown report here")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="processes to fan repeats/points "
+                                   "over (1 = in-process serial)")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="recompute every point instead of "
+                                   "reusing the on-disk result cache")
+    sweep_parser.add_argument("--cache-dir", default=None,
+                              help="result cache directory (default: "
+                                   "$REPRO_CACHE_DIR or ~/.cache/repro)")
     return parser
 
 
@@ -196,13 +211,19 @@ def _parse_axis_values(axis: str, raw: str) -> list:
 def _command_sweep(args, out) -> int:
     from repro.experiments import (ExperimentSpec, outcomes_table,
                                    sweep_experiment)
+    from repro.execution import ResultCache
     spec = ExperimentSpec(
         protocol=args.protocol, n=args.n, ell=args.ell,
         fault_model=args.fault_model, beta=args.beta,
         repeats=args.repeats, base_seed=args.seed)
     values = _parse_axis_values(args.axis, args.values)
-    outcomes = sweep_experiment(spec, axis=args.axis, values=values)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    outcomes = sweep_experiment(spec, axis=args.axis, values=values,
+                                workers=args.workers, cache=cache)
     print(outcomes_table(outcomes, axis=args.axis), file=out)
+    if cache is not None:
+        print(f"cache      : {cache.stats} in {cache.directory}",
+              file=out)
     if args.json_out:
         from repro.persistence import save_outcomes
         save_outcomes(outcomes, args.json_out)

@@ -1,0 +1,38 @@
+"""Parallel experiment execution with a deterministic result cache.
+
+Public surface:
+
+- :class:`ParallelRunner` — fans experiment repeats and sweep points
+  over a process pool; ``workers=1`` is the in-process serial path and
+  produces bit-identical outcomes.
+- :class:`ResultCache` / :class:`CacheStats` — content-addressed
+  on-disk outcome cache keyed by spec identity plus the
+  :data:`CODE_VERSION` salt.
+- :func:`run_tasks` — the generic order-preserving parallel map the
+  benchmark harness reuses.
+
+Most callers never touch this package directly: pass ``workers=`` /
+``cache=`` to :func:`repro.experiments.run_experiment` or
+:func:`repro.experiments.sweep_experiment` instead.
+"""
+
+from repro.execution.cache import (
+    CODE_VERSION,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    resolve_cache,
+    spec_cache_key,
+)
+from repro.execution.parallel import ParallelRunner, run_tasks
+
+__all__ = [
+    "CODE_VERSION",
+    "CacheStats",
+    "ParallelRunner",
+    "ResultCache",
+    "default_cache_dir",
+    "resolve_cache",
+    "run_tasks",
+    "spec_cache_key",
+]

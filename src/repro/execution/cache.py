@@ -1,0 +1,190 @@
+"""Content-addressed on-disk cache for experiment outcomes.
+
+An :class:`~repro.experiments.ExperimentOutcome` is a pure function of
+its :class:`~repro.experiments.ExperimentSpec` (every repeat seed is
+derived from the spec identity), so outcomes are cacheable by spec
+content alone.  The key is a SHA-256 over the spec's canonical JSON
+form plus a *code-version salt*: bump :data:`CODE_VERSION` whenever a
+simulator or protocol change makes previously computed outcomes stale,
+and every old entry silently becomes a miss.
+
+Design rules:
+
+- **Corruption is a miss, never a crash.**  Truncated files, garbage
+  JSON, schema drift, salt drift, or payloads that fail spec/outcome
+  reconstruction all make :meth:`ResultCache.get` return ``None``; the
+  caller recomputes and :meth:`ResultCache.put` overwrites the entry.
+- **Writes are atomic** (temp file + ``os.replace``), so a crashed or
+  concurrent writer can leave at most a stale temp file behind, never a
+  half-written entry under the final name.
+- Entries are plain JSON — diffable, greppable, no pickle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see below)
+    from repro.experiments import ExperimentOutcome, ExperimentSpec
+
+#: Cache invalidation salt.  Bump on any change that alters simulated
+#: outcomes (protocol logic, adversary schedules, seed derivation, the
+#: aggregation arithmetic); old entries then miss and are recomputed.
+CODE_VERSION = "2026.08.0"
+
+#: On-disk record format tag; bump on incompatible record changes.
+SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def spec_cache_key(spec: "ExperimentSpec", *,
+                   salt: str = CODE_VERSION) -> str:
+    """Hex content hash identifying ``(spec, salt)``.
+
+    The spec is serialized to canonical JSON (sorted keys, so
+    ``protocol_params`` insertion order never matters) and hashed with
+    the salt.  Two specs collide only if every field is equal.
+    """
+    payload = dataclasses.asdict(spec)
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    digest = hashlib.sha256(f"{salt}\n{canonical}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}
+
+    def __str__(self) -> str:
+        return (f"{self.hits} hits / {self.misses} misses "
+                f"({self.stores} stored)")
+
+
+class ResultCache:
+    """Spec-keyed experiment-outcome cache under one directory.
+
+    Args:
+        directory: cache root (created lazily on first store).
+            ``None`` uses :func:`default_cache_dir`.
+        salt: code-version salt mixed into every key; override in tests
+            to simulate invalidation.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None, *,
+                 salt: str = CODE_VERSION) -> None:
+        self.directory = (Path(directory).expanduser() if directory
+                          else default_cache_dir())
+        self.salt = salt
+        self.stats = CacheStats()
+
+    def path_for(self, spec: "ExperimentSpec") -> Path:
+        """The entry file a given spec maps to."""
+        return self.directory / f"{spec_cache_key(spec, salt=self.salt)}.json"
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, spec: "ExperimentSpec") -> Optional["ExperimentOutcome"]:
+        """The cached outcome for ``spec``, or ``None`` on any miss."""
+        outcome = self._load(self.path_for(spec), spec)
+        if outcome is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return outcome
+
+    def _load(self, path: Path,
+              spec: "ExperimentSpec") -> Optional["ExperimentOutcome"]:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, ValueError):  # missing, unreadable, or not UTF-8
+            return None
+        # Any malformed entry — truncated JSON, wrong schema, fields
+        # that no longer reconstruct — is treated as a miss so the
+        # caller recomputes and overwrites it.
+        try:
+            payload = json.loads(text)
+            if payload.get("schema") != SCHEMA_VERSION:
+                return None
+            if payload.get("salt") != self.salt:
+                return None
+            from repro.persistence import outcome_from_dict
+            outcome = outcome_from_dict(payload["outcome"])
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
+        # Hash paranoia: a colliding or hand-renamed entry must never
+        # masquerade as this spec's outcome.
+        if outcome.spec != spec:
+            return None
+        return outcome
+
+    # -- store -------------------------------------------------------------
+
+    def put(self, spec: "ExperimentSpec",
+            outcome: "ExperimentOutcome") -> Path:
+        """Write (or overwrite) the entry for ``spec``; returns its path."""
+        from repro.persistence import outcome_to_dict
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "salt": self.salt,
+            "key": path.stem,
+            "outcome": outcome_to_dict(outcome),
+        }
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        temp.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                        encoding="utf-8")
+        os.replace(temp, path)
+        self.stats.stores += 1
+        return path
+
+
+def resolve_cache(cache) -> Optional[ResultCache]:
+    """Normalize the user-facing ``cache=`` argument.
+
+    ``None``/``False`` disable caching; ``True`` uses the default
+    directory; a string or :class:`~pathlib.Path` names the directory;
+    a ready :class:`ResultCache` passes through (sharing its stats).
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    raise TypeError(f"cache= must be None, bool, a directory, or a "
+                    f"ResultCache, got {type(cache).__name__}")

@@ -1,0 +1,153 @@
+"""Process-parallel experiment execution.
+
+Every experiment in this repo is embarrassingly parallel: a spec's
+repeats are independent runs seeded by
+:meth:`~repro.experiments.ExperimentSpec.seed_for`, and a sweep's
+points are independent specs.  :class:`ParallelRunner` fans both out
+over a :class:`~concurrent.futures.ProcessPoolExecutor` while keeping
+results **bit-for-bit identical** to the serial path:
+
+- each task is a pure function of ``(spec, repeat)`` — workers rebuild
+  the adversary and peer factory from the spec, so no live simulator
+  state crosses the process boundary;
+- per-repeat records are gathered by index, and aggregation always
+  happens in repeat order in the parent, so scheduling order is
+  irrelevant;
+- ``workers=1`` runs in-process through the *same* task function.
+
+The generic :func:`run_tasks` helper underneath is also used by the
+benchmark harness (:mod:`benchmarks.support`), whose payloads carry
+live adversary/factory objects rather than specs.  There the pickle
+round-trip doubles as per-task isolation: serial and parallel modes
+both hand each task a pristine copy, so ``workers=1`` and
+``workers=N`` see identical state.  Payloads that cannot be pickled
+fall back to direct serial calls.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+from repro.execution.cache import ResultCache
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments import ExperimentOutcome, ExperimentSpec
+
+__all__ = ["ParallelRunner", "run_tasks"]
+
+
+def _spec_repeat_task(payload):
+    """Worker body: one repeat of one spec (module-level ⇒ picklable)."""
+    spec, repeat = payload
+    # Imported lazily: repro.experiments imports this package.
+    from repro.experiments import execute_repeat
+    return execute_repeat(spec, repeat)
+
+
+def run_tasks(fn: Callable, payloads: Iterable, *, workers: int = 1,
+              isolate: bool = True) -> list:
+    """Order-preserving map of ``fn`` over ``payloads``.
+
+    ``workers > 1`` distributes over a process pool; ``workers = 1``
+    runs in-process.  With ``isolate=True`` (the default) serial mode
+    passes each payload through a pickle round-trip, mirroring the copy
+    a pool worker would receive — mutable payload state (e.g. a shared
+    adversary object) then cannot leak between tasks in either mode,
+    which is what makes serial and parallel results identical.
+
+    ``fn`` must be a module-level callable.  If ``fn`` or any payload
+    cannot be pickled, everything runs serially on the originals (the
+    only mode such payloads support).
+    """
+    check_positive("workers", workers)
+    payloads = list(payloads)
+    if not payloads:
+        return []
+    try:
+        blobs = [pickle.dumps((fn, payload)) for payload in payloads]
+    except Exception:
+        return [fn(payload) for payload in payloads]
+    if workers == 1 or len(payloads) == 1:
+        if not isolate:
+            return [fn(payload) for payload in payloads]
+        return [_apply(blob) for blob in blobs]
+    results: list = [None] * len(payloads)
+    with ProcessPoolExecutor(max_workers=min(workers,
+                                             len(payloads))) as pool:
+        futures = {pool.submit(fn, payload): index
+                   for index, payload in enumerate(payloads)}
+        for future in as_completed(futures):
+            results[futures[future]] = future.result()
+    return results
+
+
+def _apply(blob: bytes):
+    """Run one pickled ``(fn, payload)`` pair — the serial twin of a
+    pool worker's unpickle-then-call."""
+    fn, payload = pickle.loads(blob)
+    return fn(payload)
+
+
+class ParallelRunner:
+    """Executes :class:`~repro.experiments.ExperimentSpec` workloads.
+
+    Args:
+        workers: process count; ``1`` means in-process serial.
+        cache: optional :class:`ResultCache`; hits skip computation
+            entirely, misses are stored after aggregation.
+
+    The runner is stateless between calls (cache stats live on the
+    cache object), so one instance can serve many runs/sweeps.
+    """
+
+    def __init__(self, *, workers: int = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        check_positive("workers", workers)
+        self.workers = workers
+        self.cache = cache
+
+    def run(self, spec: "ExperimentSpec") -> "ExperimentOutcome":
+        """All repeats of one spec, aggregated."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence["ExperimentSpec"]
+                 ) -> list["ExperimentOutcome"]:
+        """Many specs at once; repeats of *all* uncached specs share one
+        pool, so a sweep saturates the workers even when each point has
+        few repeats.  Output order matches input order."""
+        from repro.experiments import aggregate_outcome
+        specs = list(specs)
+        outcomes: list = [None] * len(specs)
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                outcomes[index] = hit
+            else:
+                pending.append(index)
+        tasks = [(index, repeat) for index in pending
+                 for repeat in range(specs[index].repeats)]
+        records = run_tasks(
+            _spec_repeat_task,
+            [(specs[index], repeat) for index, repeat in tasks],
+            workers=self.workers)
+        by_task = {task: record for task, record in zip(tasks, records)}
+        for index in pending:
+            spec = specs[index]
+            outcome = aggregate_outcome(
+                spec, [by_task[(index, repeat)]
+                       for repeat in range(spec.repeats)])
+            if self.cache is not None:
+                self.cache.put(spec, outcome)
+            outcomes[index] = outcome
+        return outcomes
+
+    def sweep(self, spec: "ExperimentSpec", *, axis: str,
+              values: Iterable) -> list["ExperimentOutcome"]:
+        """One outcome per axis value (see
+        :func:`repro.experiments.sweep_points`)."""
+        from repro.experiments import sweep_points
+        return self.run_many(sweep_points(spec, axis=axis, values=values))

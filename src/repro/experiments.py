@@ -15,6 +15,13 @@ validatable, hashable into a seed, and runnable, so an experiment is
     for point in sweep_experiment(spec, axis="beta",
                                   values=[0.1, 0.3, 0.5, 0.7]):
         print(point.spec.beta, point.mean_query_complexity)
+
+Both entry points accept ``workers=`` (process-parallel execution; see
+:mod:`repro.execution`) and ``cache=`` (on-disk outcome reuse).  Every
+repeat is seeded by :meth:`ExperimentSpec.seed_for`, so outcomes are a
+pure function of the spec and identical at any worker count::
+
+    outcome = run_experiment(spec, workers=4, cache=True)
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from repro.adversary import (
     CrashAdversary,
     EquivocateStrategy,
     NullAdversary,
+    PerPeerStrategy,
     SelectiveSilenceStrategy,
     SilentStrategy,
     UniformRandomDelay,
@@ -100,11 +108,11 @@ class ExperimentSpec:
         elif self.fault_model == "byzantine":
             faults = ByzantineAdversary(
                 fraction=self.beta,
-                strategy_factory=lambda pid: strategy())
+                strategy_factory=PerPeerStrategy(strategy))
         else:
             faults = DynamicByzantineAdversary(
                 fraction=self.beta,
-                strategy_factory=lambda pid: strategy())
+                strategy_factory=PerPeerStrategy(strategy))
         return ComposedAdversary(faults=faults, latency=latency)
 
     def peer_factory(self):
@@ -136,26 +144,51 @@ class ExperimentOutcome:
         return self.correct_runs / self.runs
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
-    """Execute every repeat of ``spec`` and aggregate."""
-    queries: list[int] = []
-    messages: list[int] = []
-    times: list[float] = []
-    correct = 0
-    for repeat in range(spec.repeats):
-        result = run_download(
-            n=spec.n, ell=spec.ell,
-            peer_factory=spec.peer_factory(),
-            adversary=spec.build_adversary(),
-            t=spec.t, seed=spec.seed_for(repeat))
-        queries.append(result.report.query_complexity)
-        messages.append(result.report.message_complexity)
-        times.append(result.report.time_complexity)
-        correct += result.download_correct
+@dataclass(frozen=True)
+class RepeatRecord:
+    """Measurements of one repeat — the unit shipped between processes."""
+
+    queries: int
+    messages: int
+    time: float
+    correct: bool
+
+
+def execute_repeat(spec: ExperimentSpec, repeat: int) -> RepeatRecord:
+    """Run repeat number ``repeat`` of ``spec`` from scratch.
+
+    Pure in ``(spec, repeat)``: the adversary and peer factory are
+    rebuilt here and the seed comes from :meth:`ExperimentSpec.seed_for`,
+    so the same call yields the same record in any process.
+    """
+    result = run_download(
+        n=spec.n, ell=spec.ell,
+        peer_factory=spec.peer_factory(),
+        adversary=spec.build_adversary(),
+        t=spec.t, seed=spec.seed_for(repeat))
+    return RepeatRecord(
+        queries=result.report.query_complexity,
+        messages=result.report.message_complexity,
+        time=result.report.time_complexity,
+        correct=bool(result.download_correct))
+
+
+def aggregate_outcome(spec: ExperimentSpec,
+                      records: Iterable[RepeatRecord]) -> ExperimentOutcome:
+    """Fold per-repeat records (in repeat order) into one outcome.
+
+    Aggregation always happens here, in the parent process and in
+    repeat order, so serial and parallel execution produce bit-equal
+    floats.
+    """
+    records = list(records)
+    queries = [record.queries for record in records]
+    messages = [record.messages for record in records]
+    times = [record.time for record in records]
     return ExperimentOutcome(
         spec=spec,
         runs=spec.repeats,
-        correct_runs=correct,
+        correct_runs=sum(record.correct for record in records),
         mean_query_complexity=sum(queries) / len(queries),
         max_query_complexity=max(queries),
         mean_message_complexity=sum(messages) / len(messages),
@@ -163,16 +196,41 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentOutcome:
     )
 
 
-def sweep_experiment(spec: ExperimentSpec, *, axis: str,
-                     values: Iterable) -> list[ExperimentOutcome]:
-    """Run ``spec`` once per value of ``axis`` (any spec field)."""
+def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
+                   cache=None) -> ExperimentOutcome:
+    """Execute every repeat of ``spec`` and aggregate.
+
+    Args:
+        workers: processes to fan repeats over; ``1`` runs in-process.
+        cache: ``True`` for the default on-disk cache, a directory
+            path, a :class:`~repro.execution.ResultCache`, or ``None``
+            to disable (see :func:`repro.execution.resolve_cache`).
+    """
+    from repro.execution import ParallelRunner, resolve_cache
+    runner = ParallelRunner(workers=workers, cache=resolve_cache(cache))
+    return runner.run(spec)
+
+
+def sweep_points(spec: ExperimentSpec, *, axis: str,
+                 values: Iterable) -> list[ExperimentSpec]:
+    """The specs a sweep visits: ``spec`` with ``axis`` set per value."""
     if axis not in {f.name for f in dataclasses.fields(ExperimentSpec)}:
         raise ValueError(f"unknown sweep axis {axis!r}")
-    outcomes = []
-    for value in values:
-        point = dataclasses.replace(spec, **{axis: value})
-        outcomes.append(run_experiment(point))
-    return outcomes
+    return [dataclasses.replace(spec, **{axis: value}) for value in values]
+
+
+def sweep_experiment(spec: ExperimentSpec, *, axis: str, values: Iterable,
+                     workers: int = 1, cache=None) -> list[ExperimentOutcome]:
+    """Run ``spec`` once per value of ``axis`` (any spec field).
+
+    With ``workers > 1`` every repeat of every point shares one process
+    pool; with a cache only points absent from it are computed.  Each
+    point's outcome depends only on its own spec, never on the sweep
+    order.
+    """
+    from repro.execution import ParallelRunner, resolve_cache
+    runner = ParallelRunner(workers=workers, cache=resolve_cache(cache))
+    return runner.sweep(spec, axis=axis, values=values)
 
 
 def outcomes_table(outcomes: Iterable[ExperimentOutcome],

@@ -21,6 +21,27 @@ from repro.util.bitarrays import BitArray
 UNKNOWN = -1
 
 
+class BoundPeerFactory:
+    """A ``peer_factory`` with protocol parameters bound.
+
+    A class rather than a closure so factories pickle cleanly into the
+    worker processes of the parallel experiment engine
+    (:mod:`repro.execution`); the protocol class is pickled by
+    reference and the parameters by value.
+    """
+
+    def __init__(self, protocol_class: type, params: dict) -> None:
+        self.protocol_class = protocol_class
+        self.params = dict(params)
+
+    def __call__(self, pid: int, env: SimEnv) -> "DownloadPeer":
+        return self.protocol_class(pid, env, **self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"{self.protocol_class.__name__}.factory"
+                f"(**{self.params!r})")
+
+
 class DownloadPeer(Peer):
     """Base class for every Download protocol implementation."""
 
@@ -36,12 +57,8 @@ class DownloadPeer(Peer):
 
     @classmethod
     def factory(cls, **params) -> Callable[[int, SimEnv], "DownloadPeer"]:
-        """Bind protocol parameters; returns a ``peer_factory``."""
-        def make(pid: int, env: SimEnv) -> "DownloadPeer":
-            return cls(pid, env, **params)
-        make.protocol_class = cls
-        make.params = dict(params)
-        return make
+        """Bind protocol parameters; returns a picklable ``peer_factory``."""
+        return BoundPeerFactory(cls, params)
 
     # -- working-array helpers ---------------------------------------------
 

@@ -21,7 +21,7 @@ seed; pass ``data=`` to pin it (the lower-bound constructions do).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from repro.sim.errors import ConfigurationError
@@ -53,7 +53,7 @@ class RunResult:
     elapsed_virtual_time: float
     trace: Optional[TraceRecorder] = None
     #: Per-peer sets of queried bit positions (from the source's log).
-    queried_indices: dict[int, set[int]] = None
+    queried_indices: dict[int, set[int]] = field(default_factory=dict)
 
     @property
     def download_correct(self) -> bool:

@@ -2,7 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the experiment result cache at a per-session temp dir.
+
+    Keeps the suite from reading or writing the developer's real
+    ``~/.cache/repro`` (e.g. via CLI sweeps, which cache by default).
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("result-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 from repro.adversary import (
     ByzantineAdversary,

@@ -1,0 +1,251 @@
+"""Equivalence battery for the parallel experiment engine.
+
+The engine's contract (:mod:`repro.execution`) is that worker count is
+unobservable: ``run_experiment(spec, workers=4)`` must equal
+``run_experiment(spec, workers=1)`` field-for-field for every fault
+model and network, sweeps must not depend on evaluation order, and the
+result cache must return identical outcomes on hits and shrug off
+corrupted entries as misses.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.execution import (
+    CacheStats,
+    ParallelRunner,
+    ResultCache,
+    resolve_cache,
+    run_tasks,
+)
+from repro.experiments import (
+    ExperimentOutcome,
+    ExperimentSpec,
+    run_experiment,
+    sweep_experiment,
+)
+
+# One spec per (fault model x network) cell, sized for test speed.
+GRID = [
+    ExperimentSpec(protocol="balanced", n=8, ell=128,
+                   fault_model="none", network="asynchronous", repeats=2),
+    ExperimentSpec(protocol="balanced", n=8, ell=128,
+                   fault_model="none", network="synchronous", repeats=2),
+    ExperimentSpec(protocol="crash-multi", n=8, ell=256,
+                   fault_model="crash", beta=0.5,
+                   network="asynchronous", repeats=2),
+    ExperimentSpec(protocol="crash-multi", n=8, ell=256,
+                   fault_model="crash", beta=0.5,
+                   network="synchronous", repeats=2),
+    ExperimentSpec(protocol="byz-committee", n=9, ell=90,
+                   protocol_params={"block_size": 9},
+                   fault_model="byzantine", beta=0.3,
+                   strategy="equivocate", network="asynchronous",
+                   repeats=2),
+    ExperimentSpec(protocol="byz-committee", n=9, ell=90,
+                   protocol_params={"block_size": 9},
+                   fault_model="byzantine", beta=0.3,
+                   network="synchronous", repeats=2),
+    ExperimentSpec(protocol="byz-committee", n=9, ell=90,
+                   protocol_params={"block_size": 9},
+                   fault_model="dynamic", beta=0.2,
+                   network="asynchronous", repeats=2),
+    ExperimentSpec(protocol="byz-committee", n=9, ell=90,
+                   protocol_params={"block_size": 9},
+                   fault_model="dynamic", beta=0.2,
+                   network="synchronous", repeats=2),
+]
+
+GRID_IDS = [f"{spec.fault_model}-{spec.network}" for spec in GRID]
+
+
+def assert_outcomes_identical(first: ExperimentOutcome,
+                              second: ExperimentOutcome) -> None:
+    """Field-for-field equality with a readable failure message."""
+    for field in dataclasses.fields(ExperimentOutcome):
+        assert getattr(first, field.name) == getattr(second, field.name), \
+            f"outcome field {field.name!r} differs"
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("spec", GRID, ids=GRID_IDS)
+    def test_workers4_equals_workers1(self, spec):
+        serial = run_experiment(spec, workers=1)
+        parallel = run_experiment(spec, workers=4)
+        assert_outcomes_identical(serial, parallel)
+
+    def test_worker_count_is_unobservable(self):
+        spec = GRID[2]
+        outcomes = [run_experiment(spec, workers=workers)
+                    for workers in (1, 2, 3, 4)]
+        for other in outcomes[1:]:
+            assert_outcomes_identical(outcomes[0], other)
+
+    def test_runner_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=0)
+
+    def test_run_many_preserves_input_order(self):
+        outcomes = ParallelRunner(workers=4).run_many(GRID[:4])
+        assert [outcome.spec for outcome in outcomes] == GRID[:4]
+
+
+class TestSweepOrderIndependence:
+    def test_sweep_results_order_independent(self):
+        spec = ExperimentSpec(protocol="crash-multi", n=8, ell=256,
+                              fault_model="crash", beta=0.5, repeats=1)
+        values = [0.25, 0.5, 0.75]
+        forward = sweep_experiment(spec, axis="beta", values=values,
+                                   workers=4)
+        backward = sweep_experiment(spec, axis="beta",
+                                    values=list(reversed(values)),
+                                    workers=1)
+        by_beta = {outcome.spec.beta: outcome for outcome in backward}
+        for outcome in forward:
+            assert_outcomes_identical(outcome, by_beta[outcome.spec.beta])
+
+    def test_sweep_point_specs_match_values(self):
+        spec = ExperimentSpec(protocol="balanced", n=4, ell=64, repeats=1)
+        outcomes = sweep_experiment(spec, axis="n", values=[4, 8],
+                                    workers=4)
+        assert [outcome.spec.n for outcome in outcomes] == [4, 8]
+
+
+class TestResultCache:
+    def spec(self):
+        return ExperimentSpec(protocol="crash-multi", n=8, ell=256,
+                              fault_model="crash", beta=0.5, repeats=2)
+
+    def test_hit_returns_identical_outcome(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_experiment(self.spec(), cache=cache)
+        assert cache.stats.misses == 1 and cache.stats.stores == 1
+        second = run_experiment(self.spec(), cache=cache)
+        assert cache.stats.hits == 1
+        assert_outcomes_identical(first, second)
+
+    def test_parallel_and_cached_agree(self, tmp_path):
+        baseline = run_experiment(self.spec(), workers=1)
+        cached = run_experiment(self.spec(), workers=4,
+                                cache=ResultCache(tmp_path))
+        assert_outcomes_identical(baseline, cached)
+
+    def test_sweep_only_computes_new_points(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = self.spec()
+        first = sweep_experiment(spec, axis="beta", values=[0.25, 0.5],
+                                 cache=cache)
+        assert cache.stats == CacheStats(hits=0, misses=2, stores=2)
+        second = sweep_experiment(spec, axis="beta",
+                                  values=[0.25, 0.5, 0.75],
+                                  workers=4, cache=cache)
+        assert cache.stats == CacheStats(hits=2, misses=3, stores=3)
+        for cached, fresh in zip(first, second):
+            assert_outcomes_identical(cached, fresh)
+
+    def test_distinct_cache_dirs_are_independent(self, tmp_path):
+        one = ResultCache(tmp_path / "one")
+        two = ResultCache(tmp_path / "two")
+        run_experiment(self.spec(), cache=one)
+        run_experiment(self.spec(), cache=two)
+        assert one.stats.misses == 1 and two.stats.misses == 1
+
+    def test_salt_change_invalidates(self, tmp_path):
+        run_experiment(self.spec(), cache=ResultCache(tmp_path, salt="v1"))
+        bumped = ResultCache(tmp_path, salt="v2")
+        run_experiment(self.spec(), cache=bumped)
+        assert bumped.stats == CacheStats(hits=0, misses=1, stores=1)
+
+    def test_resolve_cache_forms(self, tmp_path):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        assert resolve_cache(str(tmp_path)).directory == tmp_path
+        ready = ResultCache(tmp_path)
+        assert resolve_cache(ready) is ready
+        with pytest.raises(TypeError):
+            resolve_cache(42)
+
+
+class TestCacheCorruption:
+    """Fault injection: a damaged cache entry is a miss, never a crash."""
+
+    def spec(self):
+        return ExperimentSpec(protocol="balanced", n=4, ell=64, repeats=2)
+
+    def corrupt_and_rerun(self, tmp_path, mutate):
+        warm = ResultCache(tmp_path)
+        baseline = run_experiment(self.spec(), cache=warm)
+        entry = warm.path_for(self.spec())
+        assert entry.exists()
+        mutate(entry)
+        fresh = ResultCache(tmp_path)
+        recomputed = run_experiment(self.spec(), cache=fresh)
+        assert fresh.stats.misses == 1 and fresh.stats.stores == 1
+        assert_outcomes_identical(baseline, recomputed)
+        # The damaged entry was overwritten with a valid one.
+        reread = ResultCache(tmp_path)
+        assert_outcomes_identical(baseline,
+                                  run_experiment(self.spec(), cache=reread))
+        assert reread.stats.hits == 1
+
+    def test_truncated_json(self, tmp_path):
+        self.corrupt_and_rerun(
+            tmp_path,
+            lambda entry: entry.write_text(
+                entry.read_text(encoding="utf-8")[:37], encoding="utf-8"))
+
+    def test_garbage_bytes(self, tmp_path):
+        self.corrupt_and_rerun(
+            tmp_path, lambda entry: entry.write_bytes(b"\x00\xffnot json{"))
+
+    def test_empty_file(self, tmp_path):
+        self.corrupt_and_rerun(tmp_path, lambda entry: entry.write_text(""))
+
+    def test_wrong_schema_version(self, tmp_path):
+        def mutate(entry):
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+            payload["schema"] = 999
+            entry.write_text(json.dumps(payload), encoding="utf-8")
+        self.corrupt_and_rerun(tmp_path, mutate)
+
+    def test_valid_json_with_mangled_outcome(self, tmp_path):
+        def mutate(entry):
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+            del payload["outcome"]["spec"]["protocol"]
+            entry.write_text(json.dumps(payload), encoding="utf-8")
+        self.corrupt_and_rerun(tmp_path, mutate)
+
+    def test_entry_for_different_spec(self, tmp_path):
+        # A hand-renamed entry holding another spec's outcome must not
+        # be served for this spec.
+        other = ExperimentSpec(protocol="naive", n=4, ell=64, repeats=2)
+        def mutate(entry):
+            cache = ResultCache(tmp_path)
+            donor = run_experiment(other, cache=cache)
+            assert donor.spec == other
+            entry.write_bytes(cache.path_for(other).read_bytes())
+        self.corrupt_and_rerun(tmp_path, mutate)
+
+
+class TestRunTasks:
+    def test_unpicklable_payloads_fall_back_to_serial(self):
+        payloads = [lambda: 1, lambda: 2]  # lambdas cannot pickle
+        results = run_tasks(_call_thunk, payloads, workers=4)
+        assert results == [1, 2]
+
+    def test_parallel_map_preserves_order(self):
+        assert run_tasks(_square, list(range(20)), workers=4) == \
+            [value * value for value in range(20)]
+
+    def test_empty_payloads(self):
+        assert run_tasks(_square, [], workers=4) == []
+
+
+def _square(value):
+    return value * value
+
+
+def _call_thunk(thunk):
+    return thunk()

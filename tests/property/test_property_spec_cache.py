@@ -1,0 +1,141 @@
+"""Property tests for the experiment-spec cache key and result cache.
+
+Hypothesis drives the spec space; no simulations run here.  The three
+contract properties:
+
+- the cache key is *stable*: a ``dataclasses.replace`` round-trip (no
+  field changed) never changes it;
+- the cache key is *discriminating*: any single-field change yields a
+  different key;
+- a store → load round-trip returns the outcome unchanged, and a hit
+  never alters an outcome's values.
+"""
+
+import dataclasses
+import tempfile
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.execution import ResultCache, spec_cache_key
+from repro.experiments import ExperimentOutcome, ExperimentSpec
+
+COMMON = dict(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+# Parameter-free protocols, so any drawn spec is constructible.
+_PROTOCOLS = ["balanced", "crash-multi", "crash-one", "naive", "one-round"]
+
+
+@st.composite
+def specs(draw) -> ExperimentSpec:
+    fault_model = draw(st.sampled_from(["none", "crash"]))
+    beta = (0.0 if fault_model == "none"
+            else draw(st.floats(min_value=0.05, max_value=0.95,
+                                allow_nan=False)))
+    params = draw(st.dictionaries(
+        st.sampled_from(["alpha", "gamma", "delta"]),
+        st.integers(min_value=0, max_value=9), max_size=2))
+    return ExperimentSpec(
+        protocol=draw(st.sampled_from(_PROTOCOLS)),
+        n=draw(st.integers(min_value=1, max_value=64)),
+        ell=draw(st.integers(min_value=1, max_value=1 << 16)),
+        fault_model=fault_model,
+        beta=beta,
+        strategy=draw(st.sampled_from(["wrong-bits", "equivocate",
+                                       "silent", "selective-silence"])),
+        network=draw(st.sampled_from(["synchronous", "asynchronous"])),
+        protocol_params=params,
+        repeats=draw(st.integers(min_value=1, max_value=8)),
+        base_seed=draw(st.integers(min_value=0, max_value=2 ** 32)),
+    )
+
+
+@st.composite
+def outcomes(draw) -> ExperimentOutcome:
+    spec = draw(specs())
+    correct = draw(st.integers(min_value=0, max_value=spec.repeats))
+    finite = st.floats(min_value=0, max_value=1e9, allow_nan=False,
+                       allow_infinity=False)
+    return ExperimentOutcome(
+        spec=spec,
+        runs=spec.repeats,
+        correct_runs=correct,
+        mean_query_complexity=draw(finite),
+        max_query_complexity=draw(st.integers(min_value=0,
+                                              max_value=1 << 20)),
+        mean_message_complexity=draw(finite),
+        mean_time_complexity=draw(finite),
+    )
+
+
+class TestKeyStability:
+    @settings(**COMMON)
+    @given(spec=specs())
+    def test_replace_roundtrip_keeps_key(self, spec):
+        clone = dataclasses.replace(spec)
+        assert clone == spec
+        assert spec_cache_key(clone) == spec_cache_key(spec)
+
+    @settings(**COMMON)
+    @given(spec=specs())
+    def test_key_ignores_protocol_params_order(self, spec):
+        reordered = dataclasses.replace(
+            spec, protocol_params=dict(
+                reversed(list(spec.protocol_params.items()))))
+        assert spec_cache_key(reordered) == spec_cache_key(spec)
+
+    @settings(**COMMON)
+    @given(spec=specs())
+    def test_key_is_deterministic_across_calls(self, spec):
+        assert spec_cache_key(spec) == spec_cache_key(spec)
+
+
+class TestKeyDiscrimination:
+    @settings(**COMMON)
+    @given(spec=specs(), data=st.data())
+    def test_single_field_change_changes_key(self, spec, data):
+        field = data.draw(st.sampled_from(
+            ["n", "ell", "repeats", "base_seed", "protocol_params"]))
+        if field == "protocol_params":
+            changed = dict(spec.protocol_params)
+            changed["extra"] = 1
+        else:
+            changed = getattr(spec, field) + 1
+        mutated = dataclasses.replace(spec, **{field: changed})
+        assert mutated != spec
+        assert spec_cache_key(mutated) != spec_cache_key(spec)
+
+    @settings(**COMMON)
+    @given(spec=specs())
+    def test_salt_changes_key(self, spec):
+        assert spec_cache_key(spec, salt="a") != spec_cache_key(spec,
+                                                                salt="b")
+
+
+class TestStoreLoadRoundTrip:
+    @settings(**COMMON)
+    @given(outcome=outcomes())
+    def test_hit_never_changes_an_outcome(self, outcome):
+        with tempfile.TemporaryDirectory() as directory:
+            cache = ResultCache(directory)
+            cache.put(outcome.spec, outcome)
+            loaded = cache.get(outcome.spec)
+            assert loaded is not None
+            for field in dataclasses.fields(ExperimentOutcome):
+                assert getattr(loaded, field.name) == \
+                    getattr(outcome, field.name), field.name
+            assert cache.stats.hits == 1
+
+    @settings(**COMMON)
+    @given(first=outcomes(), second=outcomes())
+    def test_entries_do_not_cross_talk(self, first, second):
+        with tempfile.TemporaryDirectory() as directory:
+            cache = ResultCache(directory)
+            cache.put(first.spec, first)
+            cache.put(second.spec, second)
+            if first.spec == second.spec:
+                # Same key: last write wins, and it round-trips intact.
+                assert cache.get(first.spec) == second
+            else:
+                assert cache.get(first.spec) == first
+                assert cache.get(second.spec) == second

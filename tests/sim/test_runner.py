@@ -86,6 +86,29 @@ class TestRunResult:
                               seed=1)
         assert result.queried_indices[0] == set(range(16))
 
+    def test_queried_indices_defaults_to_empty_dict(self):
+        # Regression: the field was annotated dict[...] but defaulted
+        # to None, so a RunResult built without it crashed any
+        # `.get(...)` consumer (e.g. lowerbounds accounting).
+        def minimal_result():
+            from repro.sim.metrics import ComplexityReport
+            from repro.sim.runner import RunResult
+            return RunResult(
+                data=BitArray.from_string("101"), outputs={}, statuses={},
+                report=ComplexityReport(
+                    query_complexity=0, total_query_bits=0,
+                    message_complexity=0, message_bits=0,
+                    time_complexity=0.0),
+                honest=set(), faulty=set(), events_processed=0,
+                elapsed_virtual_time=0.0)
+
+        result = minimal_result()
+        assert result.queried_indices == {}
+        assert result.queried_indices.get(0, set()) == set()
+        # The default must be a fresh dict per instance, never shared.
+        result.queried_indices[0] = {1}
+        assert minimal_result().queried_indices == {}
+
     def test_trace_disabled_by_default(self):
         result = run_download(n=2, ell=8,
                               peer_factory=NaiveDownloadPeer.factory(),
