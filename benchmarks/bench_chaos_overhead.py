@@ -1,0 +1,96 @@
+"""E15 — resilience-layer overhead on the fault-free path (gated).
+
+PR 1's engine ran a task as ``future.result()`` and nothing else; the
+resilience layer adds an attempt loop, a watchdog window, and optional
+per-repeat journalling around every task.  This bench proves the
+fault-free path stays within **5%** of the bare engine on the same
+workload shape as ``bench_parallel_engine.py``:
+
+- *bare*: ``NO_RETRY`` policy (one attempt, no watchdog), no journal —
+  the closest expressible equivalent of the PR 1 engine;
+- *resilient*: stock retry policy + per-attempt timeout + journal
+  checkpointing every repeat — everything the chaos battery relies on.
+
+Both variants run the identical serial workload interleaved
+(bare/resilient alternating, several rounds) and the gate compares
+**medians**, so a single scheduler hiccup cannot fail the gate.  The
+measured ratio is also exported via ``benchmark.extra_info`` for CI
+logs.  Outcome equality between the two variants is gated too — the
+resilience layer must be invisible in the results, not just cheap.
+"""
+
+import statistics
+import time
+
+from repro.execution import NO_RETRY, ParallelRunner, RetryPolicy, SweepJournal
+from repro.experiments import ExperimentSpec
+
+from benchmarks.support import Row, print_table
+
+#: Same shape as bench_parallel_engine's workload, sized so per-task
+#: simulation cost dominates but the whole battery stays CI-friendly.
+SPECS = [
+    ExperimentSpec(protocol="crash-multi", n=16, ell=2048,
+                   fault_model="crash", beta=beta, repeats=3)
+    for beta in (0.25, 0.5)
+] + [
+    ExperimentSpec(protocol="byz-committee", n=15, ell=900,
+                   protocol_params={"block_size": 30},
+                   fault_model="byzantine", beta=0.4,
+                   strategy="equivocate", repeats=3),
+]
+
+#: Interleaved timing rounds per variant (medians are compared).
+ROUNDS = 5
+
+#: Gate: resilient median wall-clock <= 1.05x bare median.
+MAX_OVERHEAD = 1.05
+
+
+def _timed(runner: ParallelRunner) -> tuple:
+    start = time.perf_counter()
+    outcomes = runner.run_many(SPECS)
+    return outcomes, time.perf_counter() - start
+
+
+def _overhead_battery(tmp_dir: str):
+    bare_times, resilient_times = [], []
+    bare_outcomes = resilient_outcomes = None
+    for round_number in range(ROUNDS):
+        bare_outcomes, seconds = _timed(
+            ParallelRunner(workers=1, policy=NO_RETRY, strict=True))
+        bare_times.append(seconds)
+        journal = SweepJournal(f"{tmp_dir}/journal-{round_number}.jsonl")
+        resilient_outcomes, seconds = _timed(ParallelRunner(
+            workers=1,
+            policy=RetryPolicy(task_timeout=300.0),
+            journal=journal))
+        resilient_times.append(seconds)
+    return bare_times, resilient_times, bare_outcomes, resilient_outcomes
+
+
+def bench_chaos_overhead(benchmark, tmp_path):
+    bare_times, resilient_times, bare, resilient = benchmark.pedantic(
+        _overhead_battery, args=(str(tmp_path),), rounds=1, iterations=1)
+    bare_median = statistics.median(bare_times)
+    resilient_median = statistics.median(resilient_times)
+    overhead = resilient_median / bare_median
+    rows = [
+        Row("bare      (NO_RETRY, no journal)",
+            {"median s": bare_median, "ratio": 1.0}),
+        Row("resilient (retry+watchdog+journal)",
+            {"median s": resilient_median, "ratio": overhead}),
+    ]
+    print_table(f"E15 resilience overhead ({len(SPECS)} specs x 3 repeats, "
+                f"median of {ROUNDS})", ["median s", "ratio"], rows)
+    benchmark.extra_info["bare_median_s"] = bare_median
+    benchmark.extra_info["resilient_median_s"] = resilient_median
+    benchmark.extra_info["overhead_ratio"] = overhead
+    # Gated: the resilience layer is invisible in the results...
+    assert bare == resilient, "resilience layer changed an outcome"
+    assert all(outcome.failed_runs == 0 for outcome in resilient)
+    # ...and near-free on the fault-free path.
+    assert overhead <= MAX_OVERHEAD, (
+        f"fault-free resilience overhead {overhead:.3f}x exceeds "
+        f"{MAX_OVERHEAD}x (bare {bare_median:.3f}s, resilient "
+        f"{resilient_median:.3f}s)")

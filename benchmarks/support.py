@@ -7,6 +7,14 @@ pass ``workers=``) and the per-repeat runs of every measurement fan out
 over a process pool.  Results are identical at any worker count — each
 repeat receives a pristine pickled copy of the adversary and factory,
 whether it runs in-process or in a worker.
+
+Long campaigns inherit the engine's resilience layer:
+``REPRO_BENCH_RETRIES`` (default 2) retries transiently-failing runs,
+and ``REPRO_BENCH_TASK_TIMEOUT`` (seconds; unset disables) kills and
+retries stalled ones.  Retried runs are bit-identical to first-try
+runs (tasks are pure and re-seeded from their payload), so the
+resilience knobs never change a measured number — a bench either
+reports the same result or fails loudly after the retry budget.
 """
 
 from __future__ import annotations
@@ -24,12 +32,19 @@ from repro.adversary import (
     UniformRandomDelay,
     WrongBitsStrategy,
 )
-from repro.execution import run_tasks
+from repro.execution import RetryPolicy, run_tasks
 from repro.sim import run_download
 
 #: Default worker count for every bench measurement; override per call
 #: with ``measure(..., workers=N)`` or globally via the environment.
 BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+#: Default retry/timeout policy for every bench measurement; override
+#: per call with ``measure(..., policy=...)`` or via the environment.
+BENCH_POLICY = RetryPolicy(
+    max_attempts=1 + int(os.environ.get("REPRO_BENCH_RETRIES", "2")),
+    task_timeout=(float(os.environ["REPRO_BENCH_TASK_TIMEOUT"])
+                  if os.environ.get("REPRO_BENCH_TASK_TIMEOUT") else None))
 
 
 @dataclass
@@ -112,21 +127,28 @@ def _measure_one(payload: dict) -> tuple:
 
 def measure(*, n: int, ell: int, peer_factory, adversary=None,
             t: Optional[int] = None, seed: int = 0, repeats: int = 1,
-            workers: Optional[int] = None, **kwargs) -> dict:
+            workers: Optional[int] = None,
+            policy: Optional[RetryPolicy] = None, **kwargs) -> dict:
     """Run ``repeats`` seeded simulations; average the complexity
     measures and verify correctness (fallback-free benches require it).
 
     ``workers`` (default :data:`BENCH_WORKERS`) fans the repeats over
     the parallel experiment engine; each repeat gets a pristine copy of
     the adversary and factory regardless of worker count, so serial and
-    parallel measurements agree exactly.
+    parallel measurements agree exactly.  ``policy`` (default
+    :data:`BENCH_POLICY`) retries transient worker faults; a repeat
+    that fails every attempt raises — benches never report partial
+    numbers.
     """
     workers = BENCH_WORKERS if workers is None else workers
+    policy = BENCH_POLICY if policy is None else policy
     payloads = [dict(n=n, ell=ell, peer_factory=peer_factory,
                      adversary=adversary, t=t,
                      seed=seed + 1000 * repeat, **kwargs)
                 for repeat in range(repeats)]
-    measured = run_tasks(_measure_one, payloads, workers=workers)
+    measured = run_tasks(_measure_one, payloads, workers=workers,
+                         policy=policy, task_seeds=[payload["seed"]
+                                                    for payload in payloads])
     queries = [entry[0] for entry in measured]
     messages = [entry[1] for entry in measured]
     times = [entry[2] for entry in measured]

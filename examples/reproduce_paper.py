@@ -7,11 +7,16 @@ measured vs. claimed.  (`pytest benchmarks/ --benchmark-only` is the
 full-fat version with assertions; this script is the five-minute tour.)
 
 Run:  python examples/reproduce_paper.py [--workers 4] [--no-cache]
+          [--resume] [--max-retries N] [--task-timeout S]
 
 ``--workers`` fans the experiment sections over a process pool via the
 parallel engine (results are identical at any worker count); by
 default outcomes land in the on-disk result cache, so a second run
-reuses them instantly.
+reuses them instantly.  The engine retries transient failures
+(``--max-retries``), kills and retries stalled repeats
+(``--task-timeout``), and with ``--resume`` checkpoints every
+completed repeat to a journal so an interrupted reproduction picks up
+where it stopped.
 """
 
 import argparse
@@ -36,15 +41,18 @@ def section(title: str) -> None:
     print(f"\n=== {title} " + "=" * max(0, 56 - len(title)))
 
 
-def main(*, workers: int = 1, cache=None) -> None:
+def main(*, workers: int = 1, cache=None, journal=None,
+         policy=None) -> None:
     print("dr-download: compact paper reproduction"
           + (f" (workers={workers})" if workers > 1 else ""))
+    engine = dict(workers=workers, cache=cache, journal=journal,
+                  policy=policy)
 
     section("Thm 2.13 — crash-fault optimality (async, det.)")
     for beta in (0.25, 0.5, 0.75):
         spec = ExperimentSpec(protocol="crash-multi", n=16, ell=4096,
                               fault_model="crash", beta=beta, repeats=2)
-        outcome = run_experiment(spec, workers=workers, cache=cache)
+        outcome = run_experiment(spec, **engine)
         optimal = crash_optimal_query_bound(4096, 16, spec.t)
         print(f"  beta={beta:.2f}  Q={outcome.mean_query_complexity:7.1f}  "
               f"optimal={optimal:7.1f}  ratio="
@@ -56,7 +64,7 @@ def main(*, workers: int = 1, cache=None) -> None:
                           protocol_params={"block_size": 30},
                           fault_model="byzantine", beta=0.4,
                           strategy="equivocate", repeats=2)
-    outcome = run_experiment(spec, workers=workers, cache=cache)
+    outcome = run_experiment(spec, **engine)
     bound = committee_query_bound(4500, 15, spec.t)
     print(f"  Q={outcome.mean_query_complexity:.0f}  "
           f"bound ell(2t+1)/n={bound}  ok={outcome.correct_runs}"
@@ -66,7 +74,7 @@ def main(*, workers: int = 1, cache=None) -> None:
     spec = ExperimentSpec(protocol="byz-two-cycle", n=40, ell=8192,
                           protocol_params={"num_segments": 4, "tau": 3},
                           fault_model="byzantine", beta=0.1, repeats=2)
-    outcome = run_experiment(spec, workers=workers, cache=cache)
+    outcome = run_experiment(spec, **engine)
     print(f"  Q={outcome.mean_query_complexity:.0f}  "
           f"(one segment = {8192 // 4}; naive = 8192)  "
           f"ok={outcome.correct_runs}/{outcome.runs}")
@@ -117,6 +125,18 @@ if __name__ == "__main__":
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute instead of reusing the on-disk "
                              "result cache")
+    parser.add_argument("--resume", action="store_true",
+                        help="checkpoint completed repeats to the "
+                             "default journal and replay it on restart")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries per repeat after the first attempt "
+                             "(default 2; 0 disables)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-repeat wall-clock budget in seconds")
     cli_args = parser.parse_args()
+    from repro.execution import RetryPolicy
     main(workers=cli_args.workers,
-         cache=None if cli_args.no_cache else True)
+         cache=None if cli_args.no_cache else True,
+         journal=True if cli_args.resume else None,
+         policy=RetryPolicy(max_attempts=cli_args.max_retries + 1,
+                            task_timeout=cli_args.task_timeout))

@@ -16,7 +16,12 @@ Sweeps run through the parallel experiment engine: ``--workers N``
 fans repeats and points over N processes (results are identical at any
 worker count), previously computed points are reused from the on-disk
 result cache (disable with ``--no-cache``; relocate with
-``--cache-dir`` or ``$REPRO_CACHE_DIR``).
+``--cache-dir`` or ``$REPRO_CACHE_DIR``).  The engine is
+fault-tolerant: every repeat runs under a retry policy
+(``--max-retries``, ``--task-timeout``), failed repeats degrade into
+the report instead of aborting the sweep (``--strict`` restores
+fail-fast), and ``--resume`` checkpoints completed repeats to a
+journal so an interrupted sweep picks up where it stopped.
 
 The CLI is a thin veneer over the library; every option maps one-to-one
 onto a constructor argument documented in the API.
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.adversary import (
@@ -126,6 +132,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--cache-dir", default=None,
                               help="result cache directory (default: "
                                    "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="checkpoint completed repeats to a "
+                                   "journal next to the result cache and "
+                                   "replay it on restart, so an "
+                                   "interrupted sweep resumes instead of "
+                                   "restarting")
+    sweep_parser.add_argument("--max-retries", type=int, default=2,
+                              help="retries per repeat after the first "
+                                   "attempt (default 2; 0 disables)")
+    sweep_parser.add_argument("--task-timeout", type=float, default=None,
+                              help="per-repeat wall-clock budget in "
+                                   "seconds (stalled repeats are killed "
+                                   "and retried)")
+    sweep_parser.add_argument("--strict", action="store_true",
+                              help="abort on the first repeat that fails "
+                                   "every retry instead of reporting "
+                                   "partial results")
     return parser
 
 
@@ -211,26 +234,49 @@ def _parse_axis_values(axis: str, raw: str) -> list:
 def _command_sweep(args, out) -> int:
     from repro.experiments import (ExperimentSpec, outcomes_table,
                                    sweep_experiment)
-    from repro.execution import ResultCache
+    from repro.execution import (ResultCache, RetryPolicy, SweepJournal,
+                                 default_cache_dir)
     spec = ExperimentSpec(
         protocol=args.protocol, n=args.n, ell=args.ell,
         fault_model=args.fault_model, beta=args.beta,
         repeats=args.repeats, base_seed=args.seed)
     values = _parse_axis_values(args.axis, args.values)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    journal = None
+    if args.resume:
+        journal_dir = (cache.directory if cache is not None
+                       else (Path(args.cache_dir) if args.cache_dir
+                             else default_cache_dir()))
+        journal = SweepJournal(journal_dir / "journal.jsonl")
+    if args.max_retries < 0:
+        raise SystemExit("--max-retries must be >= 0")
+    policy = RetryPolicy(max_attempts=args.max_retries + 1,
+                         task_timeout=args.task_timeout)
     outcomes = sweep_experiment(spec, axis=args.axis, values=values,
-                                workers=args.workers, cache=cache)
+                                workers=args.workers, cache=cache,
+                                journal=journal, policy=policy,
+                                strict=args.strict)
     print(outcomes_table(outcomes, axis=args.axis), file=out)
     if cache is not None:
         print(f"cache      : {cache.stats} in {cache.directory}",
               file=out)
+    if journal is not None:
+        print(f"journal    : {journal.stats} in {journal.path}",
+              file=out)
+    failed = sum(outcome.failed_runs for outcome in outcomes)
+    if failed:
+        print(f"degraded   : {failed} repeat(s) failed every retry",
+              file=out)
+        for outcome in outcomes:
+            for failure in outcome.failures:
+                print(f"  {outcome.spec.protocol}"
+                      f"[{getattr(outcome.spec, args.axis)}] {failure}",
+                      file=out)
     if args.json_out:
         from repro.persistence import save_outcomes
         save_outcomes(outcomes, args.json_out)
         print(f"outcomes written to {args.json_out}", file=out)
     if args.markdown_out:
-        from pathlib import Path
-
         from repro.reporting import render_report, render_sweep
         section = render_sweep(
             outcomes, axis=args.axis,

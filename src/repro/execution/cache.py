@@ -36,10 +36,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see below)
 #: Cache invalidation salt.  Bump on any change that alters simulated
 #: outcomes (protocol logic, adversary schedules, seed derivation, the
 #: aggregation arithmetic); old entries then miss and are recomputed.
-CODE_VERSION = "2026.08.0"
+CODE_VERSION = "2026.08.1"
 
 #: On-disk record format tag; bump on incompatible record changes.
 SCHEMA_VERSION = 1
+
+
+def canonical_json(payload) -> str:
+    """The canonical text form hashed into spec identities.
+
+    Sorted keys at every nesting level, so dict insertion order never
+    matters; non-JSON values fall back to ``repr``.  Both the cache key
+    (:func:`spec_cache_key`) and the per-repeat seed derivation
+    (:meth:`~repro.experiments.ExperimentSpec.seed_for`) canonicalise
+    through this one helper, so the two identities cannot diverge.
+    """
+    return json.dumps(payload, sort_keys=True, default=repr)
 
 
 def default_cache_dir() -> Path:
@@ -62,7 +74,7 @@ def spec_cache_key(spec: "ExperimentSpec", *,
     the salt.  Two specs collide only if every field is equal.
     """
     payload = dataclasses.asdict(spec)
-    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    canonical = canonical_json(payload)
     digest = hashlib.sha256(f"{salt}\n{canonical}".encode("utf-8"))
     return digest.hexdigest()
 

@@ -1,4 +1,4 @@
-"""Process-parallel experiment execution.
+"""Process-parallel experiment execution with fault tolerance.
 
 Every experiment in this repo is embarrassingly parallel: a spec's
 repeats are independent runs seeded by
@@ -15,22 +15,45 @@ results **bit-for-bit identical** to the serial path:
   irrelevant;
 - ``workers=1`` runs in-process through the *same* task function.
 
+Because tasks are pure, re-running one is always safe — which is what
+the resilience layer leans on:
+
+- every task runs under a :class:`~repro.execution.retry.RetryPolicy`
+  (attempt budget, deterministic-jitter backoff, per-attempt wall-clock
+  watchdog);
+- a broken process pool (worker killed, OOM, segfault) rebuilds the
+  pool and resubmits **only the lost tasks** — completed results are
+  never discarded;
+- a task that fails every attempt becomes a structured
+  :class:`~repro.execution.retry.TaskFailure` in the results
+  (``on_error="record"``) or re-raises (``on_error="raise"``);
+- a :class:`~repro.execution.journal.SweepJournal` checkpoints each
+  completed ``(spec, repeat)`` as it lands, so an interrupted sweep
+  resumes instead of restarting.
+
 The generic :func:`run_tasks` helper underneath is also used by the
 benchmark harness (:mod:`benchmarks.support`), whose payloads carry
 live adversary/factory objects rather than specs.  There the pickle
 round-trip doubles as per-task isolation: serial and parallel modes
 both hand each task a pristine copy, so ``workers=1`` and
 ``workers=N`` see identical state.  Payloads that cannot be pickled
-fall back to direct serial calls.
+fall back to direct serial calls (with a warning).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import (TYPE_CHECKING, Callable, Iterable, Optional, Sequence)
 
 from repro.execution.cache import ResultCache
+from repro.execution.chaos import ChaosPlan
+from repro.execution.journal import SweepJournal
+from repro.execution.retry import RetryPolicy, TaskFailure, watchdog
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -47,9 +70,41 @@ def _spec_repeat_task(payload):
     return execute_repeat(spec, repeat)
 
 
+def _run_attempt(blob: bytes, index: int, attempt: int,
+                 timeout: Optional[float],
+                 chaos: Optional[ChaosPlan], *, in_pool: bool):
+    """One attempt of one task: chaos, watchdog, unpickle, call.
+
+    Runs in a pool worker's main thread (``in_pool=True``) or in the
+    parent on the serial path.  The chaos injection and the unpickle
+    both sit *inside* the watchdog window, so a stalled injection or a
+    pathological payload is interrupted like any stalled task.
+    """
+    with watchdog(timeout):
+        if chaos is not None:
+            chaos.apply(index, attempt, in_pool=in_pool)
+        fn, payload = pickle.loads(blob)
+        return fn(payload)
+
+
+class _TaskState:
+    """Book-keeping for one task across attempts and pool rebuilds."""
+
+    __slots__ = ("index", "seed", "attempts")
+
+    def __init__(self, index: int, seed: int) -> None:
+        self.index = index
+        self.seed = seed
+        self.attempts = 0
+
+
 def run_tasks(fn: Callable, payloads: Iterable, *, workers: int = 1,
-              isolate: bool = True) -> list:
-    """Order-preserving map of ``fn`` over ``payloads``.
+              isolate: bool = True, policy: Optional[RetryPolicy] = None,
+              on_error: str = "raise",
+              on_result: Optional[Callable[[int, object], None]] = None,
+              task_seeds: Optional[Sequence[int]] = None,
+              chaos: Optional[ChaosPlan] = None) -> list:
+    """Order-preserving, fault-tolerant map of ``fn`` over ``payloads``.
 
     ``workers > 1`` distributes over a process pool; ``workers = 1``
     runs in-process.  With ``isolate=True`` (the default) serial mode
@@ -58,37 +113,210 @@ def run_tasks(fn: Callable, payloads: Iterable, *, workers: int = 1,
     adversary object) then cannot leak between tasks in either mode,
     which is what makes serial and parallel results identical.
 
+    Every task runs under ``policy`` (default: the stock
+    :class:`~repro.execution.retry.RetryPolicy` — 3 attempts, no
+    timeout): failed attempts are retried after a deterministic-jitter
+    backoff, a per-attempt wall-clock ``task_timeout`` is enforced by a
+    watchdog, and a broken process pool is rebuilt with only the lost
+    tasks resubmitted (each casualty is charged one attempt).  A task
+    that exhausts its budget re-raises its last error when
+    ``on_error="raise"`` (the default), or yields a
+    :class:`~repro.execution.retry.TaskFailure` in its result slot when
+    ``on_error="record"``.
+
+    ``on_result(index, result)`` is invoked in the parent as each task
+    completes (completion order under a pool) — the journalling hook.
+    ``task_seeds`` supplies per-task seeds for the backoff jitter
+    (default: the task index).  ``chaos`` injects deterministic faults
+    for the chaos battery; leave it ``None`` outside tests.
+
     ``fn`` must be a module-level callable.  If ``fn`` or any payload
     cannot be pickled, everything runs serially on the originals (the
-    only mode such payloads support).
+    only mode such payloads support) and a ``RuntimeWarning`` is
+    emitted.
     """
     check_positive("workers", workers)
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', "
+                         f"got {on_error!r}")
+    policy = RetryPolicy() if policy is None else policy
     payloads = list(payloads)
     if not payloads:
         return []
-    try:
-        blobs = [pickle.dumps((fn, payload)) for payload in payloads]
-    except Exception:
-        return [fn(payload) for payload in payloads]
-    if workers == 1 or len(payloads) == 1:
-        if not isolate:
-            return [fn(payload) for payload in payloads]
-        return [_apply(blob) for blob in blobs]
+    seeds = (list(task_seeds) if task_seeds is not None
+             else list(range(len(payloads))))
+    if len(seeds) != len(payloads):
+        raise ValueError(f"task_seeds has {len(seeds)} entries for "
+                         f"{len(payloads)} payloads")
+
+    serial = workers == 1 or len(payloads) == 1
+    if serial and not isolate:
+        blobs = None  # direct calls: no pickling needed at all
+    else:
+        try:
+            blobs = [pickle.dumps((fn, payload)) for payload in payloads]
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            warnings.warn(
+                f"run_tasks: payloads are not picklable ({exc}); falling "
+                f"back to serial execution without per-task isolation",
+                RuntimeWarning, stacklevel=2)
+            blobs = None
+            serial = True
+
+    if serial:
+        return _run_serial(fn, payloads, blobs, seeds, policy,
+                           on_error, on_result, chaos)
+    return _run_pool(blobs, seeds, policy, workers,
+                     on_error, on_result, chaos)
+
+
+def _fail(state: _TaskState, exc: Exception, on_error: str) -> TaskFailure:
+    """Out of attempts: raise (strict) or record (graceful)."""
+    if on_error == "raise":
+        raise exc
+    return TaskFailure.from_exception(f"task-{state.index}", exc,
+                                      state.attempts)
+
+
+def _run_serial(fn, payloads, blobs, seeds, policy, on_error, on_result,
+                chaos) -> list:
+    """In-process path: same attempt loop, payload order preserved."""
     results: list = [None] * len(payloads)
-    with ProcessPoolExecutor(max_workers=min(workers,
-                                             len(payloads))) as pool:
-        futures = {pool.submit(fn, payload): index
-                   for index, payload in enumerate(payloads)}
-        for future in as_completed(futures):
-            results[futures[future]] = future.result()
+    for index, payload in enumerate(payloads):
+        state = _TaskState(index, seeds[index])
+        while True:
+            state.attempts += 1
+            try:
+                if blobs is None:
+                    # Unpicklable payloads: no isolation copy possible,
+                    # but retries and the watchdog still apply.
+                    with watchdog(policy.task_timeout):
+                        if chaos is not None:
+                            chaos.apply(index, state.attempts,
+                                        in_pool=False)
+                        value = fn(payload)
+                else:
+                    value = _run_attempt(blobs[index], index,
+                                         state.attempts,
+                                         policy.task_timeout, chaos,
+                                         in_pool=False)
+            except Exception as exc:
+                if state.attempts >= policy.max_attempts:
+                    results[index] = _fail(state, exc, on_error)
+                    break
+                time.sleep(policy.delay_before(state.attempts + 1,
+                                               task_seed=state.seed))
+                continue
+            results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+            break
     return results
 
 
-def _apply(blob: bytes):
-    """Run one pickled ``(fn, payload)`` pair — the serial twin of a
-    pool worker's unpickle-then-call."""
-    fn, payload = pickle.loads(blob)
-    return fn(payload)
+def _run_pool(blobs, seeds, policy, workers, on_error, on_result,
+              chaos) -> list:
+    """Pool path: retries in-pool, rebuild-and-resubmit on breakage.
+
+    A ``BrokenProcessPool`` (worker killed/segfaulted/OOMed) marks the
+    whole executor unusable: completed results are kept, every
+    unfinished task is charged one attempt (the killer is among them
+    and must not loop forever), and a fresh pool is built for just the
+    survivors.  Termination is inductive — every rebuild consumes at
+    least one attempt from a finite total budget.
+    """
+    total = len(blobs)
+    results: list = [None] * total
+    finished = [False] * total
+    states = {index: _TaskState(index, seeds[index])
+              for index in range(total)}
+    todo = list(range(total))
+
+    def record_success(index: int, value) -> None:
+        results[index] = value
+        finished[index] = True
+        if on_result is not None:
+            on_result(index, value)
+
+    def record_exhausted(index: int, exc: Exception) -> None:
+        results[index] = _fail(states[index], exc, on_error)
+        finished[index] = True
+
+    while todo:
+        resubmit: list[int] = []
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(todo))) as pool:
+            inflight = {}
+            broken = False
+
+            def submit(index: int) -> bool:
+                """Charge an attempt and submit; False once the pool
+                is broken (the caller routes the task to resubmit)."""
+                state = states[index]
+                state.attempts += 1
+                try:
+                    future = pool.submit(_run_attempt, blobs[index],
+                                         index, state.attempts,
+                                         policy.task_timeout, chaos,
+                                         in_pool=True)
+                except BrokenProcessPool:
+                    return False
+                inflight[future] = index
+                return True
+
+            for position, index in enumerate(todo):
+                if not submit(index):
+                    broken = True
+                    resubmit.extend(todo[position:])
+                    break
+            todo = []
+            while inflight and not broken:
+                done, _ = wait(set(inflight),
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = inflight.pop(future)
+                    state = states[index]
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        resubmit.append(index)
+                    except Exception as exc:
+                        if state.attempts >= policy.max_attempts:
+                            record_exhausted(index, exc)
+                        elif broken:
+                            resubmit.append(index)
+                        else:
+                            time.sleep(policy.delay_before(
+                                state.attempts + 1,
+                                task_seed=state.seed))
+                            if not submit(index):
+                                broken = True
+                                resubmit.append(index)
+                    else:
+                        record_success(index, value)
+            if broken:
+                # Drain the casualties: every remaining future fails
+                # fast with BrokenProcessPool; keep any stragglers that
+                # actually finished before the breakage.
+                for future, index in inflight.items():
+                    try:
+                        record_success(index, future.result())
+                    except Exception:
+                        resubmit.append(index)
+                inflight.clear()
+        for index in resubmit:
+            # A lost task was charged its submission's attempt; out of
+            # budget means the breakage wins as its failure cause.
+            if states[index].attempts >= policy.max_attempts:
+                record_exhausted(index, BrokenProcessPool(
+                    f"task {index} lost to a broken process pool "
+                    f"{states[index].attempts} time(s)"))
+            else:
+                todo.append(index)
+        todo.sort()
+    assert all(finished), "engine lost track of a task"
+    return results
 
 
 class ParallelRunner:
@@ -97,17 +325,38 @@ class ParallelRunner:
     Args:
         workers: process count; ``1`` means in-process serial.
         cache: optional :class:`ResultCache`; hits skip computation
-            entirely, misses are stored after aggregation.
+            entirely, misses are stored after aggregation (outcomes
+            containing failures are never cached).
+        journal: optional :class:`SweepJournal`; completed repeats are
+            checkpointed as they land and replayed on the next
+            ``run_many``, so an interrupted sweep resumes instead of
+            restarting.
+        policy: :class:`~repro.execution.retry.RetryPolicy` for every
+            task (default: 3 attempts, no timeout).
+        strict: ``True`` re-raises the first task error that survives
+            its retry budget; ``False`` (the default) degrades
+            gracefully — failed repeats become
+            :class:`~repro.execution.retry.TaskFailure` records on the
+            outcome (``failed_runs``/``failures``).
+        chaos: deterministic fault injection plan (tests only).
 
-    The runner is stateless between calls (cache stats live on the
-    cache object), so one instance can serve many runs/sweeps.
+    The runner is stateless between calls (cache/journal stats live on
+    those objects), so one instance can serve many runs/sweeps.
     """
 
     def __init__(self, *, workers: int = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 journal: Optional[SweepJournal] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 strict: bool = False,
+                 chaos: Optional[ChaosPlan] = None) -> None:
         check_positive("workers", workers)
         self.workers = workers
         self.cache = cache
+        self.journal = journal
+        self.policy = policy
+        self.strict = strict
+        self.chaos = chaos
 
     def run(self, spec: "ExperimentSpec") -> "ExperimentOutcome":
         """All repeats of one spec, aggregated."""
@@ -128,19 +377,49 @@ class ParallelRunner:
                 outcomes[index] = hit
             else:
                 pending.append(index)
+        # Checkpointed repeats resume from the journal; only the rest run.
+        completed: dict = {}
+        if self.journal is not None and pending:
+            replayed = self.journal.replay()
+            for index in pending:
+                key = self.journal.key_for(specs[index])
+                for repeat in range(specs[index].repeats):
+                    record = replayed.get((key, repeat))
+                    if record is not None:
+                        completed[(index, repeat)] = record
         tasks = [(index, repeat) for index in pending
-                 for repeat in range(specs[index].repeats)]
+                 for repeat in range(specs[index].repeats)
+                 if (index, repeat) not in completed]
+
+        def checkpoint(position: int, record) -> None:
+            index, repeat = tasks[position]
+            self.journal.record(specs[index], repeat, record)
+
         records = run_tasks(
             _spec_repeat_task,
             [(specs[index], repeat) for index, repeat in tasks],
-            workers=self.workers)
-        by_task = {task: record for task, record in zip(tasks, records)}
+            workers=self.workers,
+            policy=self.policy,
+            on_error="raise" if self.strict else "record",
+            on_result=checkpoint if self.journal is not None else None,
+            task_seeds=[specs[index].seed_for(repeat)
+                        for index, repeat in tasks],
+            chaos=self.chaos)
+        for task, record in zip(tasks, records):
+            completed[task] = record
         for index in pending:
             spec = specs[index]
-            outcome = aggregate_outcome(
-                spec, [by_task[(index, repeat)]
-                       for repeat in range(spec.repeats)])
-            if self.cache is not None:
+            rows = []
+            for repeat in range(spec.repeats):
+                entry = completed[(index, repeat)]
+                if isinstance(entry, TaskFailure):
+                    entry = dataclasses.replace(entry,
+                                                task=f"repeat-{repeat}")
+                rows.append(entry)
+            outcome = aggregate_outcome(spec, rows)
+            # Failures are environmental, not content: caching them
+            # would serve a transient fault forever.
+            if self.cache is not None and outcome.failed_runs == 0:
                 self.cache.put(spec, outcome)
             outcomes[index] = outcome
         return outcomes

@@ -1,0 +1,158 @@
+"""Retry, timeout, and failure-record policy for the execution engine.
+
+The engine's tasks are pure functions of their payload (seeds are
+derived from spec identity), so re-running one is always safe.  That
+makes a retry layer free of semantic risk: a transient worker fault —
+an ``OSError`` from a saturated machine, a killed worker process, a
+stall past the wall-clock budget — is retried with exponential backoff,
+and only a fault that survives every attempt surfaces, either as a
+raised exception (strict mode) or as a structured :class:`TaskFailure`
+record carried in the results (graceful mode).
+
+Determinism is preserved end to end: the backoff *jitter* is not drawn
+from a shared RNG but derived from the task's own seed via
+:func:`repro.util.rng.derive_seed`, so two runs of the same sweep retry
+on the same schedule, and a retried task produces bit-identical results
+to one that succeeded first try (the task function never sees the
+attempt number).
+
+The per-task wall-clock timeout is a :func:`watchdog` alarm raised
+*inside* the process running the task (a pool worker's main thread, or
+the parent on the serial path), so a stalled task is interrupted where
+it runs and the pool stays healthy.  On platforms without ``SIGALRM``
+or off the main thread the watchdog degrades to a no-op (best effort).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.rng import derive_seed
+from repro.util.validation import check_positive
+
+__all__ = [
+    "NO_RETRY",
+    "RetryPolicy",
+    "TaskFailure",
+    "TaskTimeout",
+    "watchdog",
+]
+
+
+class TaskTimeout(Exception):
+    """A task exceeded its :attr:`RetryPolicy.task_timeout` budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine reacts to a failing or stalled task.
+
+    Args:
+        max_attempts: total tries per task (1 = no retries).
+        base_delay: backoff before the first retry, in seconds.
+        backoff: multiplier applied per further retry.
+        max_delay: ceiling on any single backoff sleep.
+        task_timeout: per-attempt wall-clock budget in seconds
+            (``None`` disables the watchdog).
+        jitter: fraction of each backoff sleep that is randomized
+            *deterministically* from the task seed (0 disables).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+    task_timeout: Optional[float] = None
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("max_attempts", self.max_attempts)
+        for name in ("base_delay", "backoff", "max_delay", "jitter"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, "
+                                 f"got {getattr(self, name)!r}")
+        if self.jitter > 1:
+            raise ValueError(f"jitter must be <= 1, got {self.jitter!r}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive or None, "
+                             f"got {self.task_timeout!r}")
+
+    def delay_before(self, attempt: int, *, task_seed: int = 0) -> float:
+        """Backoff sleep before retry number ``attempt`` (2, 3, ...).
+
+        Exponential in the attempt number, capped at ``max_delay``,
+        shortened by up to ``jitter`` of itself using a uniform value
+        derived from ``(task_seed, attempt)`` — deterministic, so a
+        re-run of the same sweep retries on the same schedule.
+        """
+        raw = min(self.max_delay,
+                  self.base_delay * self.backoff ** max(0, attempt - 2))
+        if raw <= 0:
+            return 0.0
+        if self.jitter <= 0:
+            return raw
+        unit = derive_seed(task_seed, f"retry#{attempt}") / float(1 << 64)
+        return raw * (1.0 - self.jitter * unit)
+
+
+#: Behaviour-neutral policy: one attempt, no watchdog, no sleeps.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one task that failed every attempt.
+
+    JSON-safe and frozen, so it can ride inside an
+    :class:`~repro.experiments.ExperimentOutcome`, round-trip through
+    the persistence layer, and compare by value in tests.
+    """
+
+    task: str        #: stable label, e.g. ``"repeat-3"`` or ``"task-17"``
+    error_type: str  #: exception class name, e.g. ``"OSError"``
+    message: str     #: ``str(exception)`` (truncated)
+    attempts: int    #: attempts consumed before giving up
+
+    @classmethod
+    def from_exception(cls, task: str, exc: BaseException,
+                       attempts: int) -> "TaskFailure":
+        return cls(task=task, error_type=type(exc).__name__,
+                   message=str(exc)[:500], attempts=attempts)
+
+    def __str__(self) -> str:
+        return (f"{self.task}: {self.error_type}({self.message}) "
+                f"after {self.attempts} attempt(s)")
+
+
+@contextmanager
+def watchdog(seconds: Optional[float]):
+    """Raise :class:`TaskTimeout` if the body runs longer than ``seconds``.
+
+    Implemented with ``SIGALRM``/``setitimer`` so it interrupts the
+    running task in place; applies only on POSIX main threads (the
+    serial engine path and pool workers' main threads both qualify).
+    Elsewhere — or with ``seconds`` falsy — it is a no-op.
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if (not hasattr(signal, "setitimer")
+            or threading.current_thread() is not threading.main_thread()):
+        yield  # best effort: no alarm available here
+        return
+
+    def _alarm(signum, frame):
+        raise TaskTimeout(f"task exceeded its {seconds:g}s "
+                          f"wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -43,6 +43,8 @@ from repro.adversary import (
     WrongBitsStrategy,
 )
 from repro.adversary.dynamic import DynamicByzantineAdversary
+from repro.execution.cache import canonical_json
+from repro.execution.retry import TaskFailure
 from repro.protocols import get
 from repro.sim import run_download
 from repro.util.rng import derive_seed
@@ -120,16 +122,31 @@ class ExperimentSpec:
         return get(self.protocol).factory(**self.protocol_params)
 
     def seed_for(self, repeat: int) -> int:
-        """Stable per-repeat seed derived from the spec identity."""
+        """Stable per-repeat seed derived from the spec identity.
+
+        ``repeats`` is deliberately omitted (adding repeats must extend
+        a sweep, not reseed it); ``protocol_params`` goes through the
+        cache's :func:`~repro.execution.cache.canonical_json` — the
+        same canonical form the cache key hashes — so seed identity and
+        cache identity cannot diverge, whatever the params' nesting or
+        insertion order.
+        """
         identity = (f"{self.protocol}|{self.n}|{self.ell}|"
                     f"{self.fault_model}|{self.beta}|{self.strategy}|"
-                    f"{self.network}|{sorted(self.protocol_params.items())}")
+                    f"{self.network}|{canonical_json(self.protocol_params)}")
         return derive_seed(self.base_seed, f"{identity}#{repeat}")
 
 
 @dataclass(frozen=True)
 class ExperimentOutcome:
-    """Aggregated result of one spec's repeats."""
+    """Aggregated result of one spec's repeats.
+
+    ``runs`` counts *attempted* repeats (``spec.repeats``); repeats
+    that failed every retry appear in ``failed_runs``/``failures``
+    instead of the means, so a partially-degraded sweep still reports
+    every number it could compute — with provenance for the rest.
+    A failed repeat is not a correct one, so ``success_rate`` drops.
+    """
 
     spec: ExperimentSpec
     runs: int
@@ -138,10 +155,19 @@ class ExperimentOutcome:
     max_query_complexity: int
     mean_message_complexity: float
     mean_time_complexity: float
+    #: Repeats that exhausted their retry budget (graceful mode).
+    failed_runs: int = 0
+    #: One :class:`~repro.execution.retry.TaskFailure` per failed repeat.
+    failures: tuple = ()
 
     @property
     def success_rate(self) -> float:
         return self.correct_runs / self.runs
+
+    @property
+    def completed_runs(self) -> int:
+        """Repeats that produced a measurement."""
+        return self.runs - self.failed_runs
 
 
 @dataclass(frozen=True)
@@ -174,30 +200,42 @@ def execute_repeat(spec: ExperimentSpec, repeat: int) -> RepeatRecord:
 
 
 def aggregate_outcome(spec: ExperimentSpec,
-                      records: Iterable[RepeatRecord]) -> ExperimentOutcome:
+                      records: Iterable) -> ExperimentOutcome:
     """Fold per-repeat records (in repeat order) into one outcome.
 
     Aggregation always happens here, in the parent process and in
     repeat order, so serial and parallel execution produce bit-equal
-    floats.
+    floats.  ``records`` may mix :class:`RepeatRecord` with
+    :class:`~repro.execution.retry.TaskFailure` entries (graceful
+    degradation): failures are excluded from the means and reported via
+    ``failed_runs``/``failures``; with zero completed repeats every
+    mean is 0.0.
     """
     records = list(records)
-    queries = [record.queries for record in records]
-    messages = [record.messages for record in records]
-    times = [record.time for record in records]
+    failures = tuple(record for record in records
+                     if isinstance(record, TaskFailure))
+    measured = [record for record in records
+                if not isinstance(record, TaskFailure)]
+    queries = [record.queries for record in measured]
+    messages = [record.messages for record in measured]
+    times = [record.time for record in measured]
+    count = len(measured)
     return ExperimentOutcome(
         spec=spec,
         runs=spec.repeats,
-        correct_runs=sum(record.correct for record in records),
-        mean_query_complexity=sum(queries) / len(queries),
-        max_query_complexity=max(queries),
-        mean_message_complexity=sum(messages) / len(messages),
-        mean_time_complexity=sum(times) / len(times),
+        correct_runs=sum(record.correct for record in measured),
+        mean_query_complexity=sum(queries) / count if count else 0.0,
+        max_query_complexity=max(queries) if count else 0,
+        mean_message_complexity=sum(messages) / count if count else 0.0,
+        mean_time_complexity=sum(times) / count if count else 0.0,
+        failed_runs=len(failures),
+        failures=failures,
     )
 
 
 def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
-                   cache=None) -> ExperimentOutcome:
+                   cache=None, journal=None, policy=None,
+                   strict: bool = False) -> ExperimentOutcome:
     """Execute every repeat of ``spec`` and aggregate.
 
     Args:
@@ -205,9 +243,22 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
         cache: ``True`` for the default on-disk cache, a directory
             path, a :class:`~repro.execution.ResultCache`, or ``None``
             to disable (see :func:`repro.execution.resolve_cache`).
+        journal: ``True`` for the default checkpoint journal, a file
+            path, a :class:`~repro.execution.SweepJournal`, or ``None``
+            to disable — completed repeats are checkpointed and
+            replayed on restart (see
+            :func:`repro.execution.resolve_journal`).
+        policy: :class:`~repro.execution.RetryPolicy` wrapped around
+            every repeat (default: 3 attempts, no timeout).
+        strict: re-raise the first repeat error that survives its retry
+            budget instead of degrading it into the outcome's
+            ``failed_runs``/``failures`` fields.
     """
-    from repro.execution import ParallelRunner, resolve_cache
-    runner = ParallelRunner(workers=workers, cache=resolve_cache(cache))
+    from repro.execution import (ParallelRunner, resolve_cache,
+                                 resolve_journal)
+    runner = ParallelRunner(workers=workers, cache=resolve_cache(cache),
+                            journal=resolve_journal(journal),
+                            policy=policy, strict=strict)
     return runner.run(spec)
 
 
@@ -220,16 +271,23 @@ def sweep_points(spec: ExperimentSpec, *, axis: str,
 
 
 def sweep_experiment(spec: ExperimentSpec, *, axis: str, values: Iterable,
-                     workers: int = 1, cache=None) -> list[ExperimentOutcome]:
+                     workers: int = 1, cache=None, journal=None,
+                     policy=None,
+                     strict: bool = False) -> list[ExperimentOutcome]:
     """Run ``spec`` once per value of ``axis`` (any spec field).
 
     With ``workers > 1`` every repeat of every point shares one process
-    pool; with a cache only points absent from it are computed.  Each
-    point's outcome depends only on its own spec, never on the sweep
-    order.
+    pool; with a cache only points absent from it are computed; with a
+    journal an interrupted sweep resumes from its completed repeats.
+    Each point's outcome depends only on its own spec, never on the
+    sweep order.  ``journal``/``policy``/``strict`` are as in
+    :func:`run_experiment`.
     """
-    from repro.execution import ParallelRunner, resolve_cache
-    runner = ParallelRunner(workers=workers, cache=resolve_cache(cache))
+    from repro.execution import (ParallelRunner, resolve_cache,
+                                 resolve_journal)
+    runner = ParallelRunner(workers=workers, cache=resolve_cache(cache),
+                            journal=resolve_journal(journal),
+                            policy=policy, strict=strict)
     return runner.sweep(spec, axis=axis, values=values)
 
 

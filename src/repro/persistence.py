@@ -87,11 +87,19 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
         "max_query_complexity": outcome.max_query_complexity,
         "mean_message_complexity": outcome.mean_message_complexity,
         "mean_time_complexity": outcome.mean_time_complexity,
+        "failed_runs": outcome.failed_runs,
+        "failures": [dataclasses.asdict(failure)
+                     for failure in outcome.failures],
     }
 
 
 def outcome_from_dict(payload: dict) -> ExperimentOutcome:
-    """Inverse of :func:`outcome_to_dict`."""
+    """Inverse of :func:`outcome_to_dict`.
+
+    Files written before the resilience layer lack the failure fields;
+    they load as fully-successful outcomes (which they were).
+    """
+    from repro.execution.retry import TaskFailure
     return ExperimentOutcome(
         spec=ExperimentSpec(**payload["spec"]),
         runs=payload["runs"],
@@ -100,6 +108,9 @@ def outcome_from_dict(payload: dict) -> ExperimentOutcome:
         max_query_complexity=payload["max_query_complexity"],
         mean_message_complexity=payload["mean_message_complexity"],
         mean_time_complexity=payload["mean_time_complexity"],
+        failed_runs=payload.get("failed_runs", 0),
+        failures=tuple(TaskFailure(**failure)
+                       for failure in payload.get("failures", ())),
     )
 
 

@@ -1,0 +1,308 @@
+"""Chaos battery: the engine survives the faults it simulates.
+
+The repo's subject is making progress despite faulty participants; this
+battery holds the execution engine to the same standard.  Deterministic
+fault injectors (:mod:`repro.execution.chaos`) kill workers, raise
+transient errors, stall tasks past their watchdog budget, and corrupt
+journal/cache artifacts — and every test asserts the same invariant:
+**outcomes are field-for-field identical to a fault-free serial run**,
+or the failure is reported as a structured record, never lost.
+"""
+
+import dataclasses
+import io
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.execution import (
+    NO_RETRY,
+    ChaosPlan,
+    ParallelRunner,
+    RetryPolicy,
+    SweepJournal,
+    TaskFailure,
+    TaskTimeout,
+    ResultCache,
+    WorkerKilled,
+    run_tasks,
+    watchdog,
+)
+from repro.execution.chaos import corrupt_file, drop_journal_lines
+from repro.experiments import ExperimentOutcome, ExperimentSpec
+
+#: Fast retry policy for fault tests: full budget, no real sleeping.
+FAST = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.002)
+
+SPECS = [
+    ExperimentSpec(protocol="crash-multi", n=8, ell=256,
+                   fault_model="crash", beta=0.5, repeats=2),
+    ExperimentSpec(protocol="balanced", n=8, ell=128, repeats=2),
+    ExperimentSpec(protocol="byz-committee", n=9, ell=90,
+                   protocol_params={"block_size": 9},
+                   fault_model="byzantine", beta=0.3,
+                   strategy="equivocate", repeats=2),
+]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free serial ground truth for the whole battery."""
+    return ParallelRunner(workers=1, policy=NO_RETRY,
+                          strict=True).run_many(SPECS)
+
+
+def assert_outcomes_identical(first, second):
+    for one, two in zip(first, second):
+        for field in dataclasses.fields(ExperimentOutcome):
+            assert getattr(one, field.name) == getattr(two, field.name), \
+                f"outcome field {field.name!r} differs"
+
+
+class TestWorkerKill:
+    def test_killed_worker_mid_sweep_is_invisible(self, baseline):
+        # Task 0's first attempt hard-kills its worker: the pool
+        # breaks, is rebuilt, and only the lost tasks are resubmitted.
+        outcomes = ParallelRunner(
+            workers=4, policy=FAST,
+            chaos=ChaosPlan(kill_on=(0,))).run_many(SPECS)
+        assert_outcomes_identical(baseline, outcomes)
+
+    def test_multiple_kills_still_converge(self, baseline):
+        outcomes = ParallelRunner(
+            workers=2, policy=FAST,
+            chaos=ChaosPlan(kill_on=(1, 4))).run_many(SPECS)
+        assert_outcomes_identical(baseline, outcomes)
+
+    def test_run_tasks_rebuild_resubmits_only_lost_tasks(self):
+        # Generic engine level: results stay order-preserving and
+        # complete through a pool breakage.
+        results = run_tasks(_square, list(range(12)), workers=3,
+                            policy=FAST, chaos=ChaosPlan(kill_on=(5,)))
+        assert results == [value * value for value in range(12)]
+
+    def test_serial_kill_is_a_retryable_error(self, baseline):
+        # Off-pool there is no worker to kill; the injector raises a
+        # WorkerKilled stand-in and the retry layer absorbs it.
+        outcomes = ParallelRunner(
+            workers=1, policy=FAST,
+            chaos=ChaosPlan(kill_on=(2,))).run_many(SPECS)
+        assert_outcomes_identical(baseline, outcomes)
+
+    def test_serial_kill_without_budget_surfaces(self):
+        with pytest.raises(WorkerKilled):
+            run_tasks(_square, [1, 2], workers=1, policy=NO_RETRY,
+                      chaos=ChaosPlan(kill_on=(0,)))
+
+
+class TestTransientErrors:
+    def test_transient_failures_on_first_attempts(self, baseline):
+        plan = ChaosPlan(transient_until=((0, 2), (3, 1), (5, 2)))
+        for workers in (1, 4):
+            outcomes = ParallelRunner(workers=workers, policy=FAST,
+                                      chaos=plan).run_many(SPECS)
+            assert_outcomes_identical(baseline, outcomes)
+
+    def test_budget_exhaustion_degrades_gracefully(self, baseline):
+        # Task 0 (spec 0, repeat 0) fails every attempt: the sweep
+        # still returns, with the failure recorded in the outcome.
+        outcomes = ParallelRunner(
+            workers=1, policy=FAST,
+            chaos=ChaosPlan(transient_until=((0, 99),))).run_many(SPECS)
+        damaged, intact = outcomes[0], outcomes[1:]
+        assert damaged.failed_runs == 1
+        assert damaged.completed_runs == damaged.runs - 1
+        (failure,) = damaged.failures
+        assert failure == TaskFailure(task="repeat-0",
+                                      error_type="OSError",
+                                      message=failure.message, attempts=3)
+        assert damaged.success_rate < 1.0
+        assert_outcomes_identical(baseline[1:], intact)
+
+    def test_strict_mode_reraises(self):
+        with pytest.raises(OSError, match="transient"):
+            ParallelRunner(
+                workers=1, policy=NO_RETRY, strict=True,
+                chaos=ChaosPlan(transient_until=((0, 99),))
+            ).run_many(SPECS)
+
+    def test_failed_outcomes_are_never_cached(self, tmp_path, baseline):
+        cache = ResultCache(tmp_path)
+        ParallelRunner(workers=1, policy=NO_RETRY, cache=cache,
+                       chaos=ChaosPlan(transient_until=((0, 99),))
+                       ).run_many(SPECS[:1])
+        assert cache.stats.stores == 0
+        healthy = ParallelRunner(workers=1, cache=cache).run_many(SPECS[:1])
+        assert cache.stats.stores == 1
+        assert_outcomes_identical(baseline[:1], healthy)
+
+
+class TestStallsAndTimeouts:
+    def test_stalled_task_is_killed_and_retried(self, baseline):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.001,
+                             task_timeout=0.3)
+        plan = ChaosPlan(stall_on=(1,), stall_seconds=30.0)
+        for workers in (1, 2):
+            outcomes = ParallelRunner(workers=workers, policy=policy,
+                                      chaos=plan).run_many(SPECS)
+            assert_outcomes_identical(baseline, outcomes)
+
+    def test_watchdog_raises_in_place(self):
+        import time
+        with pytest.raises(TaskTimeout):
+            with watchdog(0.05):
+                time.sleep(5)
+
+    def test_watchdog_noop_without_timeout(self):
+        with watchdog(None):
+            pass
+        with watchdog(0):
+            pass
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_in_task_seed(self):
+        policy = RetryPolicy()
+        first = [policy.delay_before(a, task_seed=7) for a in (2, 3, 4)]
+        again = [policy.delay_before(a, task_seed=7) for a in (2, 3, 4)]
+        other = [policy.delay_before(a, task_seed=8) for a in (2, 3, 4)]
+        assert first == again
+        assert first != other
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=0.3,
+                             jitter=0.0)
+        delays = [policy.delay_before(a) for a in (2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.3, 0.3]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(task_timeout=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_run_tasks_rejects_bad_on_error(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_tasks(_square, [1], on_error="explode")
+
+
+class TestJournalResume:
+    def journal_run(self, path, **kwargs):
+        journal = SweepJournal(path)
+        outcomes = ParallelRunner(workers=1, journal=journal,
+                                  **kwargs).run_many(SPECS)
+        return journal, outcomes
+
+    def test_full_run_checkpoints_every_repeat(self, tmp_path, baseline):
+        journal, outcomes = self.journal_run(tmp_path / "j.jsonl")
+        assert_outcomes_identical(baseline, outcomes)
+        total = sum(spec.repeats for spec in SPECS)
+        assert journal.stats.appended == total
+
+    def test_resume_recomputes_only_missing_repeats(self, tmp_path,
+                                                    baseline):
+        path = tmp_path / "j.jsonl"
+        self.journal_run(path)
+        total = sum(spec.repeats for spec in SPECS)
+        # Interrupt: drop two checkpoints as if the sweep died there.
+        assert drop_journal_lines(path, [1, 4]) == 2
+        resumed, outcomes = self.journal_run(path)
+        assert resumed.stats.replayed == total - 2
+        assert resumed.stats.appended == 2  # only the missing repeats ran
+        assert_outcomes_identical(baseline, outcomes)
+
+    def test_corrupted_journal_entry_is_recomputed(self, tmp_path,
+                                                   baseline):
+        path = tmp_path / "j.jsonl"
+        self.journal_run(path)
+        drop_journal_lines(path, [0], replacement='{"torn": ')
+        resumed, outcomes = self.journal_run(path)
+        assert resumed.stats.corrupt == 1
+        assert resumed.stats.appended == 1
+        assert_outcomes_identical(baseline, outcomes)
+
+    def test_garbage_journal_file_resumes_nothing(self, tmp_path,
+                                                  baseline):
+        path = tmp_path / "j.jsonl"
+        self.journal_run(path)
+        corrupt_file(path)
+        resumed, outcomes = self.journal_run(path)
+        assert resumed.stats.replayed == 0
+        assert resumed.stats.appended == sum(s.repeats for s in SPECS)
+        assert_outcomes_identical(baseline, outcomes)
+
+    def test_stale_salt_resumes_nothing(self, tmp_path, baseline):
+        path = tmp_path / "j.jsonl"
+        stale = SweepJournal(path, salt="old-code-version")
+        ParallelRunner(workers=1, journal=stale).run_many(SPECS)
+        fresh, outcomes = self.journal_run(path)
+        assert fresh.stats.replayed == 0
+        assert_outcomes_identical(baseline, outcomes)
+
+    def test_resume_composes_with_faults(self, tmp_path, baseline):
+        # Interrupted journal + a worker kill + transient errors on the
+        # resumed run: still bit-identical.
+        path = tmp_path / "j.jsonl"
+        self.journal_run(path)
+        drop_journal_lines(path, [0, 2, 5])
+        journal = SweepJournal(path)
+        outcomes = ParallelRunner(
+            workers=4, journal=journal, policy=FAST,
+            chaos=ChaosPlan(kill_on=(0,), transient_until=((1, 1),))
+        ).run_many(SPECS)
+        assert journal.stats.appended == 3
+        assert_outcomes_identical(baseline, outcomes)
+
+    def test_journal_failures_are_never_checkpointed(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        ParallelRunner(workers=1, policy=NO_RETRY, journal=journal,
+                       chaos=ChaosPlan(transient_until=((0, 99),))
+                       ).run_many(SPECS[:1])
+        replay = SweepJournal(tmp_path / "j.jsonl").replay()
+        assert len(replay) == SPECS[0].repeats - 1
+
+    def test_clear_removes_checkpoints(self, tmp_path):
+        journal, _ = self.journal_run(tmp_path / "j.jsonl")
+        journal.clear()
+        assert journal.replay() == {}
+        journal.clear()  # idempotent
+
+
+class TestCliResume:
+    def sweep(self, cache_dir, *extra):
+        out = io.StringIO()
+        code = cli_main([
+            "sweep", "--protocol", "crash-multi", "--fault-model",
+            "crash", "--beta", "0.5", "--n", "8", "--ell", "256",
+            "--axis", "beta", "--values", "0.25,0.5", "--repeats", "2",
+            "--cache-dir", str(cache_dir), "--resume", *extra], out=out)
+        return code, out.getvalue()
+
+    def test_resume_skips_checkpointed_repeats(self, tmp_path):
+        code, text = self.sweep(tmp_path)
+        assert code == 0
+        assert "journal    : 0 replayed / 4 appended" in text
+        # Second run: cache hits answer every point; the journal is
+        # intact for a resume if the cache were lost.
+        code, text = self.sweep(tmp_path)
+        assert code == 0
+        assert "0 appended" in text
+        # Lose the cache, keep a damaged journal: only the dropped
+        # repeat is recomputed.
+        for entry in tmp_path.glob("*.json"):
+            entry.unlink()
+        drop_journal_lines(tmp_path / "journal.jsonl", [3])
+        code, text = self.sweep(tmp_path)
+        assert code == 0
+        assert "3 replayed / 1 appended" in text
+
+    def test_timeout_and_retry_flags_parse(self, tmp_path):
+        code, text = self.sweep(tmp_path, "--max-retries", "1",
+                                "--task-timeout", "120", "--strict")
+        assert code == 0
+
+
+def _square(value):
+    return value * value

@@ -232,8 +232,15 @@ class TestCacheCorruption:
 class TestRunTasks:
     def test_unpicklable_payloads_fall_back_to_serial(self):
         payloads = [lambda: 1, lambda: 2]  # lambdas cannot pickle
-        results = run_tasks(_call_thunk, payloads, workers=4)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            results = run_tasks(_call_thunk, payloads, workers=4)
         assert results == [1, 2]
+
+    def test_picklable_payloads_do_not_warn(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert run_tasks(_square, [3], workers=1) == [9]
 
     def test_parallel_map_preserves_order(self):
         assert run_tasks(_square, list(range(20)), workers=4) == \

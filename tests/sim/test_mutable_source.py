@@ -93,6 +93,50 @@ class TestWithheldQueries:
         # time (0), not from after the flip.
         assert response.values == {1: 0}
 
+    def test_withheld_delivery_is_after_the_flip(self):
+        # The parked response must have been *delivered* after the
+        # mutation fired — otherwise the previous test would pass
+        # trivially.  Quiescence release runs the flip first.
+        kernel, _, source, receiver = build(
+            "0000", mutations=[(0.5, 1)],
+            adversary=self.WithholdingQueries())
+        source.request_bits(0, 1, [1])
+        kernel.run()
+        assert kernel.now >= 0.5
+        assert source.applied_mutations == [(0.5, 1)]
+        assert source.peek(1) == 1          # the array really flipped
+        assert receiver.received[0].values == {1: 0}  # snapshot held
+
+    def test_withheld_charges_and_records_at_request_time(self):
+        kernel, metrics, source, _ = build(
+            "0000", adversary=self.WithholdingQueries())
+        source.request_bits(0, 1, [0, 3])
+        # Before any delivery: the query is already charged and logged.
+        assert metrics.queried_bits_of(0) == 2
+        assert source.queried_indices[0] == {0, 3}
+        kernel.run()
+
+    def test_withheld_multi_index_snapshot_is_consistent(self):
+        # Several indices, several flips between park and release: the
+        # parked response is one coherent snapshot, not a mix.
+        kernel, _, source, receiver = build(
+            "0000", mutations=[(0.2, 0), (0.4, 2)],
+            adversary=self.WithholdingQueries())
+        source.request_bits(0, 1, [0, 1, 2])
+        kernel.run()
+        (response,) = receiver.received
+        assert response.values == {0: 0, 1: 0, 2: 0}
+
+    def test_withheld_end_to_end_download_uses_park_time_values(self):
+        # Full simulation: queries are withheld and the data mutates
+        # afterwards.  The source reads at park time, so every peer
+        # still reconstructs the *original* array.
+        result = Simulation(
+            n=2, data="1100", peer_factory=NaiveDownloadPeer.factory(),
+            source_factory=mutable_source_factory([(5.0, 0), (5.0, 3)]),
+            adversary=self.WithholdingQueries(), seed=3).run()
+        assert result.download_correct
+
 
 class TestFactory:
     def test_factory_builds_mutable_source(self):
