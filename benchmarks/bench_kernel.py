@@ -1,0 +1,318 @@
+"""Kernel hot-path benchmark: micro ops + a representative end-to-end sweep.
+
+This is the perf trajectory's data source.  It times
+
+- **micro paths** — the operations the per-run profile is made of:
+  bulk bit-array construction/reads/writes, segment extraction,
+  population count, message sizing, and raw event-loop throughput;
+- **end-to-end runs** — one seeded simulation per protocol family at
+  representative sizes (the same shapes the Table-1 and sweep benches
+  stress), measured in the parent process with no cache and no pool.
+
+Timings are best-of-``repeats`` wall-clock (minimum over runs, the
+standard low-noise estimator).  Results are written to
+``BENCH_KERNEL.json`` at the repo root:
+
+- ``current`` — the numbers for the checked-out code;
+- ``baseline`` — the numbers captured on the pre-optimization kernel
+  (kept verbatim when ``--write`` updates ``current``);
+- ``speedup`` — baseline / current per measurement.
+
+Usage::
+
+    python benchmarks/bench_kernel.py                # measure + print
+    python benchmarks/bench_kernel.py --quick        # CI-sized subset
+    python benchmarks/bench_kernel.py --write        # update `current`
+    python benchmarks/bench_kernel.py --as-baseline  # (re)pin `baseline`
+    python benchmarks/bench_kernel.py --quick --check  # CI perf-smoke:
+        # fail if any e2e measurement regresses >30% vs checked-in current
+
+``REPRO_PROFILE=1`` profiles the end-to-end section (see
+:mod:`repro.profiling`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.profiling import maybe_profile
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_KERNEL.json"
+
+#: Regression tolerance for ``--check``: generous, to survive runner
+#: noise; a real hot-path regression blows through it anyway.
+DEFAULT_TOLERANCE = 0.30
+
+
+def _best_of(callable_, repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- micro paths -------------------------------------------------------------
+
+def _micro_cases(quick: bool) -> dict:
+    """name -> zero-arg callable exercising one hot micro path."""
+    from repro.sim.messages import SourceResponse
+    from repro.sim.scheduler import Kernel
+    from repro.util.bitarrays import BitArray
+    from repro.util.rng import SplittableRNG
+
+    ell = 1 << 14 if quick else 1 << 16
+    events = 20_000 if quick else 100_000
+    sizing_reps = 2_000 if quick else 10_000
+
+    rng = SplittableRNG(1234).split("bench-kernel")
+    bits = rng.random_bits(ell)
+    array = BitArray.from_bits(bits)
+    indices = list(range(0, ell, 3))
+    segment_string = array.segment(0, ell)
+
+    def micro_from_bits() -> None:
+        BitArray.from_bits(bits)
+
+    def micro_read_indices() -> None:
+        # The task is "read these positions"; use the bulk API when the
+        # kernel has one, else the per-index fallback it replaced.
+        get_many = getattr(array, "get_many", None)
+        if get_many is not None:
+            get_many(indices)
+        else:
+            [array[index] for index in indices]
+
+    def micro_segment() -> None:
+        array.segment(0, ell)
+
+    def micro_set_segment() -> None:
+        BitArray(ell).set_segment(0, segment_string)
+
+    def micro_count() -> None:
+        array.count_ones()
+
+    def micro_to_bits() -> None:
+        array.to_bits()
+
+    # One response shaped like a 64-bit segment answer: the sizing path
+    # every delivered source response and broadcast report goes through.
+    response = SourceResponse(sender=-1, request_id=7,
+                              values={index: 1 for index in range(64)})
+
+    def micro_message_sizing() -> None:
+        for _ in range(sizing_reps):
+            response.size_bits()
+
+    def micro_event_throughput() -> None:
+        kernel = Kernel()
+        remaining = [events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                kernel.schedule(1.0, tick)
+
+        kernel.schedule(1.0, tick)
+        kernel.run(max_events=events + 10)
+
+    return {
+        "from_bits": micro_from_bits,
+        "read_indices": micro_read_indices,
+        "segment": micro_segment,
+        "set_segment": micro_set_segment,
+        "count_ones": micro_count,
+        "to_bits": micro_to_bits,
+        "message_sizing": micro_message_sizing,
+        "event_throughput": micro_event_throughput,
+    }
+
+
+# -- end-to-end runs ---------------------------------------------------------
+
+def _e2e_cases(quick: bool) -> list[dict]:
+    """Representative single runs, one per protocol family."""
+    scale = 0.25 if quick else 1.0
+
+    def sized(value: int) -> int:
+        return max(64, int(value * scale))
+
+    return [
+        {"name": "crash-multi", "protocol": "crash-multi",
+         "n": 16, "ell": sized(4096), "fault_model": "crash",
+         "beta": 0.5, "seed": 5},
+        {"name": "byz-committee", "protocol": "byz-committee",
+         "n": 10, "ell": sized(1024), "fault_model": "byzantine",
+         "beta": 0.2, "seed": 13},
+        {"name": "byz-multi-cycle", "protocol": "byz-multi-cycle",
+         "n": 12, "ell": sized(8192), "fault_model": "byzantine",
+         "beta": 0.33, "seed": 19},
+        {"name": "one-round", "protocol": "one-round",
+         "n": 16, "ell": sized(4096), "fault_model": "crash",
+         "beta": 0.25, "seed": 2},
+    ]
+
+
+def _run_e2e_case(case: dict) -> None:
+    from repro.experiments import ExperimentSpec
+    from repro.sim import run_download
+
+    spec = ExperimentSpec(
+        protocol=case["protocol"], n=case["n"], ell=case["ell"],
+        fault_model=case["fault_model"], beta=case["beta"],
+        base_seed=case["seed"])
+    result = run_download(
+        n=spec.n, ell=spec.ell, peer_factory=spec.peer_factory(),
+        adversary=spec.build_adversary(), t=spec.t,
+        seed=spec.seed_for(0))
+    if not result.download_correct:
+        raise RuntimeError(f"bench case {case['name']} produced an "
+                           f"incorrect download — refusing to time it")
+
+
+# -- measurement -------------------------------------------------------------
+
+def measure(quick: bool, repeats: int) -> dict:
+    """Time every micro and end-to-end case; return the result tree."""
+    micro = {}
+    for name, callable_ in _micro_cases(quick).items():
+        micro[name] = _best_of(callable_, repeats)
+    e2e = {}
+    with maybe_profile(label="bench_kernel e2e"):
+        for case in _e2e_cases(quick):
+            e2e[case["name"]] = _best_of(lambda c=case: _run_e2e_case(c),
+                                         repeats)
+    return {
+        "quick": quick,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "micro_seconds": micro,
+        "e2e_seconds": e2e,
+        "e2e_total_seconds": sum(e2e.values()),
+    }
+
+
+def _speedups(baseline: dict, current: dict) -> dict:
+    """baseline / current per shared measurement (higher = faster now)."""
+    out: dict = {"micro": {}, "e2e": {}}
+    for section, key in (("micro", "micro_seconds"), ("e2e", "e2e_seconds")):
+        for name, base in (baseline.get(key) or {}).items():
+            now = (current.get(key) or {}).get(name)
+            if now and base:
+                out[section][name] = round(base / now, 2)
+    base_total = baseline.get("e2e_total_seconds")
+    now_total = current.get("e2e_total_seconds")
+    if base_total and now_total:
+        out["e2e_total"] = round(base_total / now_total, 2)
+    return out
+
+
+def _print_report(result: dict, baseline: dict | None) -> None:
+    def row(name: str, seconds: float, base: float | None) -> str:
+        line = f"  {name:<18} {seconds * 1e3:>10.2f} ms"
+        if base:
+            line += f"   ({base / seconds:>5.2f}x vs baseline)"
+        return line
+
+    print(f"== bench_kernel ({'quick' if result['quick'] else 'full'}, "
+          f"best of {result['repeats']}) ==")
+    print("micro paths:")
+    for name, seconds in result["micro_seconds"].items():
+        base = (baseline or {}).get("micro_seconds", {}).get(name)
+        print(row(name, seconds, base))
+    print("end-to-end runs:")
+    for name, seconds in result["e2e_seconds"].items():
+        base = (baseline or {}).get("e2e_seconds", {}).get(name)
+        print(row(name, seconds, base))
+    base_total = (baseline or {}).get("e2e_total_seconds")
+    total = result["e2e_total_seconds"]
+    suffix = f"   ({base_total / total:.2f}x vs baseline)" if base_total \
+        else ""
+    print(f"  {'TOTAL e2e':<18} {total * 1e3:>10.2f} ms{suffix}")
+
+
+def _check(result: dict, reference: dict, tolerance: float) -> list[str]:
+    """Regressions of ``result`` vs ``reference`` beyond ``tolerance``."""
+    failures = []
+    for name, now in result["e2e_seconds"].items():
+        ref = (reference.get("e2e_seconds") or {}).get(name)
+        if ref and now > ref * (1.0 + tolerance):
+            failures.append(
+                f"e2e {name}: {now * 1e3:.1f} ms vs reference "
+                f"{ref * 1e3:.1f} ms (> {tolerance:.0%} slower)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="kernel hot-path benchmark (see module docstring)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized inputs (~seconds, noisier)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats; the minimum is reported")
+    parser.add_argument("--write", action="store_true",
+                        help="update the `current` section of "
+                             "BENCH_KERNEL.json (keeps `baseline`)")
+    parser.add_argument("--as-baseline", action="store_true",
+                        help="store this measurement as the `baseline` "
+                             "section instead")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) on >tolerance regression of "
+                             "any e2e case vs the checked-in `current`")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="relative slowdown allowed by --check "
+                             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--json", type=Path, default=RESULT_PATH,
+                        help="result file (default: repo-root "
+                             "BENCH_KERNEL.json)")
+    args = parser.parse_args(argv)
+
+    stored: dict = {}
+    if args.json.exists():
+        stored = json.loads(args.json.read_text(encoding="utf-8"))
+
+    result = measure(args.quick, args.repeats)
+    reference_key = "current_quick" if args.quick else "current"
+    baseline_key = "baseline_quick" if args.quick else "baseline"
+    _print_report(result, stored.get(baseline_key))
+
+    if args.check:
+        reference = stored.get(reference_key)
+        if not reference:
+            print(f"--check: no {reference_key!r} section in {args.json}; "
+                  f"run with --write first", file=sys.stderr)
+            return 2
+        failures = _check(result, reference, args.tolerance)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"perf check ok (every e2e case within "
+              f"{args.tolerance:.0%} of {reference_key})")
+
+    if args.write or args.as_baseline:
+        key = baseline_key if args.as_baseline else reference_key
+        stored[key] = result
+        current = stored.get(reference_key)
+        baseline = stored.get(baseline_key)
+        if current and baseline:
+            stored["speedup" + ("_quick" if args.quick else "")] = \
+                _speedups(baseline, current)
+        args.json.write_text(
+            json.dumps(stored, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"{key} written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.adversary import (
     WrongBitsStrategy,
 )
 from repro.execution import RetryPolicy, run_tasks
+from repro.profiling import maybe_profile
 from repro.sim import run_download
 
 #: Default worker count for every bench measurement; override per call
@@ -146,9 +147,13 @@ def measure(*, n: int, ell: int, peer_factory, adversary=None,
                      adversary=adversary, t=t,
                      seed=seed + 1000 * repeat, **kwargs)
                 for repeat in range(repeats)]
-    measured = run_tasks(_measure_one, payloads, workers=workers,
-                         policy=policy, task_seeds=[payload["seed"]
-                                                    for payload in payloads])
+    # REPRO_PROFILE=1 profiles the in-process repeats (worker-pool
+    # repeats run outside this process and are not captured).
+    with maybe_profile(label=f"measure n={n} ell={ell}"):
+        measured = run_tasks(_measure_one, payloads, workers=workers,
+                             policy=policy,
+                             task_seeds=[payload["seed"]
+                                         for payload in payloads])
     queries = [entry[0] for entry in measured]
     messages = [entry[1] for entry in measured]
     times = [entry[2] for entry in measured]

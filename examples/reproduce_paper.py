@@ -7,7 +7,11 @@ measured vs. claimed.  (`pytest benchmarks/ --benchmark-only` is the
 full-fat version with assertions; this script is the five-minute tour.)
 
 Run:  python examples/reproduce_paper.py [--workers 4] [--no-cache]
-          [--resume] [--max-retries N] [--task-timeout S]
+          [--resume] [--max-retries N] [--task-timeout S] [--profile]
+
+``--profile`` (or ``REPRO_PROFILE=1``) wraps the whole reproduction in
+cProfile and prints the pstats top table to stderr — profile with
+``--workers 1`` so the simulator work stays in this process.
 
 ``--workers`` fans the experiment sections over a process pool via the
 parallel engine (results are identical at any worker count); by
@@ -133,10 +137,16 @@ if __name__ == "__main__":
                              "(default 2; 0 disables)")
     parser.add_argument("--task-timeout", type=float, default=None,
                         help="per-repeat wall-clock budget in seconds")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the reproduction with cProfile "
+                             "(also: REPRO_PROFILE=1)")
     cli_args = parser.parse_args()
     from repro.execution import RetryPolicy
-    main(workers=cli_args.workers,
-         cache=None if cli_args.no_cache else True,
-         journal=True if cli_args.resume else None,
-         policy=RetryPolicy(max_attempts=cli_args.max_retries + 1,
-                            task_timeout=cli_args.task_timeout))
+    from repro.profiling import maybe_profile, profile_enabled
+    with maybe_profile(profile_enabled(cli_args.profile or None),
+                       label="reproduce_paper"):
+        main(workers=cli_args.workers,
+             cache=None if cli_args.no_cache else True,
+             journal=True if cli_args.resume else None,
+             policy=RetryPolicy(max_attempts=cli_args.max_retries + 1,
+                                task_timeout=cli_args.task_timeout))

@@ -92,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--tau", type=int, default=None,
                             help="randomized protocols: frequency "
                                  "threshold")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="profile the run with cProfile and "
+                                 "print the pstats top table to stderr "
+                                 "(also: REPRO_PROFILE=1)")
 
     lb_parser = subparsers.add_parser(
         "lower-bound",
@@ -149,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="abort on the first repeat that fails "
                                    "every retry instead of reporting "
                                    "partial results")
+    sweep_parser.add_argument("--profile", action="store_true",
+                              help="profile the sweep with cProfile and "
+                                   "print the pstats top table to stderr "
+                                   "(in-process work only — profile with "
+                                   "--workers 1; also: REPRO_PROFILE=1)")
     return parser
 
 
@@ -191,10 +200,13 @@ def _command_list(out) -> int:
 
 
 def _command_run(args, out) -> int:
+    from repro.profiling import maybe_profile, profile_enabled
     adversary, t = _adversary_for(args)
-    result = run_download(n=args.n, ell=args.ell,
-                          peer_factory=_factory_for(args),
-                          adversary=adversary, t=t, seed=args.seed)
+    with maybe_profile(profile_enabled(args.profile or None),
+                       label=f"run {args.protocol}"):
+        result = run_download(n=args.n, ell=args.ell,
+                              peer_factory=_factory_for(args),
+                              adversary=adversary, t=t, seed=args.seed)
     print(f"protocol   : {args.protocol}", file=out)
     print(f"setup      : n={args.n}, ell={args.ell}, "
           f"fault={args.fault_model}, beta={args.beta}, "
@@ -252,10 +264,13 @@ def _command_sweep(args, out) -> int:
         raise SystemExit("--max-retries must be >= 0")
     policy = RetryPolicy(max_attempts=args.max_retries + 1,
                          task_timeout=args.task_timeout)
-    outcomes = sweep_experiment(spec, axis=args.axis, values=values,
-                                workers=args.workers, cache=cache,
-                                journal=journal, policy=policy,
-                                strict=args.strict)
+    from repro.profiling import maybe_profile, profile_enabled
+    with maybe_profile(profile_enabled(args.profile or None),
+                       label=f"sweep {args.protocol} over {args.axis}"):
+        outcomes = sweep_experiment(spec, axis=args.axis, values=values,
+                                    workers=args.workers, cache=cache,
+                                    journal=journal, policy=policy,
+                                    strict=args.strict)
     print(outcomes_table(outcomes, axis=args.axis), file=out)
     if cache is not None:
         print(f"cache      : {cache.stats} in {cache.directory}",

@@ -79,6 +79,32 @@ def digit_owner(index: int, phase: int, n: int) -> int:
     return (index // n ** (phase - 1)) % n
 
 
+def group_by_digit_owner(indices: Iterable[int], phase: int,
+                         n: int) -> dict[int, list[int]]:
+    """Group ``indices`` by their :func:`digit_owner` for ``phase``.
+
+    Bulk companion to :func:`digit_owner`: arguments are validated once
+    and the ``n ** (phase - 1)`` divisor is computed once, so grouping
+    a whole residue costs one divmod per index instead of three checks
+    and an exponentiation each.  Index order is preserved within each
+    owner's list; owners appear in first-encounter order.
+    """
+    check_positive("phase", phase)
+    check_positive("n", n)
+    width = n ** (phase - 1)
+    by_owner: dict[int, list[int]] = {}
+    for index in indices:
+        if index < 0:
+            check_nonnegative("index", index)
+        owner = (index // width) % n
+        bucket = by_owner.get(owner)
+        if bucket is None:
+            by_owner[owner] = [index]
+        else:
+            bucket.append(index)
+    return by_owner
+
+
 def digit_indices(pid: int, phase: int, ell: int, n: int) -> list[int]:
     """All bits in ``[0, ell)`` owned by ``pid`` in ``phase``."""
     width = n ** (phase - 1)

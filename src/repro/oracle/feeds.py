@@ -149,14 +149,17 @@ class _EquivocatingSource(DataSource):
         if view is None:
             super().request_bits(pid, request_id, indices)
             return
-        # Same accounting as the honest path, different answers.
-        unique = sorted(set(indices))
+        # Same accounting as the honest path, different answers.  (No
+        # requests_served bump: this mirrors the historical behaviour of
+        # the equivocating path, which never counted toward it.)
+        from repro.util.bitarrays import canonical_indices
+        unique, mask = canonical_indices(indices, len(self.data))
         self.metrics.record_query(pid, len(unique))
-        self.queried_indices.setdefault(pid, set()).update(unique)
+        self._queried_masks[pid] = self._queried_masks.get(pid, 0) | mask
         from repro.sim.messages import SOURCE_ID, SourceResponse
         response = SourceResponse(
             sender=SOURCE_ID, request_id=request_id,
-            values={index: view[index] for index in unique})
+            values=dict(zip(unique, view.get_many(unique))))
         latency = self.adversary.query_latency(pid, self.network.kernel.now)
         self.network.deliver_direct(pid, response, latency)
 

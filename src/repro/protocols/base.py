@@ -54,6 +54,11 @@ class DownloadPeer(Peer):
         # cannot hold the sentinel, so the working array is a list and
         # is packed only at finish time.
         self.working: list[int] = [UNKNOWN] * env.ell
+        # Invariant: number of UNKNOWN entries in ``working``.  Learned
+        # bits are never overwritten, so the count only decreases; it
+        # makes ``all_known``/``known_count`` O(1) instead of a scan
+        # per delivered message.
+        self._unknown_count = env.ell
 
     @classmethod
     def factory(cls, **params) -> Callable[[int, SimEnv], "DownloadPeer"]:
@@ -73,29 +78,41 @@ class DownloadPeer(Peer):
             raise ValueError(f"bit must be 0 or 1, got {bit!r}")
         if self.working[index] == UNKNOWN:
             self.working[index] = bit
+            self._unknown_count -= 1
 
     def learn_many(self, values: dict[int, int]) -> None:
         """Record several bits at once."""
+        working = self.working
         for index, bit in values.items():
-            self.learn(index, bit)
+            if bit not in (0, 1):
+                raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+            if working[index] == UNKNOWN:
+                working[index] = bit
+                self._unknown_count -= 1
 
     def learn_string(self, lo: int, string: str) -> None:
         """Record a segment string starting at bit ``lo``."""
+        working = self.working
         for offset, ch in enumerate(string):
-            self.learn(lo + offset, 1 if ch == "1" else 0)
+            index = lo + offset
+            if working[index] == UNKNOWN:
+                working[index] = 1 if ch == "1" else 0
+                self._unknown_count -= 1
 
     def unknown_indices(self) -> list[int]:
         """Sorted indices this peer has not learned yet."""
+        if self._unknown_count == 0:
+            return []
         return [index for index, bit in enumerate(self.working)
                 if bit == UNKNOWN]
 
     def known_count(self) -> int:
         """Number of learned bits."""
-        return self.ell - len(self.unknown_indices())
+        return self.ell - self._unknown_count
 
     def all_known(self) -> bool:
         """True when every bit is learned."""
-        return all(bit != UNKNOWN for bit in self.working)
+        return self._unknown_count == 0
 
     def known_subset(self, indices) -> dict[int, int]:
         """The subset of ``indices`` this peer knows, with values."""

@@ -69,7 +69,22 @@ class ByzCommitteeDownloadPeer(DownloadPeer):
                                    max(1, math.ceil(env.ell / block_size)))
         self.committee_size = 2 * env.t + 1
         self.accepted: dict[int, str] = {}
+        #: Incremental tally: ``(block, string) -> distinct committee
+        #: senders`` seen so far.  Equivalent to rescanning the inbox on
+        #: every report (every counted report passed the same filters
+        #: when it arrived), but each report is processed once instead
+        #: of once per later report.
+        self._support: dict[tuple[int, str], set[int]] = {}
+        self._committee_cache: dict[int, frozenset[int]] = {}
         self.on_message(CommitteeReport, self._on_report)
+
+    def _committee(self, block: int) -> frozenset[int]:
+        committee = self._committee_cache.get(block)
+        if committee is None:
+            committee = frozenset(
+                committee_for(block, self.committee_size, self.n))
+            self._committee_cache[block] = committee
+        return committee
 
     # -- acceptance rule ---------------------------------------------------
 
@@ -79,17 +94,13 @@ class ByzCommitteeDownloadPeer(DownloadPeer):
             return
         if not 0 <= block < self.blocks.num_segments:
             return  # Byzantine garbage: no such block
-        committee = set(committee_for(block, self.committee_size, self.n))
-        if message.sender not in committee:
+        if message.sender not in self._committee(block):
             return  # only committee members may vouch for a block
         lo, hi = self.blocks.bounds(block)
         if len(message.string) != hi - lo:
             return  # wrong length can never be the block's value
-        supporters = {report.sender
-                      for report in self.inbox.of_type(CommitteeReport)
-                      if report.block == block
-                      and report.string == message.string
-                      and report.sender in committee}
+        supporters = self._support.setdefault((block, message.string), set())
+        supporters.add(message.sender)
         if len(supporters) >= self.t + 1:
             # t + 1 identical reports include at least one honest one.
             self.accepted[block] = message.string

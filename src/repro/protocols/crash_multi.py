@@ -47,7 +47,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from repro.core.assignment import digit_owner
+from repro.core.assignment import group_by_digit_owner
 from repro.protocols.base import UNKNOWN, DownloadPeer
 from repro.sim.messages import Message
 from repro.sim.peer import SimEnv
@@ -229,10 +229,7 @@ class CrashMultiDownloadPeer(DownloadPeer):
             # ---- stage 1: query own share, request everyone else's ----
             self._enter(phase, 1)
             unknown = self.unknown_indices()
-            owners: dict[int, list[int]] = {}
-            for index in unknown:
-                owners.setdefault(
-                    digit_owner(index, phase, self.n), []).append(index)
+            owners = group_by_digit_owner(unknown, phase, self.n)
             values = yield from self.query_bits(owners.get(self.pid, []))
             self.learn_many(values)
             for destination in self.others:
@@ -252,13 +249,15 @@ class CrashMultiDownloadPeer(DownloadPeer):
                 break
             heard = self.heard.setdefault(phase, {self.pid})
             missing = [pid for pid in self.env.peer_ids if pid not in heard]
+            # One grouping pass over the residue replaces a full
+            # unknown-indices rescan per missing peer.
+            lacked_by_owner = group_by_digit_owner(
+                self.unknown_indices(), phase, self.n)
             needs = {}
             for missing_peer in missing:
-                lacked = tuple(
-                    index for index in self.unknown_indices()
-                    if digit_owner(index, phase, self.n) == missing_peer)
+                lacked = lacked_by_owner.get(missing_peer)
                 if lacked:
-                    needs[missing_peer] = lacked
+                    needs[missing_peer] = tuple(lacked)
             for destination in self.others:
                 self.send(destination, MissingRequest(
                     sender=self.pid, phase=phase, needs=needs))

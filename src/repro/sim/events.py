@@ -1,21 +1,29 @@
 """Event representation and deterministic ordering.
 
-The kernel's event queue is a binary heap of :class:`Event` objects
-ordered by ``(time, seq)``.  ``seq`` is a global monotone counter
-assigned at scheduling time, which makes simultaneous events fire in
-scheduling order — so a run is a pure function of the configuration and
-the seed, with no dependence on hash ordering or iteration order.
+The kernel's event queue is a binary heap ordered by ``(time, seq)``.
+``seq`` is a global monotone counter assigned at scheduling time, which
+makes simultaneous events fire in scheduling order — so a run is a pure
+function of the configuration and the seed, with no dependence on hash
+ordering or iteration order.
+
+For speed the kernel stores heap entries as plain ``(time, seq,
+action, kind)`` tuples (tuple comparison is C-level, and ``seq`` is
+unique so comparison never reaches the ``action`` slot).  The
+:class:`Event` class here is the reflective view of one entry — used
+for error messages, traces, and tests — with hand-written comparisons
+matching the tuple order exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled action.
+
+    Ordering and equality consider only ``(time, seq)``; ``action`` and
+    ``kind`` are payload.
 
     Attributes:
         time: virtual time at which the action fires.
@@ -24,10 +32,37 @@ class Event:
         kind: short label used by traces and error messages.
     """
 
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    kind: str = field(compare=False, default="event")
+    __slots__ = ("time", "seq", "action", "kind")
+
+    def __init__(self, time: float, seq: int,
+                 action: Callable[[], None], kind: str = "event") -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.kind = kind
+
+    def _key(self) -> tuple[float, int]:
+        return (self.time, self.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._key() >= other._key()
+
+    # Mutable container semantics, like the dataclass it replaced.
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:
         return f"Event(t={self.time:.4f}, seq={self.seq}, kind={self.kind})"

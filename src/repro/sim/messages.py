@@ -37,6 +37,12 @@ def bits_for(value: object) -> int:
     Understands the payload shapes the protocols actually send:
     ints/bools/None/floats are scalars, strings are bit strings, and
     containers cost the sum of their items plus a length field.
+
+    Precedence matters for booleans: ``bool`` is a subclass of ``int``
+    in Python, so the ``bool``/``None`` check MUST run before the
+    ``int`` check.  A flag costs 1 bit; reordering the branches would
+    silently charge ``True``/``False`` at :data:`FIELD_BITS` (32) and
+    shift every protocol's measured message-bit totals.
     """
     if value is None or isinstance(value, bool):
         return 1
@@ -54,6 +60,21 @@ def bits_for(value: object) -> int:
     raise TypeError(f"cannot size payload of type {type(value).__name__}")
 
 
+#: Per-type cache of payload field names (everything except ``sender``),
+#: so :meth:`Message.size_bits` pays dataclass reflection once per class
+#: instead of once per send.
+_PAYLOAD_FIELDS: dict[type, tuple[str, ...]] = {}
+
+
+def _payload_fields(message_type: type) -> tuple[str, ...]:
+    names = _PAYLOAD_FIELDS.get(message_type)
+    if names is None:
+        names = tuple(field.name for field in fields(message_type)
+                      if field.name != "sender")
+        _PAYLOAD_FIELDS[message_type] = names
+    return names
+
+
 @dataclass(frozen=True)
 class Message:
     """Base class for everything sent over the peer-to-peer network.
@@ -68,10 +89,8 @@ class Message:
     def size_bits(self) -> int:
         """Size of this message in bits (header + all payload fields)."""
         payload = 0
-        for field in fields(self):
-            if field.name == "sender":
-                continue
-            payload += bits_for(getattr(self, field.name))
+        for name in _payload_fields(type(self)):
+            payload += bits_for(getattr(self, name))
         return HEADER_BITS + payload
 
 

@@ -202,7 +202,10 @@ class Peer(Process):
         result maps each index to its bit.  An empty index set costs
         nothing and returns immediately.
         """
-        indices = list(indices)
+        # Keep range objects intact: the source has a fast path for
+        # contiguous step-1 ranges (no sort/dedup, one-shift bitmask).
+        if not isinstance(indices, range):
+            indices = list(indices)
         if not indices:
             return {}
         request_id = self._request_counter

@@ -215,8 +215,9 @@ class Simulation:
             events_processed=kernel.events_processed,
             elapsed_virtual_time=kernel.now,
             trace=trace,
-            queried_indices={pid: set(indices) for pid, indices
-                             in source.queried_indices.items()},
+            # The accessor already materializes fresh sets per peer, so
+            # the result can own them without another copy.
+            queried_indices=dict(source.queried_indices),
         )
 
 

@@ -36,7 +36,10 @@ class Kernel:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: list[Event] = []
+        #: Heap of ``(time, seq, action, kind)`` tuples; ``seq`` is
+        #: unique, so C-level tuple comparison settles every heap swap
+        #: without ever reaching the ``action`` slot.
+        self._heap: list[tuple[float, int, Callable[[], None], str]] = []
         self._seq = 0
         self._processes: list[Process] = []
         self.events_processed = 0
@@ -45,14 +48,13 @@ class Kernel:
     # -- event scheduling --------------------------------------------------
 
     def schedule(self, delay: float, action: Callable[[], None],
-                 kind: str = "event") -> Event:
+                 kind: str = "event") -> None:
         """Schedule ``action`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        event = Event(self.now + delay, self._seq, action, kind)
+        heapq.heappush(self._heap, (self.now + delay, self._seq, action,
+                                    kind))
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
 
     # -- process management --------------------------------------------------
 
@@ -62,12 +64,20 @@ class Kernel:
         ``start_at`` is an absolute virtual time; the adversary may
         stagger peer starts (the model does not assume a simultaneous
         start).
+
+        Resumption closures are built once here and reused for every
+        subsequent sleep/wake of the process, so stepping a process does
+        not allocate a fresh lambda per event.
         """
         if start_at < self.now:
             raise ValueError(
                 f"start_at={start_at} is in the past (now={self.now})")
         self._processes.append(process)
-        self.schedule(start_at - self.now, lambda: self._advance(process),
+        process._resume = lambda: self._advance(process)
+        process._wake_cb = lambda: self._wake(process)
+        process._sleep_kind = f"sleep:{process.name}"
+        process._wake_kind = f"wake:{process.name}"
+        self.schedule(start_at - self.now, process._resume,
                       kind=f"start:{process.name}")
 
     def notify(self, process: Process) -> None:
@@ -84,8 +94,7 @@ class Kernel:
             return
         if process._waiting.predicate():
             process._wake_scheduled = True
-            self.schedule(0.0, lambda: self._wake(process),
-                          kind=f"wake:{process.name}")
+            self.schedule(0.0, process._wake_cb, kind=process._wake_kind)
 
     def _wake(self, process: Process) -> None:
         process._wake_scheduled = False
@@ -102,6 +111,10 @@ class Kernel:
         """Run ``process`` until it parks, sleeps, or finishes."""
         if not process.live:
             return
+        if process._resume is None:
+            # Driven without register() (tests do this); build the
+            # cached closure on first contact instead.
+            process._resume = lambda: self._advance(process)
         if process._generator is None:
             generator = process.body()
             if generator is None:
@@ -118,9 +131,8 @@ class Kernel:
                 process.finished = True
                 return
             if isinstance(request, Sleep):
-                self.schedule(request.duration,
-                              lambda: self._advance(process),
-                              kind=f"sleep:{process.name}")
+                self.schedule(request.duration, process._resume,
+                              kind=process._sleep_kind)
                 return
             if isinstance(request, WaitUntil):
                 if request.predicate():
@@ -143,22 +155,26 @@ class Kernel:
             DeadlockError: no events remain, the quiescence hook
                 produced nothing, and live processes are still waiting.
         """
+        heap = self._heap
+        heappop = heapq.heappop
         while True:
-            if not self._heap:
+            if not heap:
                 if self.on_quiescence is not None and self.on_quiescence():
                     continue
                 self._check_deadlock()
                 return
-            event = heapq.heappop(self._heap)
-            if max_time is not None and event.time > max_time:
+            time, seq, action, kind = heappop(heap)
+            if max_time is not None and time > max_time:
                 raise BudgetExceeded(
-                    f"virtual time budget {max_time} exceeded at {event!r}")
-            self.now = event.time
+                    f"virtual time budget {max_time} exceeded at "
+                    f"{Event(time, seq, action, kind)!r}")
+            self.now = time
             self.events_processed += 1
             if self.events_processed > max_events:
                 raise BudgetExceeded(
-                    f"event budget {max_events} exceeded at {event!r}")
-            event.action()
+                    f"event budget {max_events} exceeded at "
+                    f"{Event(time, seq, action, kind)!r}")
+            action()
 
     def _check_deadlock(self) -> None:
         stuck = [(process.name, process.waiting_on or "first step")

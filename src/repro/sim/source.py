@@ -24,7 +24,7 @@ from typing import Iterable, Sequence
 from repro.sim.messages import SOURCE_ID, SourceResponse
 from repro.sim.metrics import MetricsCollector
 from repro.sim.network import Network
-from repro.util.bitarrays import BitArray
+from repro.util.bitarrays import BitArray, canonical_indices, mask_to_set
 from repro.util.validation import check_index, check_range
 
 
@@ -38,9 +38,10 @@ class DataSource:
         self.network = network
         self.adversary = adversary
         self._requests_served = 0
-        #: Which positions each peer has queried (the lower-bound
-        #: constructions pick their target bit outside this set).
-        self.queried_indices: dict[int, set[int]] = {}
+        #: Which positions each peer has queried, as one bitmask per
+        #: peer (bit ``i`` set = position ``i`` was queried).  Exposed
+        #: as plain sets through :attr:`queried_indices`.
+        self._queried_masks: dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self.data)
@@ -49,6 +50,24 @@ class DataSource:
     def requests_served(self) -> int:
         """Total number of query requests answered so far."""
         return self._requests_served
+
+    @property
+    def queried_indices(self) -> dict[int, set[int]]:
+        """Which positions each peer has queried (the lower-bound
+        constructions pick their target bit outside this set).
+
+        Materialized fresh from the per-peer bitmasks on each access;
+        mutating the returned sets does not affect the accounting.
+        """
+        return {pid: mask_to_set(mask)
+                for pid, mask in self._queried_masks.items()}
+
+    def _record_query(self, pid: int, unique: Sequence[int],
+                      mask: int) -> None:
+        """Charge ``pid`` for one request covering ``unique``."""
+        self.metrics.record_query(pid, len(unique))
+        self._queried_masks[pid] = self._queried_masks.get(pid, 0) | mask
+        self._requests_served += 1
 
     # -- querying -----------------------------------------------------------
 
@@ -63,13 +82,9 @@ class DataSource:
         distinct learned bits, and the protocols avoid re-queries
         themselves.
         """
-        unique = sorted(set(indices))
-        for index in unique:
-            check_index("query index", index, len(self.data))
-        self.metrics.record_query(pid, len(unique))
-        self.queried_indices.setdefault(pid, set()).update(unique)
-        self._requests_served += 1
-        values = {index: self.data[index] for index in unique}
+        unique, mask = canonical_indices(indices, len(self.data))
+        self._record_query(pid, unique, mask)
+        values = dict(zip(unique, self.data.get_many(unique)))
         response = SourceResponse(sender=SOURCE_ID, request_id=request_id,
                                   values=values)
         latency = self.adversary.query_latency(pid, self.network.kernel.now)
@@ -130,23 +145,19 @@ class MutableDataSource(DataSource):
         point: the request travels for half the round-trip latency,
         the array is read at arrival, and the response travels back.
         """
-        unique = sorted(set(indices))
-        for index in unique:
-            check_index("query index", index, len(self.data))
-        self.metrics.record_query(pid, len(unique))
-        self.queried_indices.setdefault(pid, set()).update(unique)
-        self._requests_served += 1
+        unique, mask = canonical_indices(indices, len(self.data))
+        self._record_query(pid, unique, mask)
         latency = self.adversary.query_latency(pid, self.network.kernel.now)
         if not isinstance(latency, (int, float)):
             # Withheld query: snapshot now, park the response.
-            values = {index: self.data[index] for index in unique}
+            values = dict(zip(unique, self.data.get_many(unique)))
             response = SourceResponse(sender=SOURCE_ID,
                                       request_id=request_id, values=values)
             self.network.deliver_direct(pid, response, latency)
             return
 
         def read_and_respond() -> None:
-            values = {index: self.data[index] for index in unique}
+            values = dict(zip(unique, self.data.get_many(unique)))
             response = SourceResponse(sender=SOURCE_ID,
                                       request_id=request_id, values=values)
             self.network.deliver_direct(pid, response, latency / 2.0)

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.sim.messages import Message
-from repro.util.bitarrays import BitArray
+from repro.util.bitarrays import BitArray, canonical_indices, mask_to_set
 from repro.util.rng import SplittableRNG
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -55,14 +55,20 @@ class SyncSource:
     def __init__(self, data: BitArray) -> None:
         self.data = data
         self.query_bits_by_peer: dict[int, int] = {}
-        self.queried_indices: dict[int, set[int]] = {}
+        self._queried_masks: dict[int, int] = {}
+
+    @property
+    def queried_indices(self) -> dict[int, set[int]]:
+        """Distinct positions each peer has queried, as plain sets."""
+        return {pid: mask_to_set(mask)
+                for pid, mask in self._queried_masks.items()}
 
     def query(self, pid: int, indices: Sequence[int]) -> dict[int, int]:
-        unique = sorted(set(indices))
+        unique, mask = canonical_indices(indices, len(self.data))
         self.query_bits_by_peer[pid] = \
             self.query_bits_by_peer.get(pid, 0) + len(unique)
-        self.queried_indices.setdefault(pid, set()).update(unique)
-        return {index: self.data[index] for index in unique}
+        self._queried_masks[pid] = self._queried_masks.get(pid, 0) | mask
+        return dict(zip(unique, self.data.get_many(unique)))
 
 
 class SyncPeer:

@@ -1,0 +1,5 @@
+"""Golden-trace fixtures pinning kernel behavior bit-for-bit.
+
+See :mod:`tests.golden.capture` for the capture machinery and
+``docs/PERFORMANCE.md`` for the update procedure.
+"""

@@ -1,0 +1,234 @@
+"""Golden-trace capture: canonical per-run records for fixed seeds.
+
+The perf work on the simulation kernel (bulk bit ops, batched source
+reads, cached message sizing, tuple-ordered event heap) is only
+admissible if it is *behavior-preserving*: for a fixed configuration
+and seed, a run must produce exactly the same downloaded array, charge
+exactly the same query/message bits, process the same number of events,
+and finish at the same virtual time.  This module freezes that contract
+as data.
+
+``CASES`` enumerates one representative configuration per protocol —
+every registry protocol under its native fault model (plus dynamic and
+equivocation variants), and the round-native synchronous protocols —
+and :func:`capture_case` reduces a run to a JSON-stable record:
+
+- all complexity measures (query, message, bits, virtual time);
+- ``events_processed`` — pins the event *schedule*, not just totals;
+- SHA-256 digests of the input array, every honest peer's output, and
+  every peer's queried-index set (bit-exact, cheap to store).
+
+``tests/golden/traces.json`` holds the records captured **before** the
+optimization work.  ``tests/integration/test_golden_traces.py`` replays
+every case and compares records field by field.  Regenerate only when a
+change is *intended* to alter RNG consumption or accounting::
+
+    PYTHONPATH=src python -m tests.golden.capture --write
+
+and say so in the commit message (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+FIXTURE_PATH = Path(__file__).resolve().parent / "traces.json"
+
+#: One entry per scenario.  ``engine`` selects the asynchronous event
+#: kernel (via ExperimentSpec, so seeds match the experiment engine and
+#: the PR-1 result cache) or the lockstep synchronous engine.
+CASES: list[dict] = [
+    # -- asynchronous kernel, one case per registry protocol ------------
+    {"name": "naive-byz", "engine": "async", "protocol": "naive",
+     "n": 6, "ell": 128, "fault_model": "byzantine", "beta": 0.34,
+     "seed": 7},
+    {"name": "balanced-faultfree", "engine": "async",
+     "protocol": "balanced", "n": 8, "ell": 256, "fault_model": "none",
+     "beta": 0.0, "seed": 11},
+    {"name": "crash-one", "engine": "async", "protocol": "crash-one",
+     "n": 8, "ell": 128, "fault_model": "crash", "beta": 0.125,
+     "seed": 3},
+    {"name": "crash-multi", "engine": "async", "protocol": "crash-multi",
+     "n": 10, "ell": 512, "fault_model": "crash", "beta": 0.5, "seed": 5},
+    {"name": "crash-multi-fast", "engine": "async",
+     "protocol": "crash-multi-fast", "n": 10, "ell": 512,
+     "fault_model": "crash", "beta": 0.3, "seed": 9},
+    {"name": "one-round", "engine": "async", "protocol": "one-round",
+     "n": 8, "ell": 256, "fault_model": "crash", "beta": 0.25, "seed": 2},
+    {"name": "byz-committee", "engine": "async",
+     "protocol": "byz-committee", "n": 10, "ell": 128,
+     "fault_model": "byzantine", "beta": 0.2, "seed": 13},
+    {"name": "byz-committee-blocks", "engine": "async",
+     "protocol": "byz-committee", "n": 10, "ell": 256,
+     "fault_model": "byzantine", "beta": 0.2, "seed": 13,
+     "protocol_params": {"block_size": 16}},
+    {"name": "byz-two-cycle", "engine": "async",
+     "protocol": "byz-two-cycle", "n": 9, "ell": 256,
+     "fault_model": "byzantine", "beta": 0.33, "seed": 17},
+    {"name": "byz-two-cycle-equivocate", "engine": "async",
+     "protocol": "byz-two-cycle", "n": 9, "ell": 256,
+     "fault_model": "byzantine", "beta": 0.33, "seed": 17,
+     "strategy": "equivocate"},
+    {"name": "byz-multi-cycle", "engine": "async",
+     "protocol": "byz-multi-cycle", "n": 9, "ell": 512,
+     "fault_model": "byzantine", "beta": 0.33, "seed": 19},
+    {"name": "byz-multi-cycle-dynamic", "engine": "async",
+     "protocol": "byz-multi-cycle", "n": 9, "ell": 512,
+     "fault_model": "dynamic", "beta": 0.33, "seed": 23},
+    {"name": "crash-multi-sync-net", "engine": "async",
+     "protocol": "crash-multi", "n": 10, "ell": 512,
+     "fault_model": "crash", "beta": 0.5, "seed": 5,
+     "network": "synchronous"},
+    # -- lockstep synchronous engine -----------------------------------
+    {"name": "sync-naive", "engine": "sync", "peer": "naive",
+     "n": 6, "ell": 128, "t": 0, "seed": 29},
+    {"name": "sync-balanced", "engine": "sync", "peer": "balanced",
+     "n": 8, "ell": 256, "t": 0, "seed": 31},
+    {"name": "sync-committee", "engine": "sync", "peer": "committee",
+     "n": 9, "ell": 128, "t": 2, "seed": 37},
+    {"name": "sync-two-round", "engine": "sync", "peer": "two-round",
+     "n": 9, "ell": 240, "t": 2, "seed": 41},
+]
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _array_digest(array) -> str:
+    """Digest of a BitArray's exact contents (wire-format string)."""
+    return _sha(array.segment(0, len(array)))
+
+
+def _queried_digest(queried: dict) -> str:
+    """Digest of every peer's queried-index set, order-canonical."""
+    parts = [f"{pid}:{','.join(map(str, sorted(indices)))}"
+             for pid, indices in sorted(queried.items())]
+    return _sha("|".join(parts))
+
+
+def _capture_async(case: dict) -> dict:
+    from repro.experiments import ExperimentSpec
+    from repro.sim import run_download
+
+    spec = ExperimentSpec(
+        protocol=case["protocol"], n=case["n"], ell=case["ell"],
+        fault_model=case["fault_model"], beta=case["beta"],
+        strategy=case.get("strategy", "wrong-bits"),
+        network=case.get("network", "asynchronous"),
+        protocol_params=case.get("protocol_params", {}),
+        base_seed=case["seed"])
+    result = run_download(
+        n=spec.n, ell=spec.ell, peer_factory=spec.peer_factory(),
+        adversary=spec.build_adversary(), t=spec.t,
+        seed=spec.seed_for(0))
+    outputs = {str(pid): _array_digest(result.outputs[pid])
+               for pid in sorted(result.honest)
+               if result.outputs[pid] is not None}
+    return {
+        "correct": bool(result.download_correct),
+        "query_complexity": result.report.query_complexity,
+        "total_query_bits": result.report.total_query_bits,
+        "message_complexity": result.report.message_complexity,
+        "message_bits": result.report.message_bits,
+        "time_complexity": repr(result.report.time_complexity),
+        "elapsed_virtual_time": repr(result.elapsed_virtual_time),
+        "events_processed": result.events_processed,
+        "honest": sorted(result.honest),
+        "data_sha": _array_digest(result.data),
+        "outputs_sha": outputs,
+        "queried_sha": _queried_digest(result.queried_indices),
+    }
+
+
+_SYNC_PEERS = {
+    "naive": lambda: __import__("repro.sync.protocols",
+                                fromlist=["SyncNaivePeer"]).SyncNaivePeer,
+    "balanced": lambda: __import__(
+        "repro.sync.protocols",
+        fromlist=["SyncBalancedPeer"]).SyncBalancedPeer,
+    "committee": lambda: __import__(
+        "repro.sync.protocols",
+        fromlist=["SyncCommitteePeer"]).SyncCommitteePeer,
+    "two-round": lambda: __import__(
+        "repro.sync.protocols",
+        fromlist=["SyncTwoRoundPeer"]).SyncTwoRoundPeer,
+}
+
+
+def _capture_sync(case: dict) -> dict:
+    from repro.sync.engine import run_sync_download
+
+    peer_class = _SYNC_PEERS[case["peer"]]()
+    result = run_sync_download(
+        n=case["n"], ell=case["ell"], t=case["t"],
+        peer_factory=lambda pid, config, rng: peer_class(pid, config, rng),
+        seed=case["seed"])
+    outputs = {str(pid): _array_digest(result.outputs[pid])
+               for pid in sorted(result.honest)
+               if result.outputs[pid] is not None}
+    queried = {pid: indices
+               for pid, indices in result.per_peer_query_bits.items()}
+    return {
+        "correct": bool(result.download_correct),
+        "rounds": result.rounds,
+        "query_complexity": result.query_complexity,
+        "total_query_bits": result.total_query_bits,
+        "message_complexity": result.message_complexity,
+        "per_peer_query_bits": {str(pid): bits
+                                for pid, bits in sorted(queried.items())},
+        "data_sha": _array_digest(result.data),
+        "outputs_sha": outputs,
+    }
+
+
+def capture_case(case: dict) -> dict:
+    """Run one case and reduce it to its canonical golden record."""
+    if case["engine"] == "async":
+        return _capture_async(case)
+    if case["engine"] == "sync":
+        return _capture_sync(case)
+    raise ValueError(f"unknown engine {case['engine']!r}")
+
+
+def capture_all() -> dict[str, dict]:
+    """Golden records for every case, keyed by case name."""
+    records = {}
+    for case in CASES:
+        records[case["name"]] = capture_case(case)
+    return records
+
+
+def load_fixture() -> dict[str, dict]:
+    """The checked-in golden records."""
+    with FIXTURE_PATH.open(encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_fixture(records: dict[str, dict]) -> None:
+    FIXTURE_PATH.write_text(
+        json.dumps(records, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def main(argv=None) -> int:  # pragma: no cover - manual tool
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="capture / refresh golden trace fixtures")
+    parser.add_argument("--write", action="store_true",
+                        help="overwrite tests/golden/traces.json with "
+                             "records captured from the current code")
+    args = parser.parse_args(argv)
+    records = capture_all()
+    if args.write:
+        write_fixture(records)
+        print(f"wrote {len(records)} golden records to {FIXTURE_PATH}")
+        return 0
+    print(json.dumps(records, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    raise SystemExit(main())

@@ -28,6 +28,16 @@ class TestBitsFor:
     def test_bool_is_one_bit(self):
         assert bits_for(True) == 1
 
+    def test_bool_checked_before_int(self):
+        # bool subclasses int, so the branch order in bits_for is
+        # load-bearing: flags cost 1 bit, the equal-valued ints cost a
+        # full field.  Reordering the isinstance checks would silently
+        # inflate every boolean field by FIELD_BITS - 1.
+        assert bits_for(True) == 1
+        assert bits_for(False) == 1
+        assert bits_for(1) == FIELD_BITS
+        assert bits_for(0) == FIELD_BITS
+
     def test_none_is_one_bit(self):
         assert bits_for(None) == 1
 

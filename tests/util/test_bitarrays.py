@@ -78,6 +78,40 @@ class TestElementAccess:
         assert array.to_bits() == [1, 0, 0, 0, 1]
 
 
+class TestBulkAccess:
+    def test_get_many_reads_in_argument_order(self):
+        array = BitArray.from_bits([1, 0, 1, 1, 0])
+        assert array.get_many([4, 0, 2, 0]) == [0, 1, 1, 1]
+
+    def test_get_many_empty_query(self):
+        assert BitArray.from_bits([1, 0]).get_many([]) == []
+
+    def test_get_many_out_of_range_raises(self):
+        array = BitArray(4)
+        with pytest.raises(ValueError):
+            array.get_many([0, 4])
+        with pytest.raises(ValueError):
+            array.get_many([-1, 2])
+
+    def test_set_many_accepts_pairs_and_mapping(self):
+        from_pairs = BitArray(6)
+        from_pairs.set_many([(1, 1), (4, 1), (1, 0)])
+        from_mapping = BitArray(6)
+        from_mapping.set_many({4: 1, 1: 0})
+        assert from_pairs == from_mapping
+        assert from_pairs.to_bits() == [0, 0, 0, 0, 1, 0]
+
+    def test_set_many_out_of_range_raises(self):
+        array = BitArray(4)
+        with pytest.raises(ValueError):
+            array.set_many({4: 1})
+
+    def test_set_many_rejects_non_bit_values(self):
+        array = BitArray(4)
+        with pytest.raises(ValueError, match="bit must be 0 or 1"):
+            array.set_many({0: 2})
+
+
 class TestSegments:
     def test_segment_extracts_expected_window(self):
         array = BitArray.from_string("00110101")
