@@ -8,6 +8,12 @@ full-fat version with assertions; this script is the five-minute tour.)
 
 Run:  python examples/reproduce_paper.py [--workers 4] [--no-cache]
           [--resume] [--max-retries N] [--task-timeout S] [--profile]
+          [--telemetry out.jsonl]
+
+``--telemetry out.jsonl`` records the whole reproduction's telemetry
+stream — every engine task outcome, cache hit, and (with ``--workers
+1``) every in-process simulator run's events — to a JSONL export for
+``repro trace`` (see docs/OBSERVABILITY.md).
 
 ``--profile`` (or ``REPRO_PROFILE=1``) wraps the whole reproduction in
 cProfile and prints the pstats top table to stderr — profile with
@@ -140,13 +146,40 @@ if __name__ == "__main__":
     parser.add_argument("--profile", action="store_true",
                         help="profile the reproduction with cProfile "
                              "(also: REPRO_PROFILE=1)")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="record the reproduction's telemetry events "
+                             "to this JSONL file (inspect with "
+                             "`repro trace`)")
     cli_args = parser.parse_args()
+    import contextlib
+    import time
+
     from repro.execution import RetryPolicy
     from repro.profiling import maybe_profile, profile_enabled
+    recording = None
+    context = contextlib.nullcontext()
+    if cli_args.telemetry:
+        from repro.obs import RecordingTelemetry, using
+        recording = RecordingTelemetry()
+        context = using(recording)
+    started = time.monotonic()
     with maybe_profile(profile_enabled(cli_args.profile or None),
                        label="reproduce_paper"):
-        main(workers=cli_args.workers,
-             cache=None if cli_args.no_cache else True,
-             journal=True if cli_args.resume else None,
-             policy=RetryPolicy(max_attempts=cli_args.max_retries + 1,
-                                task_timeout=cli_args.task_timeout))
+        with context:
+            main(workers=cli_args.workers,
+                 cache=None if cli_args.no_cache else True,
+                 journal=True if cli_args.resume else None,
+                 policy=RetryPolicy(max_attempts=cli_args.max_retries + 1,
+                                    task_timeout=cli_args.task_timeout))
+    if recording is not None:
+        from repro.obs import sweep_events, write_events
+        from repro.obs.schema import SCHEMA_VERSION
+        # Each engine task (one repeat of one experiment) is a "point"
+        # of this multi-experiment reproduction.
+        header = {"event": "sweep_header", "schema": SCHEMA_VERSION,
+                  "points": int(recording.counter_value("tasks_total")),
+                  "repeats": 1, "workers": cli_args.workers}
+        count = write_events(cli_args.telemetry, sweep_events(
+            recording, header=header,
+            wall_s=time.monotonic() - started))
+        print(f"telemetry: {count} events -> {cli_args.telemetry}")

@@ -169,6 +169,12 @@ class _CorruptingNetworkProxy:
     def send(self, sender_pid: int, destination: int, message: Message,
              *, sender_cycle: int = 0, honest: bool = True) -> bool:
         corrupted = self._strategy.corrupt(message, destination, self._pid)
+        telemetry = self._network.telemetry
+        if telemetry is not None and corrupted is not message:
+            telemetry.emit("corrupt", {
+                "t": self._network.kernel.now, "peer": self._pid,
+                "dst": destination, "type": type(message).__name__,
+                "action": "drop" if corrupted is None else "rewrite"})
         if corrupted is None:
             return True  # silently dropped by the attacker
         return self._network.send(sender_pid, destination, corrupted,

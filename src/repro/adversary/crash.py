@@ -144,6 +144,9 @@ class CrashAdversary(Adversary):
         self._halted.add(pid)
         if self.env.trace is not None:
             self.env.trace.record(self.env.kernel.now, "crash", pid=pid)
+        if self.env.telemetry is not None:
+            self.env.telemetry.emit("crash", {"t": self.env.kernel.now,
+                                              "peer": pid})
 
     def permit_send(self, sender: int, destination: int, message: Message,
                     now: float) -> bool:

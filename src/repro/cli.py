@@ -11,6 +11,15 @@ Usage (installed as ``python -m repro``)::
     python -m repro sweep --protocol crash-multi --fault-model crash \
         --beta 0.5 --axis beta --values 0.1,0.3,0.5,0.7 \
         --workers 4 --markdown-out report.md
+    python -m repro run --protocol crash-multi --fault-model crash \
+        --beta 0.5 --telemetry run.jsonl
+    python -m repro trace summary run.jsonl
+
+``--telemetry out.jsonl`` records every schema event the run (or
+sweep) emits — the query timeline, adversary decisions, scheduler
+wakes — to a JSONL export (see docs/OBSERVABILITY.md); the ``trace``
+subcommand family (``summary``/``timeline``/``diff``/``flame``)
+inspects such exports.
 
 Sweeps run through the parallel experiment engine: ``--workers N``
 fans repeats and points over N processes (results are identical at any
@@ -96,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="profile the run with cProfile and "
                                  "print the pstats top table to stderr "
                                  "(also: REPRO_PROFILE=1)")
+    run_parser.add_argument("--telemetry", metavar="PATH", default=None,
+                            help="record the run's telemetry events to "
+                                 "this JSONL file (inspect with "
+                                 "`repro trace`)")
 
     lb_parser = subparsers.add_parser(
         "lower-bound",
@@ -158,6 +171,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    "print the pstats top table to stderr "
                                    "(in-process work only — profile with "
                                    "--workers 1; also: REPRO_PROFILE=1)")
+    sweep_parser.add_argument("--telemetry", metavar="PATH", default=None,
+                              help="record the sweep's telemetry events "
+                                   "(task outcomes, cache hits, and — "
+                                   "with --workers 1 — every in-process "
+                                   "run's events) to this JSONL file")
+    sweep_parser.add_argument("--progress", action="store_true",
+                              help="paint a live progress line to stderr "
+                                   "(done/failed/retried, cache hits, "
+                                   "ETA)")
+
+    from repro.obs.trace_cli import attach_trace_parser
+    attach_trace_parser(subparsers)
     return parser
 
 
@@ -200,13 +225,26 @@ def _command_list(out) -> int:
 
 
 def _command_run(args, out) -> int:
+    import contextlib
+
     from repro.profiling import maybe_profile, profile_enabled
     adversary, t = _adversary_for(args)
+    recording = None
+    context = contextlib.nullcontext()
+    if args.telemetry:
+        from repro.obs import RecordingTelemetry, using
+        recording = RecordingTelemetry()
+        context = using(recording)
     with maybe_profile(profile_enabled(args.profile or None),
                        label=f"run {args.protocol}"):
-        result = run_download(n=args.n, ell=args.ell,
-                              peer_factory=_factory_for(args),
-                              adversary=adversary, t=t, seed=args.seed)
+        with context:
+            result = run_download(n=args.n, ell=args.ell,
+                                  peer_factory=_factory_for(args),
+                                  adversary=adversary, t=t, seed=args.seed)
+    if recording is not None:
+        from repro.obs import export_run
+        count = export_run(args.telemetry, recording, result)
+        print(f"telemetry  : {count} events -> {args.telemetry}", file=out)
     print(f"protocol   : {args.protocol}", file=out)
     print(f"setup      : n={args.n}, ell={args.ell}, "
           f"fault={args.fault_model}, beta={args.beta}, "
@@ -264,13 +302,42 @@ def _command_sweep(args, out) -> int:
         raise SystemExit("--max-retries must be >= 0")
     policy = RetryPolicy(max_attempts=args.max_retries + 1,
                          task_timeout=args.task_timeout)
+    import contextlib
+    import time
+
     from repro.profiling import maybe_profile, profile_enabled
+    recording = None
+    progress = None
+    context = contextlib.nullcontext()
+    if args.telemetry or args.progress:
+        from repro.obs import ProgressTracker, RecordingTelemetry, using
+        recording = RecordingTelemetry() if args.telemetry else None
+        backend = (ProgressTracker(forward=recording) if args.progress
+                   else recording)
+        progress = backend if args.progress else None
+        context = using(backend)
+    started = time.monotonic()
     with maybe_profile(profile_enabled(args.profile or None),
                        label=f"sweep {args.protocol} over {args.axis}"):
-        outcomes = sweep_experiment(spec, axis=args.axis, values=values,
-                                    workers=args.workers, cache=cache,
-                                    journal=journal, policy=policy,
-                                    strict=args.strict)
+        with context:
+            outcomes = sweep_experiment(spec, axis=args.axis,
+                                        values=values,
+                                        workers=args.workers, cache=cache,
+                                        journal=journal, policy=policy,
+                                        strict=args.strict)
+    if progress is not None:
+        progress.close()
+    if recording is not None:
+        from repro.obs import sweep_events, write_events
+        from repro.obs.schema import SCHEMA_VERSION
+        header = {"event": "sweep_header", "schema": SCHEMA_VERSION,
+                  "points": len(values), "repeats": args.repeats,
+                  "axis": args.axis, "values": values,
+                  "workers": args.workers, "protocol": args.protocol}
+        count = write_events(args.telemetry, sweep_events(
+            recording, header=header,
+            wall_s=time.monotonic() - started))
+        print(f"telemetry  : {count} events -> {args.telemetry}", file=out)
     print(outcomes_table(outcomes, axis=args.axis), file=out)
     if cache is not None:
         print(f"cache      : {cache.stats} in {cache.directory}",
@@ -315,4 +382,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_lower_bound(args, out)
     if args.command == "sweep":
         return _command_sweep(args, out)
+    if args.command == "trace":
+        from repro.obs.trace_cli import run_trace_command
+        return run_trace_command(args, out)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

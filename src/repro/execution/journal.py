@@ -37,6 +37,8 @@ from repro.execution.cache import (
     default_cache_dir,
     spec_cache_key,
 )
+from repro.obs.telemetry import counter as obs_counter
+from repro.obs.telemetry import event as obs_event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments import ExperimentSpec, RepeatRecord
@@ -113,6 +115,7 @@ class SweepJournal:
             handle.flush()
             os.fsync(handle.fileno())
         self.stats.appended += 1
+        obs_counter("journal_records")
 
     # -- replay --------------------------------------------------------------
 
@@ -153,6 +156,7 @@ class SweepJournal:
             entries[key] = record
         self.stats.replayed = len(entries)
         self.stats.corrupt = corrupt
+        obs_event("journal_replay", replayed=len(entries), corrupt=corrupt)
         return entries
 
     def clear(self) -> None:

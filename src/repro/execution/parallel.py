@@ -54,6 +54,8 @@ from repro.execution.cache import ResultCache
 from repro.execution.chaos import ChaosPlan
 from repro.execution.journal import SweepJournal
 from repro.execution.retry import RetryPolicy, TaskFailure, watchdog
+from repro.obs.telemetry import counter as obs_counter
+from repro.obs.telemetry import event as obs_event
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -143,6 +145,11 @@ def run_tasks(fn: Callable, payloads: Iterable, *, workers: int = 1,
     payloads = list(payloads)
     if not payloads:
         return []
+    # Live-progress feed: a ProgressTracker (or any telemetry backend)
+    # learns the batch size up front and each outcome as it lands.  All
+    # emissions happen in the parent process, after outcomes are
+    # decided, so they cannot perturb results.
+    obs_counter("tasks_total", len(payloads))
     seeds = (list(task_seeds) if task_seeds is not None
              else list(range(len(payloads))))
     if len(seeds) != len(payloads):
@@ -203,11 +210,20 @@ def _run_serial(fn, payloads, blobs, seeds, policy, on_error, on_result,
             except Exception as exc:
                 if state.attempts >= policy.max_attempts:
                     results[index] = _fail(state, exc, on_error)
+                    obs_counter("tasks_failed")
+                    obs_event("task_failed", index=index,
+                              error=type(exc).__name__,
+                              attempts=state.attempts)
                     break
+                obs_counter("tasks_retried")
+                obs_event("task_retried", index=index,
+                          attempt=state.attempts + 1)
                 time.sleep(policy.delay_before(state.attempts + 1,
                                                task_seed=state.seed))
                 continue
             results[index] = value
+            obs_counter("tasks_done")
+            obs_event("task_done", index=index, attempts=state.attempts)
             if on_result is not None:
                 on_result(index, value)
             break
@@ -235,12 +251,18 @@ def _run_pool(blobs, seeds, policy, workers, on_error, on_result,
     def record_success(index: int, value) -> None:
         results[index] = value
         finished[index] = True
+        obs_counter("tasks_done")
+        obs_event("task_done", index=index,
+                  attempts=states[index].attempts)
         if on_result is not None:
             on_result(index, value)
 
     def record_exhausted(index: int, exc: Exception) -> None:
         results[index] = _fail(states[index], exc, on_error)
         finished[index] = True
+        obs_counter("tasks_failed")
+        obs_event("task_failed", index=index, error=type(exc).__name__,
+                  attempts=states[index].attempts)
 
     while todo:
         resubmit: list[int] = []
@@ -287,6 +309,9 @@ def _run_pool(blobs, seeds, policy, workers, on_error, on_result,
                         elif broken:
                             resubmit.append(index)
                         else:
+                            obs_counter("tasks_retried")
+                            obs_event("task_retried", index=index,
+                                      attempt=state.attempts + 1)
                             time.sleep(policy.delay_before(
                                 state.attempts + 1,
                                 task_seed=state.seed))
@@ -375,6 +400,8 @@ class ParallelRunner:
             hit = self.cache.get(spec) if self.cache is not None else None
             if hit is not None:
                 outcomes[index] = hit
+                obs_counter("cache_hits")
+                obs_event("cache_hit", index=index)
             else:
                 pending.append(index)
         # Checkpointed repeats resume from the journal; only the rest run.

@@ -31,6 +31,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.telemetry import counter as obs_counter
 from repro.util.rng import derive_seed
 from repro.util.validation import check_positive
 
@@ -93,10 +94,14 @@ class RetryPolicy:
                   self.base_delay * self.backoff ** max(0, attempt - 2))
         if raw <= 0:
             return 0.0
-        if self.jitter <= 0:
-            return raw
-        unit = derive_seed(task_seed, f"retry#{attempt}") / float(1 << 64)
-        return raw * (1.0 - self.jitter * unit)
+        if self.jitter > 0:
+            unit = derive_seed(task_seed, f"retry#{attempt}") / float(1 << 64)
+            raw *= 1.0 - self.jitter * unit
+        # Telemetry: total backoff seconds slept by the engine.  Only
+        # the parent process ever computes delays, so the counter is
+        # never emitted from (and lost in) a pool worker.
+        obs_counter("retry_backoff_s", raw)
+        return raw
 
 
 #: Behaviour-neutral policy: one attempt, no watchdog, no sleeps.

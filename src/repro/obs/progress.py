@@ -1,0 +1,156 @@
+"""Live sweep progress, fed through the telemetry API.
+
+The execution engine emits plain counters — ``tasks_total`` once per
+:func:`~repro.execution.parallel.run_tasks` batch, then ``tasks_done``
+/ ``tasks_failed`` / ``tasks_retried`` as tasks land, and
+``cache_hits`` from :class:`~repro.execution.parallel.ParallelRunner`.
+:class:`ProgressTracker` is a telemetry backend that turns that stream
+into a single self-overwriting status line with an ETA::
+
+    tasks 12/40 · 1 failed · 2 retried · 3 cache hits · ETA 41s
+
+It can *forward* everything it sees to an inner backend, so live
+progress and a JSONL recording coexist on one sweep
+(``ProgressTracker(forward=RecordingTelemetry())``).
+
+The tracker only ever writes to its own stream (stderr by default) —
+never to stdout, where reports land — and does nothing that could
+perturb results: it runs entirely in the parent process, after task
+outcomes are already decided.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Optional
+
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["ProgressTracker"]
+
+#: Counter names the tracker aggregates (everything else is forwarded
+#: untouched).
+_TRACKED = ("tasks_total", "tasks_done", "tasks_failed", "tasks_retried",
+            "cache_hits")
+
+
+class ProgressTracker(Telemetry):
+    """Telemetry backend rendering live done/failed/retried/ETA lines.
+
+    Args:
+        stream: where status lines go (default ``sys.stderr``).
+            ``None`` at render time suppresses output entirely, so the
+            tracker can also be used as a silent counter aggregator.
+        min_interval: minimum wall-clock seconds between repaints
+            (counter updates always accumulate; only drawing is
+            throttled).  0 repaints on every update — use in tests.
+        forward: optional inner backend receiving every ``emit``/``add``
+            verbatim (e.g. a ``RecordingTelemetry`` for ``--telemetry``
+            exports during a progress-tracked sweep).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(self, stream=sys.stderr, min_interval: float = 0.25,
+                 forward: Optional[Telemetry] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.stream = stream
+        self.min_interval = min_interval
+        self.forward = forward
+        self.clock = clock
+        self.counts: dict[str, float] = {name: 0 for name in _TRACKED}
+        self._started = clock()
+        self._last_paint: Optional[float] = None
+        self._painted = False
+
+    # -- the Telemetry interface ----------------------------------------------
+
+    def emit(self, kind: str, fields: dict) -> None:
+        if self.forward is not None:
+            self.forward.emit(kind, fields)
+
+    def add(self, name: str, value: float, labels: dict) -> None:
+        if self.forward is not None:
+            self.forward.add(name, value, labels)
+        if name in self.counts:
+            self.counts[name] += value
+            self._maybe_paint()
+
+    def close(self) -> None:
+        """Finish the status line (and close the forwarded backend)."""
+        if self._painted and self.stream is not None:
+            self.stream.write("\r" + self.render() + "\n")
+            self.stream.flush()
+        if self.forward is not None:
+            self.forward.close()
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Tasks announced so far (cumulative over batches)."""
+        return int(self.counts["tasks_total"])
+
+    @property
+    def done(self) -> int:
+        return int(self.counts["tasks_done"])
+
+    @property
+    def failed(self) -> int:
+        return int(self.counts["tasks_failed"])
+
+    @property
+    def retried(self) -> int:
+        return int(self.counts["tasks_retried"])
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.counts["cache_hits"])
+
+    def eta_seconds(self) -> Optional[float]:
+        """Projected seconds to finish, from the observed task rate.
+
+        ``None`` until at least one task has finished (no rate yet) or
+        when no total was announced.
+        """
+        settled = self.done + self.failed
+        remaining = self.total - settled
+        if settled <= 0 or self.total <= 0 or remaining <= 0:
+            return None
+        elapsed = self.clock() - self._started
+        return elapsed / settled * remaining
+
+    def render(self) -> str:
+        """The current status line (without any terminal control)."""
+        parts = [f"tasks {self.done}/{self.total}"
+                 if self.total else f"tasks {self.done}"]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.cache_hits:
+            parts.append(f"{self.cache_hits} cache hits")
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append(f"ETA {eta:.0f}s")
+        return " · ".join(parts)
+
+    # -- painting ---------------------------------------------------------------
+
+    def _maybe_paint(self) -> None:
+        if self.stream is None:
+            return
+        now = self.clock()
+        if (self._last_paint is not None
+                and now - self._last_paint < self.min_interval):
+            return
+        self._last_paint = now
+        self._painted = True
+        self.stream.write("\r" + self.render().ljust(60))
+        self.stream.flush()
+
+    # Allow **labels convenience in tests without the module helpers.
+    def counter(self, name: str, value: float = 1, **labels: Any) -> None:
+        self.add(name, value, labels)

@@ -1,0 +1,198 @@
+"""The telemetry API: spans, counters, events, swap-in backends.
+
+Design constraints, in order:
+
+1. **Zero cost disabled.**  The default backend is a shared no-op
+   whose ``enabled`` flag is ``False``; the module-level helpers check
+   that flag and return immediately.  Hot paths that cannot afford even
+   a function call per event (the simulation kernel) resolve the
+   backend **once** per run — :meth:`~repro.sim.runner.Simulation.run`
+   caches ``None`` when telemetry is off, so its loops pay a single
+   ``is not None`` test per instrumentation site.
+2. **No behavioural footprint enabled.**  Backends only append to
+   Python lists and increment dict counters: no RNG draws, no event
+   scheduling, no I/O during a run.  A telemetry-enabled simulation is
+   bit-identical to a disabled one (the golden-trace battery pins it).
+3. **Swap-in-able.**  :func:`set_backend` replaces the process-global
+   backend; :func:`using` scopes a replacement to a ``with`` block.
+   Anything implementing :class:`Telemetry` qualifies — the recording
+   backend here, the live progress tracker in
+   :mod:`repro.obs.progress`, or a user's own exporter.
+
+Vocabulary (matching the ISSUE's API sketch)::
+
+    from repro.obs import telemetry as obs
+
+    with obs.span("phase", peer=3, cycle=2):   # paired span events
+        ...
+    obs.counter("queries", peer=3)             # monotone counter
+    obs.event("crash", t=4.0, peer=1)          # one structured event
+
+Events are plain dicts shaped by :mod:`repro.obs.schema`; counters are
+``(name, labels)`` accumulators exported as ``counter`` events.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "RecordingTelemetry",
+    "Telemetry",
+    "active",
+    "counter",
+    "event",
+    "get_backend",
+    "set_backend",
+    "span",
+    "using",
+]
+
+
+class Telemetry:
+    """Backend interface *and* the no-op default.
+
+    ``enabled`` gates every emission: helpers and instrumentation
+    sites check it before building any payload, so a disabled backend
+    never sees a call and costs nothing beyond the check itself.
+    """
+
+    enabled: bool = False
+
+    def emit(self, kind: str, fields: dict) -> None:
+        """Record one structured event (``fields`` may be mutated)."""
+
+    def add(self, name: str, value: float, labels: dict) -> None:
+        """Increment the counter ``(name, labels)`` by ``value``."""
+
+    def close(self) -> None:
+        """Flush/release any resources (no-op for in-memory backends)."""
+
+
+#: The process-wide disabled backend (also the reset target).
+NULL_TELEMETRY = Telemetry()
+
+_backend: Telemetry = NULL_TELEMETRY
+
+
+def get_backend() -> Telemetry:
+    """The currently installed process-global backend."""
+    return _backend
+
+
+def set_backend(backend: Optional[Telemetry]) -> Telemetry:
+    """Install ``backend`` globally; returns the previous backend.
+
+    ``None`` restores the no-op default.  Prefer :func:`using` unless
+    the lifetime genuinely is the whole process (a CLI invocation).
+    """
+    global _backend
+    previous = _backend
+    _backend = NULL_TELEMETRY if backend is None else backend
+    return previous
+
+
+def active() -> bool:
+    """True when the installed backend records anything."""
+    return _backend.enabled
+
+
+@contextmanager
+def using(backend: Telemetry) -> Iterator[Telemetry]:
+    """Install ``backend`` for the duration of a ``with`` block."""
+    previous = set_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+
+
+def event(kind: str, **fields: Any) -> None:
+    """Emit one structured event through the global backend."""
+    backend = _backend
+    if backend.enabled:
+        backend.emit(kind, fields)
+
+
+def counter(name: str, value: float = 1, **labels: Any) -> None:
+    """Increment a labelled counter through the global backend."""
+    backend = _backend
+    if backend.enabled:
+        backend.add(name, value, labels)
+
+
+@contextmanager
+def span(name: str, **labels: Any) -> Iterator[None]:
+    """Bracket a block with ``span_start``/``span_end`` events.
+
+    The end event carries the block's wall-clock duration in
+    ``wall_ms``.  Wall time is nondeterministic by nature, so schema
+    comparisons (``repro trace diff``) ignore ``wall_*`` fields; spans
+    are meant for sweep phases and engine stages, not for anything a
+    bit-identity test compares.
+    """
+    backend = _backend
+    if not backend.enabled:
+        yield
+        return
+    backend.emit("span_start", {"name": name, **labels})
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        backend.emit("span_end",
+                     {"name": name, "wall_ms": elapsed_ms, **labels})
+
+
+class RecordingTelemetry(Telemetry):
+    """In-memory backend: events in order, counters aggregated.
+
+    The workhorse behind ``--telemetry`` exports and the unit tests.
+    ``events`` holds one dict per emission, insertion-ordered (the
+    simulator emits in virtual-time order because it emits inline);
+    ``counters`` maps ``(name, sorted-label-items)`` to the running
+    total.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self.counters: dict[tuple, float] = {}
+
+    def emit(self, kind: str, fields: dict) -> None:
+        fields["event"] = kind
+        self.events.append(fields)
+
+    def add(self, name: str, value: float, labels: dict) -> None:
+        key = (name, tuple(sorted(labels.items())))
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    # -- reading back ---------------------------------------------------------
+
+    def events_of(self, kind: str) -> list[dict]:
+        """Events of one kind, in emission order."""
+        return [entry for entry in self.events if entry["event"] == kind]
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current total of the counter ``(name, labels)`` (0 if unseen)."""
+        return self.counters.get((name, tuple(sorted(labels.items()))), 0)
+
+    def counter_events(self) -> list[dict]:
+        """Counters flattened into schema ``counter`` events (sorted)."""
+        entries = []
+        for (name, labels), value in sorted(
+                self.counters.items(),
+                key=lambda item: (item[0][0], str(item[0][1]))):
+            entries.append({"event": "counter", "name": name,
+                            "value": value, "labels": dict(labels)})
+        return entries
+
+    def clear(self) -> None:
+        """Drop everything recorded so far (between sweep points, say)."""
+        self.events.clear()
+        self.counters.clear()

@@ -80,6 +80,35 @@ def print_stats(profile: cProfile.Profile, *, label: str = "",
     print(buffer.getvalue(), file=stream)
 
 
+def folded_lines(stacks: dict) -> list[str]:
+    """Render ``{stack: weight}`` as folded flamegraph lines.
+
+    The folded format is one ``frame;frame;frame weight`` line per
+    stack — the input both ``flamegraph.pl`` and speedscope accept.
+    Lines are sorted so output is deterministic.
+    """
+    lines = []
+    for stack, weight in sorted(stacks.items()):
+        value = int(weight) if float(weight).is_integer() else weight
+        lines.append(f"{stack} {value}")
+    return lines
+
+
+def write_folded(path, stacks: dict) -> int:
+    """Write folded stacks to ``path``; returns the line count.
+
+    Used by ``repro trace flame`` (stacks aggregated from a telemetry
+    export) but accepts any ``{stack: weight}`` mapping.
+    """
+    from pathlib import Path
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = folded_lines(stacks)
+    target.write_text("\n".join(lines) + ("\n" if lines else ""),
+                      encoding="utf-8")
+    return len(lines)
+
+
 @contextmanager
 def maybe_profile(enabled: Optional[bool] = None, *, label: str = "",
                   sort: str = "cumulative", limit: int = DEFAULT_LIMIT,

@@ -65,6 +65,22 @@ class DownloadPeer(Peer):
         """Bind protocol parameters; returns a picklable ``peer_factory``."""
         return BoundPeerFactory(cls, params)
 
+    # -- observability -----------------------------------------------------
+
+    def note_phase(self, name: str) -> None:
+        """Telemetry marker: this peer just entered phase ``name``.
+
+        Protocol bodies call this at each phase transition so exported
+        runs can attribute every query to the phase the peer was in
+        (``repro trace summary``'s per-phase histogram).  Free when
+        telemetry is disabled; never affects the run either way.
+        """
+        telemetry = self.env.telemetry
+        if telemetry is not None:
+            telemetry.emit("phase", {"t": self.env.kernel.now,
+                                     "peer": self.pid, "name": name,
+                                     "cycle": self.cycle})
+
     # -- working-array helpers ---------------------------------------------
 
     def learn(self, index: int, bit: int) -> None:

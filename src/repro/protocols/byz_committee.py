@@ -110,6 +110,7 @@ class ByzCommitteeDownloadPeer(DownloadPeer):
 
     def body(self) -> Iterator:
         self.begin_cycle()
+        self.note_phase("report")
         my_blocks = [block for block in range(self.blocks.num_segments)
                      if self.pid in committee_for(block, self.committee_size,
                                                   self.n)]
@@ -132,6 +133,7 @@ class ByzCommitteeDownloadPeer(DownloadPeer):
                                            string=string))
 
         self.begin_cycle()
+        self.note_phase("collect")
         done = lambda: len(self.accepted) == self.blocks.num_segments  # noqa: E731
         if self.give_up_time is None:
             yield self.wait_until(done,

@@ -138,6 +138,7 @@ class ByzTwoCycleDownloadPeer(DownloadPeer):
 
         # ---- cycle 1: sample, query, broadcast ----
         self.begin_cycle()
+        self.note_phase("sample")
         picked = self.rng.randrange(self.segmentation.num_segments)
         lo, hi = self.segmentation.bounds(picked)
         string = yield from self.query_segment(lo, hi)
@@ -148,6 +149,7 @@ class ByzTwoCycleDownloadPeer(DownloadPeer):
 
         # ---- cycle 2: wait for n - t reporters, then determine ----
         self.begin_cycle()
+        self.note_phase("determine")
         needed = self.n - self.t
         yield self.wait_until(
             lambda: len(self._reporters()) >= needed,

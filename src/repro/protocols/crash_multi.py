@@ -215,6 +215,7 @@ class CrashMultiDownloadPeer(DownloadPeer):
 
     def _enter(self, phase: int, stage: int) -> None:
         self.phase, self.stage = phase, stage
+        self.note_phase(f"p{phase}/s{stage}")
         self._serve_data_requests()
         self._serve_missing_requests()
 

@@ -67,6 +67,7 @@ class OneRoundDownloadPeer(DownloadPeer):
 
     def body(self) -> Iterator:
         self.begin_cycle()
+        self.note_phase("share")
         wanted: set[int] = set()
         for owner in self._my_slices():
             wanted.update(round_robin_indices(owner, self.ell, self.n))
@@ -75,6 +76,7 @@ class OneRoundDownloadPeer(DownloadPeer):
         self.broadcast(OneRoundShare(sender=self.pid, values=values))
 
         self.begin_cycle()
+        self.note_phase("collect")
         needed = self.n - self.t - 1
         yield self.wait_for_messages(OneRoundShare, needed,
                                      description=f"{needed} shares")
@@ -83,6 +85,7 @@ class OneRoundDownloadPeer(DownloadPeer):
 
         # The single round is over; the residue can only come from the
         # source now.
+        self.note_phase("completion")
         residue = self.unknown_indices()
         self.completion_queries = len(residue)
         values = yield from self.query_bits(residue)

@@ -16,6 +16,7 @@ The three measures the paper optimizes (Section 1.2):
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -97,7 +98,18 @@ class MetricsCollector:
         )
 
     def queried_bits_of(self, pid: int) -> int:
-        """Convenience accessor for one peer's query-bit count."""
+        """Deprecated accessor for one peer's query-bit count.
+
+        .. deprecated::
+            Read ``report(honest).per_peer_query_bits`` — or, for a
+            finished run, :func:`repro.obs.schema.unified_metrics` —
+            instead of poking at the collector's internal dicts.
+        """
+        warnings.warn(
+            "MetricsCollector.queried_bits_of is deprecated; use "
+            "report(...).per_peer_query_bits or "
+            "repro.obs.schema.unified_metrics(result)",
+            DeprecationWarning, stacklevel=2)
         return self.query_bits.get(pid, 0)
 
 

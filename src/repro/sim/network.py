@@ -98,6 +98,9 @@ class Network:
         #: Optional TraceRecorder; when set, every send/delivery is
         #: recorded (wired by the runner when tracing is enabled).
         self.trace = None
+        #: Resolved telemetry backend, or ``None`` when disabled (the
+        #: runner wires this alongside ``trace``).
+        self.telemetry = None
         kernel.on_quiescence = self._flush_withheld
 
     # -- wiring ---------------------------------------------------------------
@@ -136,9 +139,17 @@ class Network:
                                           self.kernel.now):
             # Crash mid-batch: the adversary killed the sender before
             # this particular message went out.
+            if self.telemetry is not None:
+                self.telemetry.emit("crash_send", {
+                    "t": self.kernel.now, "peer": sender_pid,
+                    "dst": destination})
             return False
         transformed = self.adversary.transform_message(
             sender_pid, destination, message, self.kernel.now, sender_cycle)
+        if transformed is not message and self.telemetry is not None:
+            self.telemetry.emit("transform", {
+                "t": self.kernel.now, "src": sender_pid,
+                "dst": destination, "type": type(message).__name__})
         if transformed is None:
             return True  # dynamically-corrupted sender: message eaten
         message = transformed
@@ -155,6 +166,11 @@ class Network:
                               sender=sender_pid, destination=destination,
                               message=type(message).__name__, bits=size,
                               honest=honest)
+        if self.telemetry is not None:
+            self.telemetry.emit("send", {
+                "t": self.kernel.now, "src": sender_pid,
+                "dst": destination, "type": type(message).__name__,
+                "bits": size, "honest": honest})
         latency = self.adversary.message_latency(
             sender_pid, destination, message, self.kernel.now, sender_cycle)
         if (self.packetize and self.message_size_limit is not None
@@ -167,6 +183,10 @@ class Network:
     def _dispatch(self, sender_pid: int, destination: int, message: Message,
                   latency) -> None:
         if isinstance(latency, _Withhold):
+            if self.telemetry is not None:
+                self.telemetry.emit("withhold", {
+                    "t": self.kernel.now, "src": sender_pid,
+                    "dst": destination, "type": type(message).__name__})
             self._withheld.append(WithheldMessage(
                 sender_pid, destination, message, self.kernel.now))
             return
@@ -204,6 +224,10 @@ class Network:
                               sender=message.sender,
                               destination=destination,
                               message=type(message).__name__)
+        if self.telemetry is not None:
+            self.telemetry.emit("deliver", {
+                "t": self.kernel.now, "src": message.sender,
+                "dst": destination, "type": type(message).__name__})
         receiver.deliver(message)
 
     # -- quiescence ----------------------------------------------------------------
@@ -226,6 +250,11 @@ class Network:
         self._withheld = [entry for entry in self._withheld
                           if id(entry) not in released_ids]
         for entry in released:
+            if self.telemetry is not None:
+                self.telemetry.emit("release", {
+                    "t": self.kernel.now, "src": entry.sender,
+                    "dst": entry.destination,
+                    "type": type(entry.message).__name__})
             self.kernel.schedule(
                 0.0,
                 lambda e=entry: self._deliver(e.destination, e.message),

@@ -50,6 +50,10 @@ class SimEnv:
     rng: SplittableRNG
     message_size_limit: Optional[int] = None
     trace: Optional[object] = None
+    #: Resolved telemetry backend, or ``None`` when telemetry is
+    #: disabled — the runner caches the process-global backend here
+    #: once per run so per-event sites pay a single ``is not None``.
+    telemetry: Optional[object] = None
     extras: dict = field(default_factory=dict)
 
     @property
@@ -270,6 +274,11 @@ class Peer(Process):
         without knowledge of cycle-``c`` coin flips.
         """
         self.cycle += 1
+        telemetry = self.env.telemetry
+        if telemetry is not None:
+            telemetry.emit("cycle", {"t": self.env.kernel.now,
+                                     "peer": self.pid,
+                                     "cycle": self.cycle})
         self.env.adversary.on_cycle_start(self.pid, self.cycle,
                                           self.env.kernel.now)
 
@@ -280,6 +289,10 @@ class Peer(Process):
         if self.env.trace is not None:
             self.env.trace.record(self.env.kernel.now, "terminate",
                                   pid=self.pid)
+        telemetry = self.env.telemetry
+        if telemetry is not None:
+            telemetry.emit("terminate", {"t": self.env.kernel.now,
+                                         "peer": self.pid})
 
     def body(self) -> Iterator[WaitUntil]:  # pragma: no cover - abstract
         raise NotImplementedError

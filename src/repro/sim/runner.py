@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
+from repro.obs.schema import SCHEMA_VERSION, unified_metrics
+from repro.obs.telemetry import get_backend
 from repro.sim.errors import ConfigurationError
 from repro.sim.metrics import ComplexityReport, MetricsCollector, RunStatus
 from repro.sim.network import Network
@@ -157,18 +159,27 @@ class Simulation:
         kernel = Kernel()
         metrics = MetricsCollector()
         trace = TraceRecorder() if self.trace_enabled else None
+        # Resolve the process-global telemetry backend exactly once per
+        # run: every instrumentation site below holds either the live
+        # backend or None, so a disabled backend costs each site one
+        # ``is not None`` check and the kernel's event loop nothing.
+        backend = get_backend()
+        sink = backend if backend.enabled else None
         network = Network(kernel, metrics, self.adversary,
                           message_size_limit=self.message_size_limit,
                           packetize=self.packetize, fifo=self.fifo)
         network.trace = trace
+        kernel.telemetry = sink
+        network.telemetry = sink
         make_source = self.source_factory or DataSource
         source = make_source(self.data.copy(), metrics, network,
                              self.adversary)
+        source.telemetry = sink
         env = SimEnv(kernel=kernel, network=network, source=source,
                      metrics=metrics, adversary=self.adversary,
                      n=self.n, t=self.t, ell=self.ell, rng=self.rng,
                      message_size_limit=self.message_size_limit,
-                     trace=trace, extras=self.extras)
+                     trace=trace, telemetry=sink, extras=self.extras)
         self.adversary.bind(env)
 
         processes: dict[int, Process] = {}
@@ -176,6 +187,19 @@ class Simulation:
         if len(planned_faulty) > self.t and not self.allow_fault_overrun:
             raise ConfigurationError(
                 f"adversary plans {len(planned_faulty)} faults but t={self.t}")
+        if sink is not None:
+            header = {"schema": SCHEMA_VERSION, "n": self.n,
+                      "ell": self.ell, "t_budget": self.t,
+                      "seed": self.seed,
+                      "adversary": type(self.adversary).__name__,
+                      "planned_faulty": sorted(planned_faulty)}
+            protocol_class = getattr(self.peer_factory, "protocol_class",
+                                     None)
+            if protocol_class is not None:
+                header["protocol"] = getattr(protocol_class,
+                                             "protocol_name",
+                                             protocol_class.__name__)
+            sink.emit("run_header", header)
         for pid in range(self.n):
             if pid in planned_faulty:
                 process = self.adversary.make_faulty_peer(
@@ -205,7 +229,7 @@ class Simulation:
                 byzantine=pid in planned_faulty and not process.halted,
                 termination_time=metrics.termination_time.get(pid),
             )
-        return RunResult(
+        result = RunResult(
             data=self.data,
             outputs=outputs,
             statuses=statuses,
@@ -219,6 +243,9 @@ class Simulation:
             # the result can own them without another copy.
             queried_indices=dict(source.queried_indices),
         )
+        if sink is not None:
+            sink.emit("run_summary", unified_metrics(result))
+        return result
 
 
 def run_download(*, n: int, peer_factory: PeerFactory,

@@ -44,6 +44,11 @@ class Kernel:
         self._processes: list[Process] = []
         self.events_processed = 0
         self.on_quiescence: Optional[Callable[[], bool]] = None
+        #: Resolved telemetry backend, or ``None`` when disabled (the
+        #: runner wires this).  Only the wake/first-step paths emit —
+        #: the main event loop stays untouched, so a disabled backend
+        #: costs the hot path nothing at all.
+        self.telemetry = None
 
     # -- event scheduling --------------------------------------------------
 
@@ -105,6 +110,9 @@ class Kernel:
         # predicates are monotone in practice, but re-check regardless.
         if process._waiting.predicate():
             process._waiting = None
+            if self.telemetry is not None:
+                self.telemetry.emit("wake", {"t": self.now,
+                                             "proc": process.name})
             self._advance(process)
 
     def _advance(self, process: Process) -> None:
@@ -116,6 +124,9 @@ class Kernel:
             # cached closure on first contact instead.
             process._resume = lambda: self._advance(process)
         if process._generator is None:
+            if self.telemetry is not None:
+                self.telemetry.emit("proc_start", {"t": self.now,
+                                                   "proc": process.name})
             generator = process.body()
             if generator is None:
                 # A body with no yield (fire-and-forget attackers) runs

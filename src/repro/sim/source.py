@@ -42,6 +42,9 @@ class DataSource:
         #: peer (bit ``i`` set = position ``i`` was queried).  Exposed
         #: as plain sets through :attr:`queried_indices`.
         self._queried_masks: dict[int, int] = {}
+        #: Resolved telemetry backend, or ``None`` when disabled (the
+        #: runner wires this after construction).
+        self.telemetry = None
 
     def __len__(self) -> int:
         return len(self.data)
@@ -68,6 +71,11 @@ class DataSource:
         self.metrics.record_query(pid, len(unique))
         self._queried_masks[pid] = self._queried_masks.get(pid, 0) | mask
         self._requests_served += 1
+        if self.telemetry is not None:
+            self.telemetry.emit("query", {
+                "t": self.network.kernel.now, "peer": pid,
+                "bits": len(unique)})
+            self.telemetry.add("queries", 1, {"peer": pid})
 
     # -- querying -----------------------------------------------------------
 

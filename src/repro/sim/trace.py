@@ -8,10 +8,17 @@ filter them with :meth:`TraceRecorder.select`.
 
 Tracing is off by default (``Simulation(trace=False)``); it costs one
 tuple append per event when enabled.
+
+Traces are the in-memory, test-facing view of a run.  The durable,
+tool-facing view is the telemetry event stream
+(:mod:`repro.obs.schema`): :func:`repro.obs.export.events_from_result`
+converts a recorder's records into schema events, so anything captured
+here can be written to JSONL and inspected with ``repro trace``.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -58,6 +65,10 @@ class TraceRecorder:
         """Return the latest record of ``kind``, if any."""
         matching = self.select(kind)
         return matching[-1] if matching else None
+
+    def counts(self) -> Counter:
+        """Record counts by kind — a run's shape at a glance."""
+        return Counter(record.kind for record in self.records)
 
     def __len__(self) -> int:
         return len(self.records)

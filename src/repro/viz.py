@@ -20,6 +20,7 @@ import math
 from collections import Counter
 from typing import Optional
 
+from repro.obs.schema import unified_metrics
 from repro.sim.runner import RunResult
 
 #: Glyphs used on the timeline grid, in precedence order (later wins).
@@ -125,8 +126,8 @@ def event_log(result: RunResult, *, kinds: Optional[set[str]] = None,
 
 def query_histogram(result: RunResult, *, width: int = 50) -> str:
     """Horizontal bar chart of per-peer query bits (honest peers)."""
-    loads = {pid: result.report.per_peer_query_bits.get(pid, 0)
-             for pid in sorted(result.honest)}
+    per_peer = unified_metrics(result)["per_peer_query_bits"]
+    loads = {pid: per_peer.get(pid, 0) for pid in sorted(result.honest)}
     peak = max(loads.values(), default=0)
     lines = [f"per-peer query bits (max {peak})"]
     for pid, load in loads.items():

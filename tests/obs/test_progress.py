@@ -1,0 +1,128 @@
+"""Unit tests for the live progress tracker (fake clock, fake stream)."""
+
+import io
+
+from repro.obs.progress import ProgressTracker
+from repro.obs.telemetry import RecordingTelemetry
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_tracker(**kwargs):
+    clock = FakeClock()
+    stream = io.StringIO()
+    defaults = dict(stream=stream, min_interval=0.0, clock=clock)
+    defaults.update(kwargs)
+    return ProgressTracker(**defaults), stream, clock
+
+
+class TestCounting:
+    def test_tracks_engine_counters(self):
+        tracker, _, _ = make_tracker()
+        tracker.counter("tasks_total", 4)
+        tracker.counter("tasks_done")
+        tracker.counter("tasks_done")
+        tracker.counter("tasks_failed")
+        tracker.counter("tasks_retried")
+        tracker.counter("cache_hits", 3)
+        assert tracker.total == 4
+        assert tracker.done == 2
+        assert tracker.failed == 1
+        assert tracker.retried == 1
+        assert tracker.cache_hits == 3
+
+    def test_untracked_counters_ignored(self):
+        tracker, stream, _ = make_tracker()
+        tracker.counter("journal_records", 5)
+        assert tracker.done == 0
+        assert stream.getvalue() == ""  # nothing tracked, nothing painted
+
+
+class TestEta:
+    def test_no_eta_before_first_completion(self):
+        tracker, _, _ = make_tracker()
+        tracker.counter("tasks_total", 10)
+        assert tracker.eta_seconds() is None
+
+    def test_eta_projects_observed_rate(self):
+        tracker, _, clock = make_tracker()
+        tracker.counter("tasks_total", 4)
+        clock.advance(2.0)
+        tracker.counter("tasks_done")  # 1 task per 2s, 3 remain
+        assert tracker.eta_seconds() == 6.0
+
+    def test_no_eta_when_everything_settled(self):
+        tracker, _, clock = make_tracker()
+        tracker.counter("tasks_total", 1)
+        clock.advance(1.0)
+        tracker.counter("tasks_done")
+        assert tracker.eta_seconds() is None
+
+
+class TestRendering:
+    def test_render_mentions_every_nonzero_part(self):
+        tracker, _, clock = make_tracker()
+        tracker.counter("tasks_total", 40)
+        clock.advance(1.0)
+        for _ in range(12):
+            tracker.counter("tasks_done")
+        tracker.counter("tasks_failed")
+        tracker.counter("tasks_retried", 2)
+        tracker.counter("cache_hits", 3)
+        line = tracker.render()
+        assert "tasks 12/40" in line
+        assert "1 failed" in line
+        assert "2 retried" in line
+        assert "3 cache hits" in line
+        assert "ETA" in line
+
+    def test_zero_parts_omitted(self):
+        tracker, _, _ = make_tracker()
+        tracker.counter("tasks_total", 2)
+        tracker.counter("tasks_done")
+        line = tracker.render()
+        assert "failed" not in line and "retried" not in line
+
+    def test_paint_throttled_by_min_interval(self):
+        tracker, stream, clock = make_tracker(min_interval=1.0)
+        tracker.counter("tasks_total", 5)
+        first = stream.getvalue()
+        tracker.counter("tasks_done")  # within the interval: no repaint
+        assert stream.getvalue() == first
+        clock.advance(1.5)
+        tracker.counter("tasks_done")
+        assert len(stream.getvalue()) > len(first)
+
+    def test_none_stream_is_silent(self):
+        tracker, _, _ = make_tracker(stream=None)
+        tracker.counter("tasks_total", 2)
+        tracker.counter("tasks_done")
+        tracker.close()  # must not raise
+
+    def test_close_finishes_the_line(self):
+        tracker, stream, _ = make_tracker()
+        tracker.counter("tasks_total", 1)
+        tracker.counter("tasks_done")
+        tracker.close()
+        assert stream.getvalue().endswith("tasks 1/1\n")
+
+
+class TestForwarding:
+    def test_forwarded_backend_sees_everything(self):
+        recording = RecordingTelemetry()
+        tracker, _, _ = make_tracker(forward=recording)
+        tracker.emit("crash", {"t": 0.0, "peer": 1})
+        tracker.counter("tasks_total", 2)
+        tracker.counter("journal_records")
+        assert recording.events_of("crash")
+        assert recording.counter_value("tasks_total") == 2
+        assert recording.counter_value("journal_records") == 1

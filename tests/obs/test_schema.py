@@ -1,0 +1,111 @@
+"""Unit tests for the event schema and its JSONL round-trip."""
+
+import pytest
+
+from repro.obs.schema import (
+    EVENT_FIELDS,
+    SCHEMA_VERSION,
+    read_events,
+    run_header,
+    unified_metrics,
+    validate_event,
+    write_events,
+)
+from repro.protocols import NaiveDownloadPeer
+from repro.sim import run_download
+
+
+class TestValidateEvent:
+    def test_minimal_valid_event(self):
+        validate_event({"event": "crash", "t": 1.0, "peer": 3})
+
+    def test_optional_fields_allowed(self):
+        validate_event({"event": "query", "t": 0.5, "peer": 1, "bits": 8,
+                        "cycle": 2})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_event({"event": "teleport", "t": 0.0})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_event({"event": "crash", "t": 1.0})
+
+    def test_undeclared_field_rejected(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            validate_event({"event": "crash", "t": 1.0, "peer": 3,
+                            "mood": "bad"})
+
+    def test_counters_accept_arbitrary_labels(self):
+        validate_event({"event": "counter", "name": "queries", "value": 3,
+                        "labels": {}, "peer": 7, "anything": "goes"})
+
+    def test_every_kind_declares_disjoint_required_optional(self):
+        for kind, (required, optional) in EVENT_FIELDS.items():
+            assert not set(required) & set(optional), kind
+
+
+class TestBuilders:
+    def test_run_header_required_fields(self):
+        header = run_header(n=4, ell=64, t=1, seed=9)
+        validate_event(header)
+        assert header["schema"] == SCHEMA_VERSION
+        assert header["t_budget"] == 1
+
+    def test_run_header_optional_fields(self):
+        header = run_header(n=4, ell=64, t=1, seed=9,
+                            protocol="crash-multi", adversary="Null",
+                            planned_faulty=[2, 0])
+        validate_event(header)
+        assert header["planned_faulty"] == [0, 2]
+
+
+class TestUnifiedMetrics:
+    def test_matches_run_result(self):
+        result = run_download(n=4, ell=64, seed=3,
+                              peer_factory=NaiveDownloadPeer.factory())
+        metrics = unified_metrics(result)
+        assert metrics["correct"] is True
+        assert metrics["query_complexity"] == \
+            result.report.query_complexity
+        assert metrics["per_peer_query_bits"] == \
+            result.report.per_peer_query_bits
+        assert metrics["honest"] == sorted(result.honest)
+        assert metrics["events_processed"] == result.events_processed
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        events = [run_header(n=4, ell=64, t=0, seed=1),
+                  {"event": "query", "t": 0.0, "peer": 0, "bits": 16},
+                  {"event": "crash", "t": 1.5, "peer": 2}]
+        path = tmp_path / "run.jsonl"
+        assert write_events(path, events) == 3
+        assert read_events(path) == events
+
+    def test_write_validates_before_writing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with pytest.raises(ValueError):
+            write_events(path, [{"event": "nonsense"}])
+        assert not path.exists()
+
+    def test_read_rejects_bad_json_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "crash", "t": 0.0, "peer": 1}\n{oops\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_events(path)
+
+    def test_read_rejects_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        header = run_header(n=4, ell=64, t=0, seed=1)
+        header["schema"] = SCHEMA_VERSION + 1
+        path.write_text(
+            __import__("json").dumps(header) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            read_events(path)
+
+    def test_read_rejects_non_event_line(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('["not", "an", "event"]\n')
+        with pytest.raises(ValueError, match="not a telemetry event"):
+            read_events(path)

@@ -1,0 +1,147 @@
+"""Unit tests for the telemetry API: backends, helpers, spans."""
+
+import pytest
+
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    RecordingTelemetry,
+    Telemetry,
+    active,
+    counter,
+    event,
+    get_backend,
+    set_backend,
+    span,
+    using,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    yield
+    set_backend(None)
+
+
+class TestNoOpDefault:
+    def test_default_backend_is_disabled(self):
+        assert get_backend() is NULL_TELEMETRY
+        assert not active()
+
+    def test_helpers_are_silent_when_disabled(self):
+        # Must not raise, must not record anywhere.
+        event("crash", t=1.0, peer=0)
+        counter("queries", peer=0)
+        with span("phase", cycle=1):
+            pass
+
+    def test_base_class_methods_are_noops(self):
+        backend = Telemetry()
+        backend.emit("x", {})
+        backend.add("x", 1, {})
+        backend.close()
+
+
+class TestBackendSwap:
+    def test_set_backend_returns_previous(self):
+        recording = RecordingTelemetry()
+        previous = set_backend(recording)
+        assert previous is NULL_TELEMETRY
+        assert get_backend() is recording
+        assert active()
+
+    def test_none_restores_the_noop(self):
+        set_backend(RecordingTelemetry())
+        set_backend(None)
+        assert get_backend() is NULL_TELEMETRY
+
+    def test_using_scopes_the_swap(self):
+        recording = RecordingTelemetry()
+        with using(recording) as installed:
+            assert installed is recording
+            assert get_backend() is recording
+        assert get_backend() is NULL_TELEMETRY
+
+    def test_using_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with using(RecordingTelemetry()):
+                raise RuntimeError("boom")
+        assert get_backend() is NULL_TELEMETRY
+
+    def test_using_nests(self):
+        outer, inner = RecordingTelemetry(), RecordingTelemetry()
+        with using(outer):
+            with using(inner):
+                event("crash", t=0.0, peer=1)
+            event("crash", t=1.0, peer=2)
+        assert [entry["peer"] for entry in inner.events] == [1]
+        assert [entry["peer"] for entry in outer.events] == [2]
+
+
+class TestRecording:
+    def test_events_carry_kind_and_fields(self):
+        recording = RecordingTelemetry()
+        with using(recording):
+            event("query", t=2.0, peer=3, bits=8)
+        assert recording.events == [
+            {"event": "query", "t": 2.0, "peer": 3, "bits": 8}]
+
+    def test_events_of_filters_by_kind(self):
+        recording = RecordingTelemetry()
+        with using(recording):
+            event("crash", t=0.0, peer=1)
+            event("query", t=1.0, peer=1, bits=4)
+        assert recording.events_of("crash") == [
+            {"event": "crash", "t": 0.0, "peer": 1}]
+
+    def test_counters_aggregate_by_name_and_labels(self):
+        recording = RecordingTelemetry()
+        with using(recording):
+            counter("queries", peer=0)
+            counter("queries", 4, peer=0)
+            counter("queries", peer=1)
+        assert recording.counter_value("queries", peer=0) == 5
+        assert recording.counter_value("queries", peer=1) == 1
+        assert recording.counter_value("queries", peer=9) == 0
+
+    def test_counter_events_are_schema_shaped_and_sorted(self):
+        recording = RecordingTelemetry()
+        recording.add("tasks_done", 2, {})
+        recording.add("queries", 7, {"peer": 1})
+        entries = recording.counter_events()
+        assert entries == [
+            {"event": "counter", "name": "queries", "value": 7,
+             "labels": {"peer": 1}},
+            {"event": "counter", "name": "tasks_done", "value": 2,
+             "labels": {}},
+        ]
+
+    def test_clear_drops_everything(self):
+        recording = RecordingTelemetry()
+        recording.emit("crash", {"t": 0.0, "peer": 1})
+        recording.add("queries", 1, {})
+        recording.clear()
+        assert recording.events == []
+        assert recording.counters == {}
+
+
+class TestSpan:
+    def test_span_emits_paired_events_with_wall_ms(self):
+        recording = RecordingTelemetry()
+        with using(recording):
+            with span("aggregate", stage="sweep"):
+                pass
+        start, end = recording.events
+        assert start == {"event": "span_start", "name": "aggregate",
+                         "stage": "sweep"}
+        assert end["event"] == "span_end"
+        assert end["name"] == "aggregate"
+        assert end["wall_ms"] >= 0
+
+    def test_span_end_emitted_on_exception(self):
+        recording = RecordingTelemetry()
+        with using(recording):
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        assert [entry["event"] for entry in recording.events] == [
+            "span_start", "span_end"]

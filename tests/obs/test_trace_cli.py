@@ -1,0 +1,154 @@
+"""End-to-end tests for `--telemetry` exports and the `repro trace` CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import read_events
+from repro.obs.trace_cli import (
+    diff_streams,
+    folded_stacks,
+    phase_histogram,
+    render_summary,
+    render_timeline,
+)
+
+RUN_ARGS = ["run", "--protocol", "crash-multi", "--n", "8", "--ell", "256",
+            "--fault-model", "crash", "--beta", "0.5", "--seed", "7"]
+
+
+@pytest.fixture(scope="module")
+def export(tmp_path_factory):
+    path = tmp_path_factory.mktemp("telemetry") / "run.jsonl"
+    code = main(RUN_ARGS + ["--telemetry", str(path)], out=io.StringIO())
+    assert code == 0
+    return path
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestExportShape:
+    def test_bracketed_by_header_and_summary(self, export):
+        events = read_events(export)
+        assert events[0]["event"] == "run_header"
+        assert events[0]["protocol"] == "crash-multi"
+        assert events[-1]["event"] == "run_summary"
+        assert events[-1]["correct"] is True
+
+    def test_contains_the_query_timeline(self, export):
+        events = read_events(export)
+        kinds = {entry["event"] for entry in events}
+        assert {"query", "send", "deliver", "phase", "cycle", "crash",
+                "terminate", "wake", "proc_start"} <= kinds
+
+
+class TestSummary:
+    def test_summary_reports_run_and_phases(self, export):
+        code, text = run_cli(["trace", "summary", str(export)])
+        assert code == 0
+        assert "protocol=crash-multi" in text
+        assert "correct=True" in text
+        assert "per-phase queries:" in text
+        assert "adversary" in text
+
+    def test_phase_attribution_by_replay(self, export):
+        histogram = phase_histogram(read_events(export))
+        # crash-multi queries exactly once per peer, in phase 1 stage 1.
+        assert set(histogram) == {"p1/s1"}
+        count, bits = histogram["p1/s1"]
+        assert count == 8 and bits == 256
+
+    def test_summary_of_empty_stream(self):
+        assert render_summary([]) == "(empty export)"
+
+
+class TestTimeline:
+    def test_timeline_rows_and_roles(self, export):
+        code, text = run_cli(["trace", "timeline", str(export),
+                              "--width", "40"])
+        assert code == 0
+        lines = text.splitlines()
+        assert len(lines) == 9  # legend + 8 peers
+        assert sum(1 for line in lines if line.endswith(" crash")) == 4
+        assert sum(1 for line in lines if line.endswith(" ok")) == 4
+
+    def test_peer_filter(self, export):
+        events = read_events(export)
+        text = render_timeline(events, peers=[0, 7])
+        assert len(text.splitlines()) == 3
+
+
+class TestDiff:
+    def test_identical_runs_diff_clean(self, export, tmp_path):
+        other = tmp_path / "again.jsonl"
+        assert main(RUN_ARGS + ["--telemetry", str(other)],
+                    out=io.StringIO()) == 0
+        code, text = run_cli(["trace", "diff", str(export), str(other)])
+        assert code == 0
+        assert text.startswith("identical")
+
+    def test_divergence_found_and_exit_code_set(self, export, tmp_path):
+        other = tmp_path / "seed9.jsonl"
+        argv = [arg if arg != "7" else "9" for arg in RUN_ARGS]
+        main(argv + ["--telemetry", str(other)], out=io.StringIO())
+        code, text = run_cli(["trace", "diff", str(export), str(other)])
+        assert code == 1
+        assert "divergence" in text
+
+    def test_wall_clock_fields_ignored(self):
+        a = [{"event": "span_end", "name": "x", "wall_ms": 1.0}]
+        b = [{"event": "span_end", "name": "x", "wall_ms": 99.0}]
+        identical, _ = diff_streams(a, b)
+        assert identical
+
+
+class TestFlame:
+    def test_folded_file_written(self, export, tmp_path):
+        target = tmp_path / "run.folded"
+        code, text = run_cli(["trace", "flame", str(export),
+                              "--out", str(target)])
+        assert code == 0
+        lines = target.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack.startswith("crash-multi;peer-")
+            assert int(weight) > 0
+
+    def test_event_weighting(self, export):
+        events = read_events(export)
+        by_bits = folded_stacks(events, weight="bits")
+        by_events = folded_stacks(events, weight="events")
+        assert set(by_bits) == set(by_events)
+        query_stacks = [stack for stack in by_events
+                        if stack.endswith(";query")]
+        assert all(by_events[stack] == 1 for stack in query_stacks)
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(ValueError):
+            folded_stacks([], weight="calories")
+
+
+class TestSweepExport:
+    def test_sweep_telemetry_round_trips(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        code, _ = run_cli([
+            "sweep", "--protocol", "crash-multi", "--fault-model", "crash",
+            "--beta", "0.5", "--n", "6", "--ell", "64", "--repeats", "1",
+            "--axis", "beta", "--values", "0.1,0.3", "--no-cache",
+            "--telemetry", str(path)])
+        assert code == 0
+        events = read_events(path)
+        assert events[0]["event"] == "sweep_header"
+        assert events[0]["points"] == 2
+        summary = events[-1]
+        assert summary["event"] == "sweep_summary"
+        assert summary["tasks_done"] == 2
+        assert summary["tasks_failed"] == 0
+        # workers=1 runs in-process, so the runs' own events are there.
+        assert any(entry["event"] == "run_summary" for entry in events)

@@ -11,15 +11,22 @@ class TestQueryAccounting:
         metrics.record_query(0, 10)
         metrics.record_query(0, 5)
         metrics.record_query(1, 3)
-        assert metrics.queried_bits_of(0) == 15
-        assert metrics.queried_bits_of(1) == 3
+        per_peer = metrics.report(honest=[0, 1]).per_peer_query_bits
+        assert per_peer == {0: 15, 1: 3}
 
     def test_negative_bits_rejected(self):
         with pytest.raises(ValueError):
             MetricsCollector().record_query(0, -1)
 
     def test_unqueried_peer_reads_zero(self):
-        assert MetricsCollector().queried_bits_of(9) == 0
+        per_peer = MetricsCollector().report(honest=[9]).per_peer_query_bits
+        assert per_peer == {9: 0}
+
+    def test_queried_bits_of_is_deprecated(self):
+        metrics = MetricsCollector()
+        metrics.record_query(0, 7)
+        with pytest.warns(DeprecationWarning, match="per_peer_query_bits"):
+            assert metrics.queried_bits_of(0) == 7
 
 
 class TestReport:

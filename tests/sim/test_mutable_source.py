@@ -58,7 +58,7 @@ class TestReadAtArrival:
     def test_charging_still_at_request_time(self):
         kernel, metrics, source, _ = build("0000")
         source.request_bits(0, 1, [0, 1])
-        assert metrics.queried_bits_of(0) == 2  # before any delivery
+        assert metrics.report(honest=[0]).per_peer_query_bits[0] == 2  # before any delivery
 
     def test_applied_mutations_logged(self):
         kernel, _, source, _ = build("0000",
@@ -112,7 +112,7 @@ class TestWithheldQueries:
             "0000", adversary=self.WithholdingQueries())
         source.request_bits(0, 1, [0, 3])
         # Before any delivery: the query is already charged and logged.
-        assert metrics.queried_bits_of(0) == 2
+        assert metrics.report(honest=[0]).per_peer_query_bits[0] == 2
         assert source.queried_indices[0] == {0, 3}
         kernel.run()
 

@@ -46,18 +46,18 @@ class TestQueries:
     def test_duplicates_collapsed_and_charged_once(self):
         kernel, metrics, source, _ = build()
         source.request_bits(0, 1, [3, 3, 3])
-        assert metrics.queried_bits_of(0) == 1
+        assert metrics.report(honest=[0]).per_peer_query_bits[0] == 1
 
     def test_requery_across_requests_charged_again(self):
         kernel, metrics, source, _ = build()
         source.request_bits(0, 1, [3])
         source.request_bits(0, 2, [3])
-        assert metrics.queried_bits_of(0) == 2
+        assert metrics.report(honest=[0]).per_peer_query_bits[0] == 2
 
     def test_charged_at_request_time_not_delivery(self):
         kernel, metrics, source, receiver = build()
         source.request_bits(0, 1, [0, 1])
-        assert metrics.queried_bits_of(0) == 2
+        assert metrics.report(honest=[0]).per_peer_query_bits[0] == 2
         assert receiver.received == []
 
     def test_segment_request(self):
@@ -66,7 +66,7 @@ class TestQueries:
         kernel.run()
         (response,) = receiver.received
         assert response.values == {2: 1, 3: 1, 4: 0, 5: 1}
-        assert metrics.queried_bits_of(0) == 4
+        assert metrics.report(honest=[0]).per_peer_query_bits[0] == 4
 
     def test_out_of_range_index_rejected(self):
         _, _, source, _ = build("1010")
@@ -90,7 +90,7 @@ class TestHelpers:
     def test_peek_does_not_charge(self):
         _, metrics, source, _ = build("01")
         assert source.peek(1) == 1
-        assert metrics.queried_bits_of(0) == 0
+        assert metrics.report(honest=[0]).per_peer_query_bits[0] == 0
 
     def test_peek_segment(self):
         _, _, source, _ = build("0110")
