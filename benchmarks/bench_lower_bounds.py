@@ -6,43 +6,71 @@ the only protocol that pays ell (naive).
 
 E8 (Theorem 3.2, randomized): against a randomized sub-ell protocol,
 the measured fooling rate meets the proof's ``1 - Q/ell`` floor.
+
+Both benches route their construction runs through
+:func:`repro.execution.run_tasks`, so ``REPRO_BENCH_WORKERS=4`` fans
+the E7 targets (and the E8 report) over a process pool; payloads name
+victims by registry name so they pickle.
 """
 
-from repro.lowerbounds import (
-    run_deterministic_construction,
-    run_randomized_construction,
-)
-from repro.protocols import (
-    BalancedDownloadPeer,
-    ByzCommitteeDownloadPeer,
-    ByzTwoCycleDownloadPeer,
-    NaiveDownloadPeer,
-)
+from repro.execution import run_tasks
 
-from benchmarks.support import Row, print_table
+from benchmarks.support import BENCH_POLICY, BENCH_WORKERS, Row, print_table
 
 N = 10
 ELL = 200
 
 
-def _deterministic_targets():
-    rows = []
-    targets = [
-        ("committee (claims b<1/2)",
-         ByzCommitteeDownloadPeer.factory(block_size=10)),
-        ("balanced (claims no faults)", BalancedDownloadPeer.factory()),
-        ("naive (pays ell)", NaiveDownloadPeer.factory()),
-    ]
-    for label, factory in targets:
-        outcome = run_deterministic_construction(
-            peer_factory=factory, n=N, ell=ELL, claimed_t=2, seed=71)
-        rows.append(Row(label, {
-            "victim Q": outcome.victim_queries,
+def _run_deterministic_target(payload: dict) -> dict:
+    """One Theorem 3.1 attack, reduced to table cells (module-level so
+    it pickles into worker processes)."""
+    from repro.lowerbounds import run_deterministic_construction
+    from repro.protocols import get
+    outcome = run_deterministic_construction(
+        peer_factory=get(payload["protocol"]).factory(**payload["params"]),
+        n=payload["n"], ell=payload["ell"],
+        claimed_t=payload["claimed_t"], seed=payload["seed"])
+    return {"victim Q": outcome.victim_queries,
             "target bit": outcome.target_bit
             if outcome.target_bit is not None else "-",
             "fooled": outcome.fooled,
-            "respects bound": outcome.respects_bound}))
-    return rows
+            "respects bound": outcome.respects_bound}
+
+
+def _run_randomized_report(payload: dict) -> dict:
+    """One Theorem 3.2 campaign, reduced to its headline numbers."""
+    from repro.lowerbounds import run_randomized_construction
+    from repro.protocols import get
+    report = run_randomized_construction(
+        peer_factory=get(payload["protocol"]).factory(**payload["params"]),
+        n=payload["n"], ell=payload["ell"],
+        claimed_t=payload["claimed_t"],
+        estimation_trials=payload["estimation_trials"],
+        attack_trials=payload["attack_trials"],
+        base_seed=payload["seed"])
+    return {"fooling_rate": report.fooling_rate,
+            "floor": report.theoretical_floor,
+            "mean_victim_queries": report.mean_victim_queries,
+            "fooled_trials": report.fooled_trials,
+            "attack_trials": report.attack_trials,
+            "target_bit": report.target_bit}
+
+
+def _deterministic_targets():
+    targets = [
+        ("committee (claims b<1/2)", "byz-committee", {"block_size": 10}),
+        ("balanced (claims no faults)", "balanced", {}),
+        ("naive (pays ell)", "naive", {}),
+    ]
+    payloads = [dict(protocol=protocol, params=params, n=N, ell=ELL,
+                     claimed_t=2, seed=71)
+                for _, protocol, params in targets]
+    measured = run_tasks(_run_deterministic_target, payloads,
+                         workers=BENCH_WORKERS, policy=BENCH_POLICY,
+                         task_seeds=[payload["seed"]
+                                     for payload in payloads])
+    return [Row(label, values)
+            for (label, *_), values in zip(targets, measured)]
 
 
 def bench_deterministic_lower_bound(benchmark):
@@ -66,22 +94,26 @@ def bench_deterministic_lower_bound(benchmark):
 
 
 def _randomized_report():
-    return run_randomized_construction(
-        peer_factory=ByzTwoCycleDownloadPeer.factory(num_segments=4, tau=1),
-        n=12, ell=256, claimed_t=6,
-        estimation_trials=15, attack_trials=30, base_seed=72)
+    payload = dict(protocol="byz-two-cycle",
+                   params={"num_segments": 4, "tau": 1},
+                   n=12, ell=256, claimed_t=6,
+                   estimation_trials=15, attack_trials=30, seed=72)
+    return run_tasks(_run_randomized_report, [payload],
+                     workers=BENCH_WORKERS, policy=BENCH_POLICY,
+                     task_seeds=[payload["seed"]])[0]
 
 
 def bench_randomized_lower_bound(benchmark):
     report = benchmark.pedantic(_randomized_report, rounds=1, iterations=1)
     print(f"\nE8 Theorem 3.2: fooling rate "
-          f"{report.fooled_trials}/{report.attack_trials} = "
-          f"{report.fooling_rate:.2f}, floor 1 - Q/ell = "
-          f"{report.theoretical_floor:.2f} "
-          f"(mean victim Q = {report.mean_victim_queries:.0f}, "
-          f"target bit {report.target_bit})")
-    benchmark.extra_info["fooling_rate"] = report.fooling_rate
-    benchmark.extra_info["floor"] = report.theoretical_floor
-    benchmark.extra_info["mean_victim_queries"] = report.mean_victim_queries
-    assert report.fooling_rate >= report.theoretical_floor - 0.15
-    assert report.fooled_trials > 0
+          f"{report['fooled_trials']}/{report['attack_trials']} = "
+          f"{report['fooling_rate']:.2f}, floor 1 - Q/ell = "
+          f"{report['floor']:.2f} "
+          f"(mean victim Q = {report['mean_victim_queries']:.0f}, "
+          f"target bit {report['target_bit']})")
+    benchmark.extra_info["fooling_rate"] = report["fooling_rate"]
+    benchmark.extra_info["floor"] = report["floor"]
+    benchmark.extra_info["mean_victim_queries"] = \
+        report["mean_victim_queries"]
+    assert report["fooling_rate"] >= report["floor"] - 0.15
+    assert report["fooled_trials"] > 0

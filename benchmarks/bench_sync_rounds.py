@@ -4,59 +4,77 @@ The synchronous papers report *round* counts; the lockstep engine
 measures them exactly.  This bench regenerates the round/query
 trade-off across the synchronous protocols under the rushing
 adversary — the strongest scheduler the synchronous model allows.
+
+Every case runs through :func:`repro.execution.run_tasks`, so
+``REPRO_BENCH_WORKERS=4`` fans the cases over a process pool (payloads
+name the peer class; adversary objects pickle as-is).
 """
 
+from repro.execution import run_tasks
 from repro.sync import (
     RoundCrashAdversary,
     RushingEchoAdversary,
     SilentSyncAdversary,
-    SyncBalancedPeer,
-    SyncCrashPeer,
-    SyncCommitteePeer,
-    SyncNaivePeer,
-    SyncTwoRoundPeer,
     fraction_corrupted,
     run_sync_download,
 )
 
-from benchmarks.support import Row, print_table
+from benchmarks.support import BENCH_POLICY, BENCH_WORKERS, Row, print_table
 
 N = 40
 ELL = 4000
 
 
-def factory(cls, **kwargs):
-    return lambda pid, config, rng: cls(pid, config, rng, **kwargs)
+def _run_sync_case(payload: dict) -> dict:
+    """One lockstep run, reduced to table cells.
+
+    Module-level (and peer classes referenced by name) so the payload
+    pickles into the engine's worker processes.
+    """
+    import repro.sync as sync
+    peer_cls = getattr(sync, payload["peer_cls"])
+    kwargs = payload["peer_kwargs"]
+
+    def peer_factory(pid, config, rng):
+        return peer_cls(pid, config, rng, **kwargs)
+
+    result = run_sync_download(
+        n=payload["n"], ell=payload["ell"], t=payload["t"],
+        peer_factory=peer_factory, adversary=payload["adversary"],
+        seed=payload["seed"])
+    return {"rounds": result.rounds,
+            "Q": result.query_complexity,
+            "M": result.message_complexity,
+            "correct": result.download_correct}
 
 
 def _rows():
     # beta=0.3: the regime where sampling beats 2t+1 replication.
     corrupted = fraction_corrupted(N, 0.3, seed=161)
     cases = [
-        ("naive (1 round)", factory(SyncNaivePeer), 0, None),
-        ("balanced (fault-free)", factory(SyncBalancedPeer), 0, None),
-        ("committee [3]", factory(SyncCommitteePeer, block_size=40), 12,
+        ("naive (1 round)", "SyncNaivePeer", {}, 0, None),
+        ("balanced (fault-free)", "SyncBalancedPeer", {}, 0, None),
+        ("committee [3]", "SyncCommitteePeer", {"block_size": 40}, 12,
          RushingEchoAdversary(corrupted=corrupted, seed=161)),
-        ("2-round Protocol 4", factory(SyncTwoRoundPeer, num_segments=4,
-                                       tau=2), 12,
+        ("2-round Protocol 4", "SyncTwoRoundPeer",
+         {"num_segments": 4, "tau": 2}, 12,
          RushingEchoAdversary(corrupted=corrupted, seed=161)),
-        ("2-round (silent byz)", factory(SyncTwoRoundPeer, num_segments=4,
-                                         tau=2), 12,
+        ("2-round (silent byz)", "SyncTwoRoundPeer",
+         {"num_segments": 4, "tau": 2}, 12,
          SilentSyncAdversary(corrupted=corrupted)),
-        ("sync-crash (4 crashes)", factory(SyncCrashPeer), 4,
+        ("sync-crash (4 crashes)", "SyncCrashPeer", {}, 4,
          RoundCrashAdversary({pid: (pid, 2) for pid in range(1, 5)})),
     ]
-    rows = []
-    for label, peer_factory, t, adversary in cases:
-        result = run_sync_download(n=N, ell=ELL, t=t,
-                                   peer_factory=peer_factory,
-                                   adversary=adversary, seed=162)
-        rows.append(Row(label, {
-            "rounds": result.rounds,
-            "Q": result.query_complexity,
-            "M": result.message_complexity,
-            "correct": result.download_correct}))
-    return rows
+    payloads = [dict(n=N, ell=ELL, t=t, peer_cls=peer_cls,
+                     peer_kwargs=peer_kwargs, adversary=adversary,
+                     seed=162)
+                for _, peer_cls, peer_kwargs, t, adversary in cases]
+    measured = run_tasks(_run_sync_case, payloads, workers=BENCH_WORKERS,
+                         policy=BENCH_POLICY,
+                         task_seeds=[payload["seed"]
+                                     for payload in payloads])
+    return [Row(label, values)
+            for (label, *_), values in zip(cases, measured)]
 
 
 def bench_sync_round_complexity(benchmark):

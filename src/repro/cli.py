@@ -7,10 +7,12 @@ Usage (installed as ``python -m repro``)::
         --fault-model crash --beta 0.5 --seed 7
     python -m repro run --protocol byz-committee --n 9 --ell 270 \
         --fault-model byzantine --beta 0.33 --strategy equivocate
-    python -m repro lower-bound --n 10 --ell 200
+    python -m repro lower-bound --n 10 --ell 200 --claimed-t 2 --repeats 3
     python -m repro sweep --protocol crash-multi --fault-model crash \
         --beta 0.5 --axis beta --values 0.1,0.3,0.5,0.7 \
         --workers 4 --markdown-out report.md
+    python -m repro sweep --protocol byz-committee --backend sync \
+        --workers 4 --resume --telemetry out.jsonl
     python -m repro run --protocol crash-multi --fault-model crash \
         --beta 0.5 --telemetry run.jsonl
     python -m repro trace summary run.jsonl
@@ -93,7 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="Byzantine corruption strategy")
     run_parser.add_argument("--synchronous", action="store_true",
                             help="unit latencies instead of the "
-                                 "asynchronous adversary")
+                                 "asynchronous adversary (synchrony "
+                                 "*emulated* inside the async kernel; "
+                                 "for round-native lockstep execution "
+                                 "use `sweep --backend sync`)")
     run_parser.add_argument("--block-size", type=int, default=None,
                             help="committee protocol block size")
     run_parser.add_argument("--segments", type=int, default=None,
@@ -113,10 +118,27 @@ def build_parser() -> argparse.ArgumentParser:
     lb_parser = subparsers.add_parser(
         "lower-bound",
         help="run the Theorem 3.1 witness adversary against the "
-             "committee protocol")
+             "committee protocol (through the 'lowerbound' execution "
+             "backend)")
     lb_parser.add_argument("--n", type=int, default=10)
     lb_parser.add_argument("--ell", type=int, default=200)
     lb_parser.add_argument("--seed", type=int, default=0)
+    lb_parser.add_argument("--claimed-t", type=int, default=2,
+                           help="fault budget the victim protocol is "
+                                "told (the construction corrupts a "
+                                "majority regardless)")
+    lb_parser.add_argument("--block-size", type=int, default=None,
+                           help="committee protocol block size "
+                                "(default: max(1, ell // 20))")
+    lb_parser.add_argument("--repeats", type=int, default=1,
+                           help="independent attack executions; the "
+                                "fooled-rate aggregates over them")
+    lb_parser.add_argument("--workers", type=int, default=1,
+                           help="processes to fan repeats over "
+                                "(1 = in-process serial)")
+    lb_parser.add_argument("--telemetry", metavar="PATH", default=None,
+                           help="record the attack executions' telemetry "
+                                "events to this JSONL file")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="sweep one experiment axis and print/persist a "
@@ -129,12 +151,36 @@ def build_parser() -> argparse.ArgumentParser:
                                        "dynamic"],
                               default="none")
     sweep_parser.add_argument("--beta", type=float, default=0.0)
+    sweep_parser.add_argument("--strategy",
+                              choices=sorted(_STRATEGIES) +
+                              ["deterministic", "randomized"],
+                              default=None,
+                              help="Byzantine corruption strategy "
+                                   "(sim/sync backends; default "
+                                   "wrong-bits) or which construction "
+                                   "to run (lowerbound backend; default "
+                                   "deterministic)")
+    sweep_parser.add_argument("--backend",
+                              choices=["sim", "sync", "lowerbound"],
+                              default="sim",
+                              help="execution engine: 'sim' is the "
+                                   "asynchronous discrete-event "
+                                   "simulator; 'sync' is the "
+                                   "round-native lockstep engine whose "
+                                   "time measure is an exact round "
+                                   "count (this is NOT `run "
+                                   "--synchronous`, which merely pins "
+                                   "unit latencies inside the async "
+                                   "kernel); 'lowerbound' runs the "
+                                   "Theorem 3.1/3.2 adversarial "
+                                   "constructions")
     sweep_parser.add_argument("--repeats", type=int, default=2)
     sweep_parser.add_argument("--seed", type=int, default=0)
-    sweep_parser.add_argument("--axis", required=True,
+    sweep_parser.add_argument("--axis", default=None,
                               help="spec field to sweep (e.g. beta, n, "
-                                   "ell)")
-    sweep_parser.add_argument("--values", required=True,
+                                   "ell); omit together with --values "
+                                   "to run the single configured point")
+    sweep_parser.add_argument("--values", default=None,
                               help="comma-separated axis values")
     sweep_parser.add_argument("--json-out", default=None,
                               help="persist outcomes to this JSON file")
@@ -256,16 +302,42 @@ def _command_run(args, out) -> int:
 
 
 def _command_lower_bound(args, out) -> int:
-    from repro.lowerbounds import run_deterministic_construction
-    from repro.protocols import ByzCommitteeDownloadPeer
-    outcome = run_deterministic_construction(
-        peer_factory=ByzCommitteeDownloadPeer.factory(
-            block_size=max(1, args.ell // 20)),
-        n=args.n, ell=args.ell, claimed_t=2, seed=args.seed)
-    print(f"victim queried : {outcome.victim_queries}/{args.ell} bits",
+    import contextlib
+    import time
+
+    from repro.experiments import ExperimentSpec, run_experiment
+    block_size = (args.block_size if args.block_size is not None
+                  else max(1, args.ell // 20))
+    spec = ExperimentSpec(
+        protocol="byz-committee", n=args.n, ell=args.ell,
+        strategy="deterministic",
+        protocol_params={"block_size": block_size,
+                         "claimed_t": args.claimed_t},
+        repeats=args.repeats, base_seed=args.seed, backend="lowerbound")
+    recording = None
+    context = contextlib.nullcontext()
+    if args.telemetry:
+        from repro.obs import RecordingTelemetry, using
+        recording = RecordingTelemetry()
+        context = using(recording)
+    started = time.monotonic()
+    with context:
+        outcome = run_experiment(spec, workers=args.workers)
+    if recording is not None:
+        from repro.obs import sweep_events, write_events
+        from repro.obs.schema import SCHEMA_VERSION
+        header = {"event": "sweep_header", "schema": SCHEMA_VERSION,
+                  "points": 1, "repeats": args.repeats,
+                  "workers": args.workers, "protocol": spec.protocol}
+        count = write_events(args.telemetry, sweep_events(
+            recording, header=header, wall_s=time.monotonic() - started))
+        print(f"telemetry  : {count} events -> {args.telemetry}", file=out)
+    fooled = outcome.failed_runs == 0 and outcome.success_rate == 1.0
+    print(f"victim queried : {outcome.mean_query_complexity:.0f}/"
+          f"{args.ell} bits", file=out)
+    print(f"fooled repeats : {outcome.correct_runs}/{outcome.runs}",
           file=out)
-    print(f"flipped bit    : {outcome.target_bit}", file=out)
-    print(f"victim fooled  : {outcome.fooled}", file=out)
+    print(f"victim fooled  : {fooled}", file=out)
     return 0
 
 
@@ -283,14 +355,26 @@ def _parse_axis_values(axis: str, raw: str) -> list:
 
 def _command_sweep(args, out) -> int:
     from repro.experiments import (ExperimentSpec, outcomes_table,
-                                   sweep_experiment)
+                                   run_experiment, sweep_experiment)
     from repro.execution import (ResultCache, RetryPolicy, SweepJournal,
                                  default_cache_dir)
+    if (args.axis is None) != (args.values is None):
+        raise SystemExit("--axis and --values must be given together")
+    strategy = args.strategy or ("deterministic"
+                                 if args.backend == "lowerbound"
+                                 else "wrong-bits")
+    # backend="sync" *is* the synchronous model, so the network field
+    # follows it; `run --synchronous` stays the async kernel's
+    # unit-latency emulation (see docs/MODEL.md).
+    network = ("synchronous" if args.backend == "sync"
+               else "asynchronous")
     spec = ExperimentSpec(
         protocol=args.protocol, n=args.n, ell=args.ell,
         fault_model=args.fault_model, beta=args.beta,
-        repeats=args.repeats, base_seed=args.seed)
-    values = _parse_axis_values(args.axis, args.values)
+        strategy=strategy, network=network,
+        repeats=args.repeats, base_seed=args.seed, backend=args.backend)
+    values = (None if args.axis is None
+              else _parse_axis_values(args.axis, args.values))
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     journal = None
     if args.resume:
@@ -317,23 +401,33 @@ def _command_sweep(args, out) -> int:
         progress = backend if args.progress else None
         context = using(backend)
     started = time.monotonic()
-    with maybe_profile(profile_enabled(args.profile or None),
-                       label=f"sweep {args.protocol} over {args.axis}"):
+    label = (f"sweep {args.protocol} over {args.axis}" if args.axis
+             else f"sweep {args.protocol} (single point)")
+    with maybe_profile(profile_enabled(args.profile or None), label=label):
         with context:
-            outcomes = sweep_experiment(spec, axis=args.axis,
-                                        values=values,
-                                        workers=args.workers, cache=cache,
-                                        journal=journal, policy=policy,
-                                        strict=args.strict)
+            if values is None:
+                outcomes = [run_experiment(spec, workers=args.workers,
+                                           cache=cache, journal=journal,
+                                           policy=policy,
+                                           strict=args.strict)]
+            else:
+                outcomes = sweep_experiment(spec, axis=args.axis,
+                                            values=values,
+                                            workers=args.workers,
+                                            cache=cache,
+                                            journal=journal, policy=policy,
+                                            strict=args.strict)
     if progress is not None:
         progress.close()
     if recording is not None:
         from repro.obs import sweep_events, write_events
         from repro.obs.schema import SCHEMA_VERSION
         header = {"event": "sweep_header", "schema": SCHEMA_VERSION,
-                  "points": len(values), "repeats": args.repeats,
-                  "axis": args.axis, "values": values,
+                  "points": len(outcomes), "repeats": args.repeats,
                   "workers": args.workers, "protocol": args.protocol}
+        if values is not None:
+            header["axis"] = args.axis
+            header["values"] = values
         count = write_events(args.telemetry, sweep_events(
             recording, header=header,
             wall_s=time.monotonic() - started))
@@ -350,9 +444,10 @@ def _command_sweep(args, out) -> int:
         print(f"degraded   : {failed} repeat(s) failed every retry",
               file=out)
         for outcome in outcomes:
+            label_axis = args.axis or "protocol"
             for failure in outcome.failures:
                 print(f"  {outcome.spec.protocol}"
-                      f"[{getattr(outcome.spec, args.axis)}] {failure}",
+                      f"[{getattr(outcome.spec, label_axis)}] {failure}",
                       file=out)
     if args.json_out:
         from repro.persistence import save_outcomes
@@ -361,8 +456,9 @@ def _command_sweep(args, out) -> int:
     if args.markdown_out:
         from repro.reporting import render_report, render_sweep
         section = render_sweep(
-            outcomes, axis=args.axis,
-            title=f"{args.protocol} {args.axis} sweep")
+            outcomes, axis=args.axis or "protocol",
+            title=(f"{args.protocol} {args.axis} sweep" if args.axis
+                   else f"{args.protocol} ({args.backend})"))
         Path(args.markdown_out).write_text(render_report([section]),
                                            encoding="utf-8")
         print(f"report written to {args.markdown_out}", file=out)

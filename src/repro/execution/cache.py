@@ -72,8 +72,14 @@ def spec_cache_key(spec: "ExperimentSpec", *,
     The spec is serialized to canonical JSON (sorted keys, so
     ``protocol_params`` insertion order never matters) and hashed with
     the salt.  Two specs collide only if every field is equal.
+
+    ``backend`` joins the payload only when it is not ``"sim"``: the
+    default backend is the pre-backend behaviour, so every cache entry
+    and journal line written before the field existed keeps hitting.
     """
     payload = dataclasses.asdict(spec)
+    if payload.get("backend") == "sim":
+        del payload["backend"]
     canonical = canonical_json(payload)
     digest = hashlib.sha256(f"{salt}\n{canonical}".encode("utf-8"))
     return digest.hexdigest()

@@ -97,17 +97,22 @@ class SweepJournal:
         atomic on POSIX; replay additionally survives torn lines by
         skipping anything that fails to parse.
         """
+        fields = {
+            "queries": record.queries,
+            "messages": record.messages,
+            "time": record.time,
+            "correct": bool(record.correct),
+        }
+        if record.rounds is not None:
+            # Additive: round-native backends only, so sim journal
+            # lines stay byte-identical with pre-backend writers.
+            fields["rounds"] = record.rounds
         line = json.dumps({
             "schema": JOURNAL_SCHEMA,
             "salt": self.salt,
             "key": self.key_for(spec),
             "repeat": repeat,
-            "record": {
-                "queries": record.queries,
-                "messages": record.messages,
-                "time": record.time,
-                "correct": bool(record.correct),
-            },
+            "record": fields,
         }, sort_keys=True)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
@@ -144,11 +149,13 @@ class SweepJournal:
                 if payload["salt"] != self.salt:
                     raise ValueError("salt mismatch")
                 fields = payload["record"]
+                rounds = fields.get("rounds")
                 record = RepeatRecord(
                     queries=int(fields["queries"]),
                     messages=int(fields["messages"]),
                     time=float(fields["time"]),
-                    correct=bool(fields["correct"]))
+                    correct=bool(fields["correct"]),
+                    rounds=None if rounds is None else int(rounds))
                 key = (str(payload["key"]), int(payload["repeat"]))
             except (KeyError, TypeError, ValueError):
                 corrupt += 1

@@ -1,0 +1,133 @@
+"""The experiment specification: one value describing one experiment.
+
+:class:`ExperimentSpec` is the single currency every engine layer
+trades in — the parallel runner fans its repeats out, the result cache
+hashes it, the sweep journal keys checkpoints by it, and persistence
+round-trips it.  The ``backend`` field selects which execution engine
+interprets the spec (see :mod:`repro.experiments.backends`):
+
+- ``"sim"`` (the default) — the asynchronous discrete-event simulator;
+- ``"sync"`` — the round-native lockstep engine (``repro.sync``);
+- ``"lowerbound"`` — the Theorem 3.1/3.2 adversarial constructions.
+
+Identity rules (load-bearing — the golden traces and every on-disk
+cache/journal entry depend on them):
+
+- :meth:`ExperimentSpec.seed_for` omits ``backend`` from the identity
+  string when it is ``"sim"``, so every pre-backend seed is unchanged;
+- :func:`repro.execution.cache.spec_cache_key` likewise drops the
+  field for ``"sim"`` specs, so old cache entries and journals still
+  hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adversary import (
+    ByzantineAdversary,
+    ComposedAdversary,
+    CrashAdversary,
+    EquivocateStrategy,
+    NullAdversary,
+    PerPeerStrategy,
+    SelectiveSilenceStrategy,
+    SilentStrategy,
+    UniformRandomDelay,
+    WrongBitsStrategy,
+)
+from repro.adversary.dynamic import DynamicByzantineAdversary
+from repro.execution.cache import canonical_json
+from repro.protocols import get
+from repro.util.rng import derive_seed
+
+_FAULT_MODELS = ("none", "crash", "byzantine", "dynamic")
+_NETWORKS = ("synchronous", "asynchronous")
+_STRATEGIES = {
+    "wrong-bits": WrongBitsStrategy,
+    "equivocate": EquivocateStrategy,
+    "silent": SilentStrategy,
+    "selective-silence": SelectiveSilenceStrategy,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully-described experiment configuration.
+
+    ``network="synchronous"`` and ``backend="sync"`` are different
+    things: the former keeps the asynchronous event kernel but gives
+    every message unit latency (synchrony *emulated* inside the async
+    model), while the latter runs the round-native lockstep engine
+    whose time measure is an exact round count.  A ``backend="sync"``
+    spec therefore requires ``network="synchronous"`` — asking the
+    lockstep engine for an asynchronous network is a contradiction and
+    is rejected at construction time.
+    """
+
+    protocol: str
+    n: int
+    ell: int
+    fault_model: str = "none"
+    beta: float = 0.0
+    strategy: str = "wrong-bits"
+    network: str = "asynchronous"
+    protocol_params: dict = field(default_factory=dict)
+    repeats: int = 1
+    base_seed: int = 0
+    backend: str = "sim"
+
+    def __post_init__(self) -> None:
+        # Validation is delegated to the backend: each engine accepts a
+        # different protocol vocabulary and network/fault combination.
+        from repro.experiments.backends import get_backend
+        get_backend(self.backend).validate(self)
+
+    @property
+    def t(self) -> int:
+        """The fault budget this spec implies."""
+        return int(self.beta * self.n)
+
+    def build_adversary(self):
+        """Fresh async-simulator adversary object for one run of this
+        spec (``backend="sim"`` semantics; also used by the golden
+        traces and the kernel benchmark)."""
+        latency = (NullAdversary() if self.network == "synchronous"
+                   else UniformRandomDelay())
+        if self.fault_model == "none" or self.beta <= 0:
+            return latency
+        strategy = _STRATEGIES[self.strategy]
+        if self.fault_model == "crash":
+            faults = CrashAdversary(crash_fraction=self.beta)
+        elif self.fault_model == "byzantine":
+            faults = ByzantineAdversary(
+                fraction=self.beta,
+                strategy_factory=PerPeerStrategy(strategy))
+        else:
+            faults = DynamicByzantineAdversary(
+                fraction=self.beta,
+                strategy_factory=PerPeerStrategy(strategy))
+        return ComposedAdversary(faults=faults, latency=latency)
+
+    def peer_factory(self):
+        """Bound async-registry peer factory for this spec."""
+        return get(self.protocol).factory(**self.protocol_params)
+
+    def seed_for(self, repeat: int) -> int:
+        """Stable per-repeat seed derived from the spec identity.
+
+        ``repeats`` is deliberately omitted (adding repeats must extend
+        a sweep, not reseed it); ``protocol_params`` goes through the
+        cache's :func:`~repro.execution.cache.canonical_json` — the
+        same canonical form the cache key hashes — so seed identity and
+        cache identity cannot diverge, whatever the params' nesting or
+        insertion order.  ``backend`` joins the identity only when it
+        is not ``"sim"``: every seed computed before backends existed
+        stays byte-identical (the golden traces pin this).
+        """
+        identity = (f"{self.protocol}|{self.n}|{self.ell}|"
+                    f"{self.fault_model}|{self.beta}|{self.strategy}|"
+                    f"{self.network}|{canonical_json(self.protocol_params)}")
+        if self.backend != "sim":
+            identity = f"{self.backend}|{identity}"
+        return derive_seed(self.base_seed, f"{identity}#{repeat}")

@@ -76,6 +76,9 @@ EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "cycle": (("t", "peer", "cycle"), ()),
     "phase": (("t", "peer", "name"), ("cycle",)),
     "terminate": (("t", "peer"), ()),
+    # -- lockstep rounds (sync engine; ``t`` is the round number) ---------
+    "round_start": (("t", "round"), ()),
+    "round_end": (("t", "round"), ("delivered", "finished")),
     # -- scheduler --------------------------------------------------------
     "proc_start": (("t", "proc"), ()),
     "wake": (("t", "proc"), ()),

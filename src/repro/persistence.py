@@ -90,6 +90,7 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> dict:
         "failed_runs": outcome.failed_runs,
         "failures": [dataclasses.asdict(failure)
                      for failure in outcome.failures],
+        "mean_round_complexity": outcome.mean_round_complexity,
     }
 
 
@@ -111,6 +112,7 @@ def outcome_from_dict(payload: dict) -> ExperimentOutcome:
         failed_runs=payload.get("failed_runs", 0),
         failures=tuple(TaskFailure(**failure)
                        for failure in payload.get("failures", ())),
+        mean_round_complexity=payload.get("mean_round_complexity"),
     )
 
 

@@ -104,11 +104,13 @@ class MetricsCollector:
             Read ``report(honest).per_peer_query_bits`` — or, for a
             finished run, :func:`repro.obs.schema.unified_metrics` —
             instead of poking at the collector's internal dicts.
+            Scheduled for removal in the 2026.10 release.
         """
         warnings.warn(
             "MetricsCollector.queried_bits_of is deprecated; use "
             "report(...).per_peer_query_bits or "
-            "repro.obs.schema.unified_metrics(result)",
+            "repro.obs.schema.unified_metrics(result); scheduled for "
+            "removal in the 2026.10 release",
             DeprecationWarning, stacklevel=2)
         return self.query_bits.get(pid, 0)
 

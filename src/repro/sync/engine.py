@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.obs.schema import SCHEMA_VERSION
+from repro.obs.telemetry import get_backend as _get_telemetry
 from repro.sim.messages import Message
 from repro.util.bitarrays import BitArray, canonical_indices, mask_to_set
 from repro.util.rng import SplittableRNG
@@ -56,6 +58,10 @@ class SyncSource:
         self.data = data
         self.query_bits_by_peer: dict[int, int] = {}
         self._queried_masks: dict[int, int] = {}
+        #: Live telemetry backend (or None) + current round, both set by
+        #: the engine so query events carry round-native timestamps.
+        self.telemetry = None
+        self.telemetry_round = 0
 
     @property
     def queried_indices(self) -> dict[int, set[int]]:
@@ -68,6 +74,10 @@ class SyncSource:
         self.query_bits_by_peer[pid] = \
             self.query_bits_by_peer.get(pid, 0) + len(unique)
         self._queried_masks[pid] = self._queried_masks.get(pid, 0) | mask
+        if self.telemetry is not None:
+            self.telemetry.emit("query", {
+                "t": float(self.telemetry_round), "peer": pid,
+                "bits": len(unique)})
         return dict(zip(unique, self.data.get_many(unique)))
 
 
@@ -147,6 +157,14 @@ class SyncRunResult:
     total_query_bits: int
     message_complexity: int
     per_peer_query_bits: dict[int, int] = field(default_factory=dict)
+    #: Total payload+header bits sent by non-corrupted peers (the
+    #: message analogue of ``total_query_bits``).
+    message_bits: int = 0
+    #: Messages sent per honest peer (mirrors ``per_peer_query_bits``).
+    per_peer_messages: dict[int, int] = field(default_factory=dict)
+    #: Messages delivered across the run (the lockstep analogue of the
+    #: async kernel's processed-event count).
+    events_processed: int = 0
 
     @property
     def download_correct(self) -> bool:
@@ -196,6 +214,7 @@ class SyncEngine:
                 f"data has {len(data)} bits, config says {config.ell}")
         self.config = config
         self.data = data.copy()
+        self.seed = seed
         self.adversary = adversary or SyncAdversary()
         self.source = SyncSource(self.data.copy())
         root = SplittableRNG(seed)
@@ -212,6 +231,8 @@ class SyncEngine:
             peer._source = self.source
             self.peers[pid] = peer
         self.messages_sent = 0
+        self.message_bits = 0
+        self.per_peer_messages: dict[int, int] = {}
         self.crashed: set[int] = set()
 
     #: Consecutive rounds with no traffic and no termination before the
@@ -220,18 +241,42 @@ class SyncEngine:
     STALL_LIMIT = 3
 
     def run(self, max_rounds: int = MAX_ROUNDS) -> SyncRunResult:
+        # Resolve the process-global telemetry backend once per run,
+        # mirroring the async Simulation: a disabled backend costs one
+        # check here and nothing per round.
+        backend = _get_telemetry()
+        sink = backend if backend.enabled else None
+        self.source.telemetry = sink
+        if sink is not None:
+            header = {"schema": SCHEMA_VERSION, "n": self.config.n,
+                      "ell": self.config.ell, "t_budget": self.config.t,
+                      "seed": self.seed,
+                      "adversary": type(self.adversary).__name__,
+                      "planned_faulty": sorted(self.corrupted)}
+            if self.peers:
+                header["protocol"] = type(
+                    next(iter(self.peers.values()))).__name__
+            sink.emit("run_header", header)
         inboxes: dict[int, list[Message]] = {pid: []
                                              for pid in range(self.config.n)}
         rounds = 0
         quiet_rounds = 0
+        events_processed = 0
         for round_no in range(1, max_rounds + 1):
-            self.crashed |= self.adversary.crashed_before_round(
-                round_no, self.config.n)
+            newly_crashed = self.adversary.crashed_before_round(
+                round_no, self.config.n) - self.crashed
+            self.crashed |= newly_crashed
             live_honest = [pid for pid, peer in sorted(self.peers.items())
                            if not peer.done and pid not in self.crashed]
             if not live_honest:
                 break
             rounds = round_no
+            self.source.telemetry_round = round_no
+            if sink is not None:
+                sink.emit("round_start", {"t": float(round_no),
+                                          "round": round_no})
+                for pid in sorted(newly_crashed):
+                    sink.emit("crash", {"t": float(round_no), "peer": pid})
 
             # 1. Honest peers act (ascending ID; they cannot see each
             #    other's round-r messages, so the order is cosmetic).
@@ -243,6 +288,9 @@ class SyncEngine:
                 inboxes[pid] = []
                 if peer.done and peer.finished_round is None:
                     peer.finished_round = round_no
+                    if sink is not None:
+                        sink.emit("terminate", {"t": float(round_no),
+                                                "peer": pid})
                 outbox = self.adversary.filter_sends(pid, round_no,
                                                      peer._outbox)
                 honest_traffic[pid] = outbox or {}
@@ -258,19 +306,43 @@ class SyncEngine:
             delivered = 0
             for traffic in (honest_traffic, byzantine_traffic):
                 for sender, outbox in traffic.items():
+                    honest_sender = sender not in self.corrupted
                     for destination, messages in outbox.items():
                         next_inboxes[destination].extend(messages)
                         delivered += len(messages)
-                        if sender not in self.corrupted:
+                        if honest_sender:
                             self.messages_sent += len(messages)
+                            self.per_peer_messages[sender] = \
+                                self.per_peer_messages.get(sender, 0) + \
+                                len(messages)
+                            self.message_bits += sum(
+                                message.size_bits() for message in messages)
+                        if sink is not None:
+                            for message in messages:
+                                kind = type(message).__name__
+                                sink.emit("send", {
+                                    "t": float(round_no), "src": sender,
+                                    "dst": destination, "type": kind,
+                                    "bits": message.size_bits(),
+                                    "honest": honest_sender})
+                                sink.emit("deliver", {
+                                    "t": float(round_no), "src": sender,
+                                    "dst": destination, "type": kind})
             inboxes = next_inboxes
+            events_processed += delivered
 
             # Stall detection: a round with no traffic and no new
             # termination repeats forever for deterministic protocols
             # (the synchronous analogue of the async DeadlockError).
-            finished_now = any(self.peers[pid].finished_round == round_no
-                               for pid in live_honest)
-            if delivered == 0 and not finished_now:
+            finished_round = sum(
+                1 for pid in live_honest
+                if self.peers[pid].finished_round == round_no)
+            if sink is not None:
+                sink.emit("round_end", {"t": float(round_no),
+                                        "round": round_no,
+                                        "delivered": delivered,
+                                        "finished": finished_round})
+            if delivered == 0 and not finished_round:
                 quiet_rounds += 1
                 if quiet_rounds >= self.STALL_LIMIT:
                     break
@@ -280,7 +352,9 @@ class SyncEngine:
         honest = set(self.peers) - self.crashed
         per_peer = {pid: self.source.query_bits_by_peer.get(pid, 0)
                     for pid in honest}
-        return SyncRunResult(
+        per_messages = {pid: self.per_peer_messages.get(pid, 0)
+                        for pid in honest}
+        result = SyncRunResult(
             data=self.data,
             outputs={pid: peer.output for pid, peer in self.peers.items()},
             rounds=rounds,
@@ -290,7 +364,25 @@ class SyncEngine:
             total_query_bits=sum(per_peer.values()),
             message_complexity=self.messages_sent,
             per_peer_query_bits=per_peer,
+            message_bits=self.message_bits,
+            per_peer_messages=per_messages,
+            events_processed=events_processed,
         )
+        if sink is not None:
+            sink.emit("run_summary", {
+                "correct": bool(result.download_correct),
+                "query_complexity": result.query_complexity,
+                "total_query_bits": result.total_query_bits,
+                "message_complexity": result.message_complexity,
+                "message_bits": result.message_bits,
+                "time_complexity": float(result.rounds),
+                "events_processed": result.events_processed,
+                "honest": sorted(honest),
+                "faulty": sorted(result.faulty),
+                "per_peer_query_bits": dict(per_peer),
+                "per_peer_messages": dict(per_messages),
+            })
+        return result
 
 
 def run_sync_download(*, n: int, ell: int, t: int = 0, peer_factory,

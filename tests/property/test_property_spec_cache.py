@@ -12,12 +12,15 @@ contract properties:
 """
 
 import dataclasses
+import hashlib
 import tempfile
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.execution import ResultCache, spec_cache_key
+from repro.execution.cache import CODE_VERSION, canonical_json
 from repro.experiments import ExperimentOutcome, ExperimentSpec
+from repro.util.rng import derive_seed
 
 COMMON = dict(max_examples=60, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
@@ -110,6 +113,36 @@ class TestKeyDiscrimination:
     def test_salt_changes_key(self, spec):
         assert spec_cache_key(spec, salt="a") != spec_cache_key(spec,
                                                                 salt="b")
+
+
+class TestBackendIdentityPreservation:
+    """The backend layer must not move any ``backend="sim"`` identity.
+
+    Both properties compare the live code against inline reimplementa-
+    tions of the *pre-refactor* formulas (when the spec dataclass had
+    no ``backend`` field), so every seed, golden trace, cache entry,
+    and journal line recorded before the backend layer still resolves.
+    """
+
+    @settings(**COMMON)
+    @given(spec=specs(), repeat=st.integers(min_value=0, max_value=7))
+    def test_sim_seed_matches_pre_backend_formula(self, spec, repeat):
+        assert spec.backend == "sim"
+        identity = (f"{spec.protocol}|{spec.n}|{spec.ell}|"
+                    f"{spec.fault_model}|{spec.beta}|{spec.strategy}|"
+                    f"{spec.network}|"
+                    f"{canonical_json(spec.protocol_params)}")
+        legacy = derive_seed(spec.base_seed, f"{identity}#{repeat}")
+        assert spec.seed_for(repeat) == legacy
+
+    @settings(**COMMON)
+    @given(spec=specs())
+    def test_sim_cache_key_matches_pre_backend_formula(self, spec):
+        payload = dataclasses.asdict(spec)
+        del payload["backend"]  # the pre-refactor dataclass had none
+        digest = hashlib.sha256(
+            f"{CODE_VERSION}\n{canonical_json(payload)}".encode("utf-8"))
+        assert spec_cache_key(spec) == digest.hexdigest()
 
 
 class TestStoreLoadRoundTrip:

@@ -28,6 +28,35 @@ class TestQueryAccounting:
         with pytest.warns(DeprecationWarning, match="per_peer_query_bits"):
             assert metrics.queried_bits_of(0) == 7
 
+    def test_queried_bits_of_warning_pins_message_and_removal(self):
+        # The full text is pinned so a reworded warning (or a slipped
+        # removal date) fails loudly instead of silently drifting from
+        # the docs (docs/MODEL.md, docs/OBSERVABILITY.md).
+        metrics = MetricsCollector()
+        with pytest.warns(DeprecationWarning) as caught:
+            assert metrics.queried_bits_of(3) == 0
+        messages = {str(record.message) for record in caught}
+        assert messages == {
+            "MetricsCollector.queried_bits_of is deprecated; use "
+            "report(...).per_peer_query_bits or "
+            "repro.obs.schema.unified_metrics(result); scheduled for "
+            "removal in the 2026.10 release"}
+
+    def test_queried_bits_of_has_no_in_repo_callers(self):
+        # Removal-readiness: the deprecated accessor must have no
+        # callers left in the library (its definition site is the only
+        # permitted mention).
+        import pathlib
+
+        import repro
+        root = pathlib.Path(repro.__file__).resolve().parent
+        offenders = [
+            str(path.relative_to(root))
+            for path in sorted(root.rglob("*.py"))
+            if path.name != "metrics.py"
+            and "queried_bits_of" in path.read_text(encoding="utf-8")]
+        assert offenders == []
+
 
 class TestReport:
     def build(self):
