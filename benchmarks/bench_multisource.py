@@ -1,0 +1,87 @@
+"""E17 — the Q-vs-trust trade-off across faulty source sets.
+
+A single trusted source answers for Q = ell per peer (naive).  Once up
+to ``f`` of ``k`` sources may lie, cross-validation buys the trust
+back with queries: majority decode over ``q = 2f + 1`` endpoints costs
+``q * ell``, and the optimistic escalation variant pays ``(f + 1) *
+ell`` when the sources happen to behave.  This bench regenerates that
+trade-off curve over (k, f) and pins its shape.
+
+Every case runs through :func:`repro.execution.run_tasks`, so
+``REPRO_BENCH_WORKERS=4`` fans the cases over a process pool (payloads
+name the protocol; fault plans travel as grammar strings).
+"""
+
+from repro.execution import run_tasks
+
+from benchmarks.support import BENCH_POLICY, BENCH_WORKERS, Row, print_table
+
+N = 8
+ELL = 2000
+
+
+def _run_multisource_case(payload: dict) -> dict:
+    """One multi-source run, reduced to table cells.
+
+    Module-level (and protocols referenced by registry name) so the
+    payload pickles into the engine's worker processes.
+    """
+    from repro.protocols import get
+    from repro.sim import run_download
+
+    entry = get(payload["protocol"])
+    result = run_download(
+        n=payload["n"], ell=payload["ell"],
+        peer_factory=entry.factory(**payload["params"]),
+        seed=payload["seed"], sources=payload["sources"],
+        source_faults=tuple(payload["source_faults"]))
+    return {"Q": result.report.query_complexity,
+            "M": result.report.message_complexity,
+            "correct": result.download_correct}
+
+
+def _rows():
+    cases = [
+        ("trusted baseline (k=1)", "naive", {}, 1, ()),
+        ("majority k=3 f=1", "cross-validate", {"q": 3}, 3,
+         ("wrong-bits:1.0",)),
+        ("majority k=5 f=2", "cross-validate", {"q": 5}, 5,
+         ("wrong-bits:1.0", "stale:0.2")),
+        ("escalate k=3 f=1 (fault-free)", "cross-validate-escalate",
+         {"f": 1}, 3, ()),
+        ("escalate k=3 f=1 (faulty)", "cross-validate-escalate",
+         {"f": 1}, 3, ("wrong-bits:1.0",)),
+        ("escalate k=5 f=2 (fault-free)", "cross-validate-escalate",
+         {"f": 2}, 5, ()),
+    ]
+    payloads = [dict(n=N, ell=ELL, protocol=protocol, params=params,
+                     sources=sources, source_faults=faults, seed=171)
+                for _, protocol, params, sources, faults in cases]
+    measured = run_tasks(_run_multisource_case, payloads,
+                         workers=BENCH_WORKERS, policy=BENCH_POLICY,
+                         task_seeds=[payload["seed"]
+                                     for payload in payloads])
+    return [Row(label, values)
+            for (label, *_), values in zip(cases, measured)]
+
+
+def bench_multisource_q_vs_trust(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    print_table(f"E17 Q-vs-trust across source sets (n={N}, ell={ELL})",
+                ["Q", "M", "correct"], rows)
+    by_label = {row.label: row.values for row in rows}
+    for row in rows:
+        benchmark.extra_info[row.label] = row.values
+        assert row.values["correct"], row.label
+    # The trade-off, exactly as stated: trust costs nothing, tolerance
+    # of f faulty sources costs (2f + 1)x, optimism pays (f + 1)x
+    # until a fault actually shows up.
+    assert by_label["trusted baseline (k=1)"]["Q"] == ELL
+    assert by_label["majority k=3 f=1"]["Q"] == 3 * ELL
+    assert by_label["majority k=5 f=2"]["Q"] == 5 * ELL
+    assert by_label["escalate k=3 f=1 (fault-free)"]["Q"] == 2 * ELL
+    assert by_label["escalate k=3 f=1 (faulty)"]["Q"] == 3 * ELL
+    assert by_label["escalate k=5 f=2 (fault-free)"]["Q"] == 3 * ELL
+    # No peer-to-peer messages anywhere: the trust is bought entirely
+    # at the source interface.
+    assert all(values["M"] == 0 for values in by_label.values())

@@ -106,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--tau", type=int, default=None,
                             help="randomized protocols: frequency "
                                  "threshold")
+    _add_source_arguments(run_parser)
     run_parser.add_argument("--profile", action="store_true",
                             help="profile the run with cProfile and "
                                  "print the pstats top table to stderr "
@@ -176,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "constructions")
     sweep_parser.add_argument("--repeats", type=int, default=2)
     sweep_parser.add_argument("--seed", type=int, default=0)
+    _add_source_arguments(sweep_parser)
     sweep_parser.add_argument("--axis", default=None,
                               help="spec field to sweep (e.g. beta, n, "
                                    "ell); omit together with --values "
@@ -232,6 +234,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_source_arguments(parser) -> None:
+    """Multi-source knobs, shared by `run` and `sweep`."""
+    parser.add_argument("--sources", type=int, default=1,
+                        help="number of external source endpoints "
+                             "(default 1: the paper's trusted source)")
+    parser.add_argument("--source-faults", default=None,
+                        help="comma-separated per-endpoint fault specs, "
+                             "kind[:param][@onset] — honest, "
+                             "wrong-bits[:rate], stale[:rate], "
+                             "withhold, slow[:factor]; unlisted "
+                             "endpoints are honest")
+    parser.add_argument("--q", type=int, default=None,
+                        help="cross-validate: sources queried per "
+                             "digit (default: all of them)")
+    parser.add_argument("--decode", choices=["majority", "threshold"],
+                        default=None,
+                        help="cross-validate: vote decode rule")
+    parser.add_argument("--threshold", type=int, default=None,
+                        help="cross-validate: vote count for "
+                             "--decode threshold")
+    parser.add_argument("--source-f", type=int, default=None,
+                        help="cross-validate-escalate: source-fault "
+                             "budget f (queries f+1, escalates to "
+                             "2f+1)")
+
+
+def _source_faults_for(args) -> tuple:
+    if not getattr(args, "source_faults", None):
+        return ()
+    return tuple(part.strip() for part in args.source_faults.split(",")
+                 if part.strip())
+
+
+def _source_params_for(args) -> dict:
+    params = {}
+    if getattr(args, "q", None) is not None:
+        params["q"] = args.q
+    if getattr(args, "decode", None) is not None:
+        params["decode"] = args.decode
+    if getattr(args, "threshold", None) is not None:
+        params["threshold"] = args.threshold
+    if getattr(args, "source_f", None) is not None:
+        params["f"] = args.source_f
+    return params
+
+
 def _adversary_for(args):
     latency = NullAdversary() if args.synchronous else UniformRandomDelay()
     if args.fault_model == "none" or args.beta <= 0:
@@ -261,6 +309,7 @@ def _factory_for(args):
         params[key] = args.segments
     if args.tau is not None:
         params["tau"] = args.tau
+    params.update(_source_params_for(args))
     return entry.factory(**params)
 
 
@@ -286,7 +335,9 @@ def _command_run(args, out) -> int:
         with context:
             result = run_download(n=args.n, ell=args.ell,
                                   peer_factory=_factory_for(args),
-                                  adversary=adversary, t=t, seed=args.seed)
+                                  adversary=adversary, t=t, seed=args.seed,
+                                  sources=args.sources,
+                                  source_faults=_source_faults_for(args))
     if recording is not None:
         from repro.obs import export_run
         count = export_run(args.telemetry, recording, result)
@@ -346,7 +397,7 @@ def _parse_axis_values(axis: str, raw: str) -> list:
     parts = [part.strip() for part in raw.split(",") if part.strip()]
     if not parts:
         raise ValueError("--values must name at least one value")
-    if axis in ("n", "ell", "repeats", "base_seed"):
+    if axis in ("n", "ell", "repeats", "base_seed", "sources"):
         return [int(part) for part in parts]
     if axis == "beta":
         return [float(part) for part in parts]
@@ -372,7 +423,9 @@ def _command_sweep(args, out) -> int:
         protocol=args.protocol, n=args.n, ell=args.ell,
         fault_model=args.fault_model, beta=args.beta,
         strategy=strategy, network=network,
-        repeats=args.repeats, base_seed=args.seed, backend=args.backend)
+        protocol_params=_source_params_for(args),
+        repeats=args.repeats, base_seed=args.seed, backend=args.backend,
+        sources=args.sources, source_faults=_source_faults_for(args))
     values = (None if args.axis is None
               else _parse_axis_values(args.axis, args.values))
     cache = None if args.no_cache else ResultCache(args.cache_dir)

@@ -73,13 +73,18 @@ def spec_cache_key(spec: "ExperimentSpec", *,
     ``protocol_params`` insertion order never matters) and hashed with
     the salt.  Two specs collide only if every field is equal.
 
-    ``backend`` joins the payload only when it is not ``"sim"``: the
-    default backend is the pre-backend behaviour, so every cache entry
-    and journal line written before the field existed keeps hitting.
+    ``backend`` joins the payload only when it is not ``"sim"``, and
+    ``sources``/``source_faults`` only when non-default: the defaults
+    are the pre-field behaviour, so every cache entry and journal line
+    written before the fields existed keeps hitting.
     """
     payload = dataclasses.asdict(spec)
     if payload.get("backend") == "sim":
         del payload["backend"]
+    if payload.get("sources") == 1:
+        del payload["sources"]
+    if not payload.get("source_faults"):
+        payload.pop("source_faults", None)
     canonical = canonical_json(payload)
     digest = hashlib.sha256(f"{salt}\n{canonical}".encode("utf-8"))
     return digest.hexdigest()

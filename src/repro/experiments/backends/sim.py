@@ -41,6 +41,23 @@ class SimBackend:
                              f"{sorted(_STRATEGIES)}, got {spec.strategy!r}")
         if spec.fault_model != "none" and spec.beta <= 0:
             raise ValueError("faulty models need beta > 0")
+        self._validate_sources(spec)
+
+    def _validate_sources(self, spec: "ExperimentSpec") -> None:
+        """Multi-source sanity: fault grammar and q/f-vs-k feasibility
+        fail at spec construction, not mid-sweep."""
+        from repro.sim.sourceset import parse_faults
+        check_positive("sources", spec.sources)
+        parse_faults(spec.source_faults, spec.sources)  # grammar check
+        q = spec.protocol_params.get("q")
+        if q is not None and not 1 <= q <= spec.sources:
+            raise ValueError(f"q={q} must be in [1, sources="
+                             f"{spec.sources}]")
+        f = spec.protocol_params.get("f")
+        if (spec.protocol == "cross-validate-escalate" and f is not None
+                and 2 * f + 1 > spec.sources):
+            raise ValueError(f"escalation needs 2f + 1 <= sources, got "
+                             f"f={f}, sources={spec.sources}")
 
     def run_one(self, spec: "ExperimentSpec", repeat: int, seed: int,
                 telemetry: Optional["Telemetry"]) -> RepeatRecord:
@@ -55,7 +72,9 @@ class SimBackend:
                 n=spec.n, ell=spec.ell,
                 peer_factory=spec.peer_factory(),
                 adversary=spec.build_adversary(),
-                t=spec.t, seed=seed)
+                t=spec.t, seed=seed,
+                sources=spec.sources,
+                source_faults=spec.source_faults)
         return RepeatRecord(
             queries=result.report.query_complexity,
             messages=result.report.message_complexity,

@@ -37,6 +37,8 @@ _SYNC_PROTOCOLS: dict[str, tuple[str, tuple[str, ...]]] = {
     "crash-multi": ("SyncCrashPeer", ()),
     "byz-committee": ("SyncCommitteePeer", ("block_size",)),
     "byz-two-cycle": ("SyncTwoRoundPeer", ("num_segments", "tau")),
+    "cross-validate": ("SyncCrossValidatePeer",
+                       ("q", "decode", "threshold")),
 }
 
 _SYNC_FAULT_MODELS = ("none", "crash", "byzantine")
@@ -111,6 +113,13 @@ class SyncBackend:
         if spec.protocol == "byz-committee" and 2 * spec.t >= spec.n:
             raise ValueError(f"committee protocol needs 2t < n, got "
                              f"t={spec.t}, n={spec.n}")
+        from repro.sim.sourceset import parse_faults
+        check_positive("sources", spec.sources)
+        parse_faults(spec.source_faults, spec.sources)  # grammar check
+        q = spec.protocol_params.get("q")
+        if q is not None and not 1 <= q <= spec.sources:
+            raise ValueError(f"q={q} must be in [1, sources="
+                             f"{spec.sources}]")
 
     def run_one(self, spec: "ExperimentSpec", repeat: int, seed: int,
                 telemetry: Optional["Telemetry"]) -> RepeatRecord:
@@ -126,7 +135,8 @@ class SyncBackend:
         with telemetry_scope(telemetry):
             result = run_sync_download(
                 n=spec.n, ell=spec.ell, t=spec.t, peer_factory=factory,
-                adversary=_build_adversary(spec, seed), seed=seed)
+                adversary=_build_adversary(spec, seed), seed=seed,
+                sources=spec.sources, source_faults=spec.source_faults)
         return RepeatRecord(
             queries=result.query_complexity,
             messages=result.message_complexity,

@@ -76,8 +76,15 @@ class ExperimentSpec:
     repeats: int = 1
     base_seed: int = 0
     backend: str = "sim"
+    sources: int = 1
+    source_faults: tuple = ()
 
     def __post_init__(self) -> None:
+        # Persistence reconstructs specs from JSON, where tuples come
+        # back as lists; coerce so round-tripped specs compare equal.
+        if not isinstance(self.source_faults, tuple):
+            object.__setattr__(self, "source_faults",
+                               tuple(self.source_faults))
         # Validation is delegated to the backend: each engine accepts a
         # different protocol vocabulary and network/fault combination.
         from repro.experiments.backends import get_backend
@@ -122,7 +129,8 @@ class ExperimentSpec:
         same canonical form the cache key hashes — so seed identity and
         cache identity cannot diverge, whatever the params' nesting or
         insertion order.  ``backend`` joins the identity only when it
-        is not ``"sim"``: every seed computed before backends existed
+        is not ``"sim"``, and ``sources``/``source_faults`` only when
+        non-default: every seed computed before those fields existed
         stays byte-identical (the golden traces pin this).
         """
         identity = (f"{self.protocol}|{self.n}|{self.ell}|"
@@ -130,4 +138,9 @@ class ExperimentSpec:
                     f"{self.network}|{canonical_json(self.protocol_params)}")
         if self.backend != "sim":
             identity = f"{self.backend}|{identity}"
+        if self.sources != 1:
+            identity = f"{identity}|sources={self.sources}"
+        if self.source_faults:
+            identity = (f"{identity}|faults="
+                        f"{canonical_json(list(self.source_faults))}")
         return derive_seed(self.base_seed, f"{identity}#{repeat}")

@@ -12,6 +12,13 @@ A generated adversary is always *within the model*: finite delays,
 at most ``floor(beta_cap * n)`` faults, cycle-respecting scheduling.
 Anything a protocol fails under here is a genuine counterexample, and
 the seed reproduces it.
+
+The same discipline extends to the source side:
+:func:`random_source_faults` draws a per-endpoint fault plan (fault
+model x onset time x affected rate) for a ``k``-endpoint source set,
+bounded by a fault budget ``f_cap`` — so the multi-source property
+tests can fuzz the cross-validation protocols under thousands of
+distinct faulty-source environments, each reproducible from its seed.
 """
 
 from __future__ import annotations
@@ -50,6 +57,24 @@ class FuzzPlan:
     fault_count: int
 
 
+@dataclass(frozen=True)
+class SourceFaultPlan:
+    """One generated per-endpoint source-fault assignment.
+
+    ``specs`` holds grammar strings (``kind[:param][@onset]``), one per
+    endpoint, accepted verbatim by
+    :func:`repro.sim.sourceset.parse_faults`, the spec layer, and the
+    CLI; ``faulty`` lists the non-honest endpoint IDs.
+    """
+
+    specs: tuple[str, ...]
+    faulty: tuple[int, ...]
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faulty)
+
+
 def random_latency(rng: SplittableRNG, n: int):
     """Draw one latency adversary."""
     roll = rng.randrange(5)
@@ -76,6 +101,54 @@ def random_crash_plan(rng: SplittableRNG, n: int, budget: int):
         else:
             plan[victim] = CrashAfterSends(rng.randrange(3 * n))
     return plan
+
+
+#: Fault kinds :func:`random_source_faults` draws from, with the
+#: parameter range each takes (None = parameterless).
+_SOURCE_FAULT_KINDS = (
+    ("wrong-bits", (0.1, 1.0)),
+    ("stale", (0.01, 0.5)),
+    ("withhold", None),
+    ("slow", (2.0, 8.0)),
+)
+
+
+def random_source_faults(seed: int, *, k: int,
+                         f_cap: int) -> SourceFaultPlan:
+    """Generate one reproducible source-fault plan for ``k`` endpoints.
+
+    At most ``f_cap`` endpoints are faulty; each faulty endpoint draws
+    a fault model, a parameter in the model's plausible range, and —
+    half the time — an onset time, so plans cover faults that begin
+    mid-run.  Endpoints not drawn stay ``"honest"``.
+
+    Args:
+        seed: generator seed (same seed, same plan).
+        k: endpoint count.
+        f_cap: largest number of faulty endpoints the draw may use.
+
+    Returns:
+        A :class:`SourceFaultPlan` whose ``specs`` feed straight into
+        ``source_faults=``.
+    """
+    check_positive("k", k)
+    if not 0 <= f_cap < k:
+        raise ValueError(f"f_cap must be in [0, k), got f_cap={f_cap}, "
+                         f"k={k}")
+    rng = SplittableRNG(seed).split("source-fuzz")
+    count = rng.randint(0, f_cap)
+    faulty = sorted(rng.sample(range(k), count))
+    specs = ["honest"] * k
+    for sid in faulty:
+        kind, param_range = rng.choice(_SOURCE_FAULT_KINDS)
+        spec = kind
+        if param_range is not None:
+            low, high = param_range
+            spec = f"{kind}:{rng.uniform(low, high):.3f}"
+        if rng.randint(0, 1):
+            spec = f"{spec}@{rng.uniform(0.5, 10.0):.2f}"
+        specs[sid] = spec
+    return SourceFaultPlan(specs=tuple(specs), faulty=tuple(faulty))
 
 
 def random_adversary(seed: int, *, n: int, fault_model: str,

@@ -61,7 +61,8 @@ EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "sweep_summary": (("tasks_done", "tasks_failed", "tasks_retried",
                        "cache_hits"), ("wall_s", "journal_replayed")),
     # -- the query timeline ----------------------------------------------
-    "query": (("t", "peer", "bits"), ("cycle",)),
+    "query": (("t", "peer", "bits"), ("cycle", "source")),
+    "source_disagreement": (("t", "peer", "index"), ("votes",)),
     # -- peer-to-peer traffic --------------------------------------------
     "send": (("t", "src", "dst", "type", "bits"), ("honest",)),
     "deliver": (("t", "src", "dst", "type"), ()),

@@ -16,6 +16,7 @@ from repro.oracle.feeds import (
     EquivocatingFeed,
     Feed,
     HonestFeed,
+    feeds_source_factory,
     honest_range,
     in_honest_range,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "cell_bounds",
     "decode_values",
     "encode_values",
+    "feeds_source_factory",
     "honest_range",
     "in_honest_range",
     "make_setup",

@@ -20,6 +20,13 @@ Each feed can hand the DR simulation a source object
 *against* the feed; honest feeds yield the standard trusted
 :class:`~repro.sim.source.DataSource`, equivocating feeds yield a
 source that answers by reader identity.
+
+Feeds also plug into the multi-source layer
+(:mod:`repro.sim.sourceset`): :meth:`Feed.source_fault` renders one
+feed as a per-endpoint fault model, and :func:`feeds_source_factory`
+turns a whole feed set into a :class:`~repro.sim.sourceset.SourceSet`,
+so the cross-validation protocols (``cross-validate`` and friends) run
+directly against feeds with full per-(peer, source) query accounting.
 """
 
 from __future__ import annotations
@@ -60,6 +67,14 @@ class Feed:
         from this feed (None = default trusted DataSource over
         :meth:`encoded_for` of any reader)."""
         return None
+
+    def source_fault(self):
+        """This feed as a :class:`~repro.sim.sourceset.SourceFault`:
+        an endpoint answering from the feed's encoded vector.  Honest
+        feeds keep the honest flag (their bounded noise is legitimate
+        disagreement, not a fault)."""
+        from repro.sim.sourceset import ViewFault
+        return ViewFault(self.encoded_for(0), honest=self.honest)
 
 
 class HonestFeed(Feed):
@@ -131,6 +146,14 @@ class EquivocatingFeed(Feed):
                                        per_reader=per_reader_bits)
         return make
 
+    def source_fault(self):
+        from repro.sim.sourceset import PerReaderViewFault
+        per_reader_bits = {
+            pid: encode_values(values, self.value_bits)
+            for pid, values in self.per_reader.items()}
+        return PerReaderViewFault(
+            per_reader_bits, encode_values(self.default, self.value_bits))
+
 
 class _EquivocatingSource(DataSource):
     """DataSource that answers from a per-reader array when one exists.
@@ -162,6 +185,27 @@ class _EquivocatingSource(DataSource):
             values=dict(zip(unique, view.get_many(unique))))
         latency = self.adversary.query_latency(pid, self.network.kernel.now)
         self.network.deliver_direct(pid, response, latency)
+
+
+def feeds_source_factory(feeds: Sequence[Feed]):
+    """``source_factory=`` adapter: the whole feed set as a
+    :class:`~repro.sim.sourceset.SourceSet` of ``len(feeds)``
+    endpoints.
+
+    Endpoint ``i`` answers from ``feeds[i]``'s vectors (including
+    per-reader equivocation), so the multi-source cross-validation
+    protocols run against feeds unchanged — and the per-(peer, source)
+    query accounting shows exactly which feeds each reader consulted.
+    """
+    faults = [feed.source_fault() for feed in feeds]
+    if not faults:
+        raise ValueError("feeds_source_factory needs at least one feed")
+
+    def make(data, metrics, network, adversary):
+        from repro.sim.sourceset import SourceSet
+        return SourceSet(data, metrics, network, adversary,
+                         k=len(faults), faults=faults)
+    return make
 
 
 def honest_range(feeds: Sequence[Feed], cell: int) -> tuple[int, int]:

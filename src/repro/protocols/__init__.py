@@ -42,6 +42,15 @@ from repro.protocols.crash_multi import (
     planned_phases,
 )
 from repro.protocols.crash_one import CrashOneDownloadPeer
+from repro.protocols.decode import (
+    majority_decode,
+    majority_threshold,
+    threshold_decode,
+)
+from repro.protocols.multisource import (
+    CrossValidateDownloadPeer,
+    CrossValidateEscalateDownloadPeer,
+)
 from repro.protocols.naive import NaiveDownloadPeer
 from repro.protocols.one_round import OneRoundDownloadPeer, OneRoundShare
 from repro.protocols.retrieval import (
@@ -69,6 +78,8 @@ __all__ = [
     "CrashMultiDownloadPeer",
     "CrashMultiFastDownloadPeer",
     "CrashOneDownloadPeer",
+    "CrossValidateDownloadPeer",
+    "CrossValidateEscalateDownloadPeer",
     "CycleReport",
     "DownloadPeer",
     "NaiveDownloadPeer",
@@ -82,6 +93,9 @@ __all__ = [
     "all_protocols",
     "choose_base_segments",
     "count_ones",
+    "majority_decode",
+    "majority_threshold",
+    "threshold_decode",
     "index_of_first_one",
     "majority_bit",
     "make_retrieval_class",

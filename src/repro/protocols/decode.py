@@ -1,0 +1,114 @@
+"""Cross-validation decode rules, as pure functions.
+
+When a peer queries the same position on ``q`` endpoints of a
+:class:`~repro.sim.sourceset.SourceSet`, the answers form a vote
+multiset and a *decode rule* turns votes into a bit (or refuses).
+Keeping the rules pure — no peer state, no simulator types — makes
+them property-testable in isolation (``tests/property/
+test_property_decode.py`` checks them against naive references and
+for permutation invariance in source order).
+
+Two rules:
+
+- :func:`majority_decode` — a bit wins once **strictly more than half
+  of the q queried endpoints** voted for it.  The threshold is over
+  ``q``, not over the votes received so far, so a decode reached early
+  (before slow or withholding endpoints answer) can never be reversed
+  by late votes; with ``q >= 2f + 1`` and at most ``f`` faulty
+  endpoints, the ``f + 1`` honest majority always decodes the truth.
+- :func:`threshold_decode` — a bit wins iff it is the **only** value
+  reaching an explicit vote count (useful for unanimity checks:
+  ``threshold = q`` accepts only all-agree answers).
+
+Both return ``None`` while undecided, so protocol code can keep
+waiting for more votes or fall back deterministically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+__all__ = [
+    "majority_decode",
+    "majority_decode_reference",
+    "majority_threshold",
+    "threshold_decode",
+    "threshold_decode_reference",
+]
+
+
+def majority_threshold(q: int) -> int:
+    """Votes needed for a strict majority of ``q`` queried sources."""
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    return q // 2 + 1
+
+
+def majority_decode(votes: Iterable[int], q: int) -> Optional[int]:
+    """The bit holding a strict majority of ``q``, or None if neither.
+
+    ``votes`` are the 0/1 answers received so far from the ``q``
+    queried endpoints (missing answers simply aren't in the iterable).
+    """
+    need = majority_threshold(q)
+    ones = 0
+    total = 0
+    for vote in votes:
+        if vote not in (0, 1):
+            raise ValueError(f"votes must be bits, got {vote!r}")
+        ones += vote
+        total += 1
+    if total > q:
+        raise ValueError(f"{total} votes from only q={q} sources")
+    if ones >= need:
+        return 1
+    if total - ones >= need:
+        return 0
+    return None
+
+
+def threshold_decode(votes: Iterable[int],
+                     threshold: int) -> Optional[int]:
+    """The unique bit with at least ``threshold`` votes, or None.
+
+    None means *undecided*: either no value reached the threshold yet,
+    or (with a threshold at or below half the votes) both did — an
+    ambiguity the caller must treat as a disagreement, not an answer.
+    """
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    ones = 0
+    total = 0
+    for vote in votes:
+        if vote not in (0, 1):
+            raise ValueError(f"votes must be bits, got {vote!r}")
+        ones += vote
+        total += 1
+    hit = [bit for bit, count in ((1, ones), (0, total - ones))
+           if count >= threshold]
+    return hit[0] if len(hit) == 1 else None
+
+
+# -- naive references (the property tests' independent oracle) ------------
+
+
+def majority_decode_reference(votes: Iterable[int],
+                              q: int) -> Optional[int]:
+    """Counter-based restatement of :func:`majority_decode`."""
+    votes = list(votes)
+    if len(votes) > q:
+        raise ValueError(f"{len(votes)} votes from only q={q} sources")
+    counts = Counter(votes)
+    winners = [bit for bit in (0, 1)
+               if counts.get(bit, 0) > q / 2]
+    return winners[0] if winners else None
+
+
+def threshold_decode_reference(votes: Iterable[int],
+                               threshold: int) -> Optional[int]:
+    """Counter-based restatement of :func:`threshold_decode`."""
+    counts = Counter(votes)
+    winners = [bit for bit in (0, 1)
+               if counts.get(bit, 0) >= threshold]
+    return winners[0] if len(winners) == 1 else None

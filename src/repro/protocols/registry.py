@@ -20,6 +20,10 @@ from repro.protocols.crash_multi import (
     CrashMultiFastDownloadPeer,
 )
 from repro.protocols.crash_one import CrashOneDownloadPeer
+from repro.protocols.multisource import (
+    CrossValidateDownloadPeer,
+    CrossValidateEscalateDownloadPeer,
+)
 from repro.protocols.naive import NaiveDownloadPeer
 from repro.protocols.one_round import OneRoundDownloadPeer
 
@@ -103,6 +107,22 @@ _register(ProtocolEntry(
     fault_model="byzantine", randomized=True,
     max_crash_fraction=0.499, max_byzantine_fraction=0.499,
     description="Theorem 3.12: doubling-segment multi-cycle download"))
+# The multi-source protocols are per-peer independent (no peer-to-peer
+# messages), so like naive they tolerate any peer-fault fraction below
+# 1; their interesting adversary is the faulty *source* set.
+_register(ProtocolEntry(
+    name="cross-validate", peer_class=CrossValidateDownloadPeer,
+    fault_model="byzantine", randomized=False,
+    max_crash_fraction=0.999, max_byzantine_fraction=0.999,
+    description="query q of k sources per digit, majority/threshold "
+                "decode (tolerates f = (q-1)/2 faulty sources)"))
+_register(ProtocolEntry(
+    name="cross-validate-escalate",
+    peer_class=CrossValidateEscalateDownloadPeer,
+    fault_model="byzantine", randomized=False,
+    max_crash_fraction=0.999, max_byzantine_fraction=0.999,
+    description="query f+1 sources, escalate to 2f+1 with majority "
+                "decode on disagreement"))
 
 
 def get(name: str) -> ProtocolEntry:

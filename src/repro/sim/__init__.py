@@ -28,6 +28,18 @@ from repro.sim.runner import RunResult, Simulation, run_download
 from repro.sim.scheduler import Kernel
 from repro.sim.source import (DataSource, MutableDataSource,
                               mutable_source_factory)
+from repro.sim.sourceset import (
+    PerReaderViewFault,
+    SlowFault,
+    SourceFault,
+    SourceSet,
+    StaleFault,
+    ViewFault,
+    WithholdFault,
+    WrongBitsFault,
+    parse_fault,
+    parse_faults,
+)
 from repro.sim.trace import TraceRecord, TraceRecorder
 
 __all__ = [

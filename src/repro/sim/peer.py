@@ -199,6 +199,39 @@ class Peer(Process):
 
     # -- querying the source -------------------------------------------------------
 
+    @property
+    def source_count(self) -> int:
+        """Number of external source endpoints (1 unless the run uses
+        a :class:`~repro.sim.sourceset.SourceSet`)."""
+        return getattr(self.env.source, "k", 1)
+
+    def start_query(self, indices: Iterable[int], source: int = 0) -> int:
+        """Issue a query to endpoint ``source`` without waiting.
+
+        Returns the request id; pair with :meth:`response_ready` /
+        :meth:`take_response` to collect the answer later.  The
+        multi-source protocols use this to keep ``q`` queries in
+        flight per chunk instead of serializing round trips.
+        """
+        if not isinstance(indices, range):
+            indices = list(indices)
+        request_id = self._request_counter
+        self._request_counter += 1
+        if not indices:
+            self._source_responses[request_id] = {}
+            return request_id
+        self.env.source.request_bits_from(source, self.pid, request_id,
+                                          indices)
+        return request_id
+
+    def response_ready(self, request_id: int) -> bool:
+        """True once the answer to ``request_id`` has arrived."""
+        return request_id in self._source_responses
+
+    def take_response(self, request_id: int) -> dict[int, int]:
+        """Pop and return the answer to ``request_id`` (once ready)."""
+        return self._source_responses.pop(request_id)
+
     def query_bits(self, indices: Iterable[int]) -> Iterator[WaitUntil]:
         """Query the source for ``indices``; yields until answered.
 

@@ -33,6 +33,7 @@ from repro.sim.peer import Peer, SimEnv
 from repro.sim.process import Process
 from repro.sim.scheduler import DEFAULT_MAX_EVENTS, Kernel
 from repro.sim.source import DataSource
+from repro.sim.sourceset import SourceSet, parse_faults
 from repro.sim.trace import TraceRecorder
 from repro.util.bitarrays import BitArray
 from repro.util.rng import SplittableRNG
@@ -56,6 +57,10 @@ class RunResult:
     trace: Optional[TraceRecorder] = None
     #: Per-peer sets of queried bit positions (from the source's log).
     queried_indices: dict[int, set[int]] = field(default_factory=dict)
+    #: Per-(peer, source) queried positions; empty unless the run used
+    #: a :class:`~repro.sim.sourceset.SourceSet`.
+    queried_by_source: dict[tuple[int, int], set[int]] = \
+        field(default_factory=dict)
 
     @property
     def download_correct(self) -> bool:
@@ -98,6 +103,8 @@ class Simulation:
                  trace: bool = False,
                  allow_fault_overrun: bool = False,
                  source_factory=None,
+                 sources: int = 1,
+                 source_faults=(),
                  extras: Optional[dict] = None) -> None:
         check_positive("n", n)
         self.n = n
@@ -132,6 +139,18 @@ class Simulation:
         #: the oracle layer uses it to model equivocating feeds.
         #: Signature: (data, metrics, network, adversary) -> source.
         self.source_factory = source_factory
+        #: Multi-source configuration: ``sources`` endpoints, each with
+        #: an optional fault spec (see :mod:`repro.sim.sourceset`).
+        #: Faults are parsed here so a bad grammar fails at
+        #: construction, not mid-run.
+        check_positive("sources", sources)
+        self.sources = sources
+        self.source_faults = parse_faults(tuple(source_faults), sources) \
+            if (sources > 1 or source_faults) else []
+        if source_factory is not None and (sources > 1 or source_faults):
+            raise ConfigurationError(
+                "pass either source_factory= or sources=/source_faults=, "
+                "not both (a custom factory owns the whole source layer)")
         self.extras = dict(extras or {})
 
     def _resolve_data(self, data, ell) -> BitArray:
@@ -171,9 +190,16 @@ class Simulation:
         network.trace = trace
         kernel.telemetry = sink
         network.telemetry = sink
-        make_source = self.source_factory or DataSource
-        source = make_source(self.data.copy(), metrics, network,
-                             self.adversary)
+        if self.source_factory is not None:
+            source = self.source_factory(self.data.copy(), metrics,
+                                         network, self.adversary)
+        elif self.source_faults:
+            source = SourceSet(self.data.copy(), metrics, network,
+                               self.adversary, k=self.sources,
+                               faults=self.source_faults, rng=self.rng)
+        else:
+            source = DataSource(self.data.copy(), metrics, network,
+                                self.adversary)
         source.telemetry = sink
         env = SimEnv(kernel=kernel, network=network, source=source,
                      metrics=metrics, adversary=self.adversary,
@@ -242,6 +268,8 @@ class Simulation:
             # The accessor already materializes fresh sets per peer, so
             # the result can own them without another copy.
             queried_indices=dict(source.queried_indices),
+            queried_by_source=dict(getattr(source, "queried_by_source",
+                                           {})),
         )
         if sink is not None:
             sink.emit("run_summary", unified_metrics(result))
@@ -255,6 +283,8 @@ def run_download(*, n: int, peer_factory: PeerFactory,
                  packetize: bool = False,
                  fifo: bool = False,
                  trace: bool = False,
+                 sources: int = 1,
+                 source_faults=(),
                  extras: Optional[dict] = None,
                  max_events: int = DEFAULT_MAX_EVENTS) -> RunResult:
     """One-call convenience: build a :class:`Simulation` and run it."""
@@ -262,5 +292,6 @@ def run_download(*, n: int, peer_factory: PeerFactory,
         n=n, peer_factory=peer_factory, ell=ell, data=data, t=t,
         adversary=adversary, seed=seed,
         message_size_limit=message_size_limit, packetize=packetize,
-        fifo=fifo, trace=trace, extras=extras)
+        fifo=fifo, trace=trace, sources=sources,
+        source_faults=source_faults, extras=extras)
     return simulation.run(max_events=max_events)

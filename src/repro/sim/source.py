@@ -104,6 +104,21 @@ class DataSource:
         check_range("segment query", lo, hi, len(self.data))
         self.request_bits(pid, request_id, range(lo, hi))
 
+    #: A lone trusted source is a source set of one.  The attribute and
+    #: the delegating method below give protocols one uniform querying
+    #: surface (:class:`~repro.sim.sourceset.SourceSet` generalizes
+    #: both), so cross-validation code with ``q = 1`` runs unchanged
+    #: against the plain single source.
+    k = 1
+
+    def request_bits_from(self, source_id: int, pid: int, request_id: int,
+                          indices: Sequence[int]) -> None:
+        """Endpoint-addressed querying; a single source only has 0."""
+        if source_id != 0:
+            raise ValueError(f"single source has only endpoint 0, "
+                             f"got {source_id}")
+        self.request_bits(pid, request_id, indices)
+
     # -- test/bench conveniences (no accounting side effects) ----------------
 
     def peek(self, index: int) -> int:

@@ -26,6 +26,7 @@ from repro.sync.protocols import (
     SyncBalancedPeer,
     SyncCrashPeer,
     SyncCommitteePeer,
+    SyncCrossValidatePeer,
     SyncNaivePeer,
     SyncTwoRoundPeer,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "SyncCommitteePeer",
     "SyncConfig",
     "SyncCrashPeer",
+    "SyncCrossValidatePeer",
     "SyncEngine",
     "SyncNaivePeer",
     "SyncPeer",

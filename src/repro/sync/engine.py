@@ -52,16 +52,37 @@ class SyncConfig:
 
 
 class SyncSource:
-    """Round-synchronous source: queries are answered immediately."""
+    """Round-synchronous source: queries are answered immediately.
 
-    def __init__(self, data: BitArray) -> None:
+    With ``k > 1`` the source becomes a round-native analogue of the
+    async :class:`~repro.sim.sourceset.SourceSet`: ``k`` endpoints,
+    each answering from a per-source fault model's view
+    (:mod:`repro.sim.sourceset` fault classes are reused verbatim).
+    Round-model mapping of the fault grammar: ``@onset`` compares
+    against the round number; ``withhold`` answers nothing (an empty
+    response this round — synchrony means there is no "later");
+    ``slow`` degenerates to honest, since the model answers every query
+    within the round by definition.
+    """
+
+    def __init__(self, data: BitArray, *, k: int = 1, faults=(),
+                 rng: Optional[SplittableRNG] = None) -> None:
+        from repro.sim.sourceset import parse_faults
         self.data = data
+        check_positive("sources", k)
+        self.k = k
+        self.faults = parse_faults(faults, k)
         self.query_bits_by_peer: dict[int, int] = {}
         self._queried_masks: dict[int, int] = {}
+        self._per_source_masks: dict[tuple[int, int], int] = {}
         #: Live telemetry backend (or None) + current round, both set by
         #: the engine so query events carry round-native timestamps.
         self.telemetry = None
         self.telemetry_round = 0
+        view_rng = rng if rng is not None else SplittableRNG(0)
+        self._views = [
+            fault.build_view(self.data, view_rng.split(f"source-{sid}"))
+            for sid, fault in enumerate(self.faults)]
 
     @property
     def queried_indices(self) -> dict[int, set[int]]:
@@ -69,16 +90,49 @@ class SyncSource:
         return {pid: mask_to_set(mask)
                 for pid, mask in self._queried_masks.items()}
 
+    @property
+    def queried_by_source(self) -> dict[tuple[int, int], set[int]]:
+        """Positions queried per ``(peer, source)`` pair."""
+        return {key: mask_to_set(mask)
+                for key, mask in self._per_source_masks.items()}
+
     def query(self, pid: int, indices: Sequence[int]) -> dict[int, int]:
+        return self.query_from(0, pid, indices)
+
+    def query_from(self, source_id: int, pid: int,
+                   indices: Sequence[int]) -> dict[int, int]:
+        """Query endpoint ``source_id``; charged like any query.
+
+        A withholding endpoint returns ``{}`` (charged anyway — the
+        bits were requested); other faults answer from their view once
+        the round has reached their onset.
+        """
+        if not 0 <= source_id < self.k:
+            raise ValueError(f"source {source_id} out of range "
+                             f"[0, {self.k})")
         unique, mask = canonical_indices(indices, len(self.data))
         self.query_bits_by_peer[pid] = \
             self.query_bits_by_peer.get(pid, 0) + len(unique)
         self._queried_masks[pid] = self._queried_masks.get(pid, 0) | mask
+        key = (pid, source_id)
+        self._per_source_masks[key] = \
+            self._per_source_masks.get(key, 0) | mask
         if self.telemetry is not None:
-            self.telemetry.emit("query", {
-                "t": float(self.telemetry_round), "peer": pid,
-                "bits": len(unique)})
-        return dict(zip(unique, self.data.get_many(unique)))
+            event = {"t": float(self.telemetry_round), "peer": pid,
+                     "bits": len(unique)}
+            if self.k > 1:
+                event["source"] = source_id
+            self.telemetry.emit("query", event)
+        fault = self.faults[source_id]
+        if self.telemetry_round < fault.onset:
+            view = self.data
+        elif fault.withholding:
+            return {}
+        else:
+            view = fault.view_for(pid)
+            if view is None:
+                view = self._views[source_id]
+        return dict(zip(unique, view.get_many(unique)))
 
 
 class SyncPeer:
@@ -208,7 +262,8 @@ class SyncEngine:
 
     def __init__(self, *, config: SyncConfig, data: BitArray,
                  peer_factory, adversary: Optional[SyncAdversary] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, sources: int = 1,
+                 source_faults=()) -> None:
         if len(data) != config.ell:
             raise ValueError(
                 f"data has {len(data)} bits, config says {config.ell}")
@@ -216,8 +271,12 @@ class SyncEngine:
         self.data = data.copy()
         self.seed = seed
         self.adversary = adversary or SyncAdversary()
-        self.source = SyncSource(self.data.copy())
         root = SplittableRNG(seed)
+        # Faulty views come from stateless splits labelled by endpoint,
+        # so a k=1 honest run draws nothing extra and stays identical
+        # to the single-source engine (the golden traces pin this).
+        self.source = SyncSource(self.data.copy(), k=sources,
+                                 faults=source_faults, rng=root)
         self.corrupted = set(self.adversary.corrupted(config.n))
         if len(self.corrupted) > config.t:
             raise ValueError(
@@ -388,11 +447,13 @@ class SyncEngine:
 def run_sync_download(*, n: int, ell: int, t: int = 0, peer_factory,
                       data: Optional[BitArray] = None,
                       adversary: Optional[SyncAdversary] = None,
-                      seed: int = 0) -> SyncRunResult:
+                      seed: int = 0, sources: int = 1,
+                      source_faults=()) -> SyncRunResult:
     """One-call convenience mirroring :func:`repro.sim.run_download`."""
     config = SyncConfig(n=n, t=t, ell=ell)
     if data is None:
         data = BitArray.random(ell, SplittableRNG(seed).split("input"))
     engine = SyncEngine(config=config, data=data, peer_factory=peer_factory,
-                        adversary=adversary, seed=seed)
+                        adversary=adversary, seed=seed, sources=sources,
+                        source_faults=source_faults)
     return engine.run()

@@ -11,6 +11,9 @@ the round complexity the synchronous papers report:
 - :class:`SyncTwoRoundPeer` — 2 rounds, Protocol 4's synchronous
   original: sample-and-broadcast, then decision trees, with the
   separating-index queries answered inside round 2.
+- :class:`SyncCrossValidatePeer` — 1 round, the round-native form of
+  the multi-source cross-validation protocol (query ``q`` of the
+  engine's ``k`` endpoints, vote-decode every position).
 """
 
 from __future__ import annotations
@@ -24,6 +27,11 @@ from repro.core.segments import Segmentation
 from repro.protocols.balanced import ShareMessage
 from repro.protocols.byz_committee import CommitteeReport
 from repro.protocols.byz_two_cycle import SegmentReport
+from repro.protocols.decode import (
+    majority_decode,
+    majority_threshold,
+    threshold_decode,
+)
 from repro.sync.engine import SyncConfig, SyncPeer
 from repro.util.bitarrays import BitArray
 from repro.util.rng import SplittableRNG
@@ -191,6 +199,72 @@ class SyncTwoRoundPeer(SyncPeer):
                 lambda index, base=lo: self.query([base + index])[base + index])
             self.builder.put_string(lo, string)
         self.finish(self.builder.to_array())
+
+
+class SyncCrossValidatePeer(SyncPeer):
+    """Round 1: query ``q`` of the ``k`` endpoints for everything,
+    decode every position by vote, output, stop.
+
+    The round-native form of
+    :class:`~repro.protocols.multisource.CrossValidateDownloadPeer`:
+    the synchronous source answers within the round, so the whole
+    cross-validation collapses into a single round at ``q`` times the
+    query bits.  Positions the decode rule cannot settle (the source
+    faults defeated it) fall back to the lowest-numbered answering
+    endpoint's bit, so the run terminates — incorrectly, which the
+    engine's correctness check reports.
+    """
+
+    def __init__(self, pid: int, config: SyncConfig, rng: SplittableRNG,
+                 q: Optional[int] = None, decode: str = "majority",
+                 threshold: Optional[int] = None) -> None:
+        super().__init__(pid, config, rng)
+        if decode not in ("majority", "threshold"):
+            raise ValueError(f"decode must be 'majority' or "
+                             f"'threshold', got {decode!r}")
+        self.decode = decode
+        # q and threshold resolve against the source's k, which the
+        # engine attaches after construction; validated in round 1.
+        self._q = q
+        self._threshold = threshold
+
+    def round(self, round_no: int, inbox) -> None:
+        source = self._source
+        k = getattr(source, "k", 1)
+        q = self._q if self._q is not None else k
+        if not 1 <= q <= k:
+            raise ValueError(f"q={q} must be in [1, k={k}]")
+        threshold = (self._threshold if self._threshold is not None
+                     else majority_threshold(q))
+        if not 1 <= threshold <= q:
+            raise ValueError(f"threshold={threshold} must be in "
+                             f"[1, q={q}]")
+        votes: dict[int, list[int]] = {index: []
+                                       for index in range(self.ell)}
+        fallback: dict[int, tuple[int, int]] = {}
+        for j in range(q):
+            sid = (self.pid + j) % k
+            for index, bit in source.query_from(sid, self.pid,
+                                                range(self.ell)).items():
+                votes[index].append(bit)
+                best = fallback.get(index)
+                if best is None or sid < best[0]:
+                    fallback[index] = (sid, bit)
+        builder = _ArrayBuilder(self.ell)
+        for index in range(self.ell):
+            if self.decode == "majority":
+                bit = majority_decode(votes[index], q)
+            else:
+                bit = threshold_decode(votes[index], threshold)
+            if bit is None:
+                if source.telemetry is not None:
+                    source.telemetry.emit("source_disagreement", {
+                        "t": float(round_no), "peer": self.pid,
+                        "index": index, "votes": list(votes[index])})
+                best = fallback.get(index)
+                bit = best[1] if best is not None else 0
+            builder.put(index, bit)
+        self.finish(builder.to_array())
 
 
 class SyncCrashPeer(SyncPeer):

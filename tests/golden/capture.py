@@ -81,6 +81,17 @@ CASES: list[dict] = [
      "protocol": "crash-multi", "n": 10, "ell": 512,
      "fault_model": "crash", "beta": 0.5, "seed": 5,
      "network": "synchronous"},
+    # -- multi-source cross-validation (k=3, one lying endpoint) --------
+    {"name": "cross-validate-k3", "engine": "async",
+     "protocol": "cross-validate", "n": 6, "ell": 256,
+     "fault_model": "none", "beta": 0.0, "seed": 43,
+     "protocol_params": {"q": 3}, "sources": 3,
+     "source_faults": ["wrong-bits"]},
+    {"name": "cross-validate-escalate-k3", "engine": "async",
+     "protocol": "cross-validate-escalate", "n": 6, "ell": 256,
+     "fault_model": "none", "beta": 0.0, "seed": 47,
+     "protocol_params": {"f": 1}, "sources": 3,
+     "source_faults": ["stale:0.25"]},
     # -- lockstep synchronous engine -----------------------------------
     {"name": "sync-naive", "engine": "sync", "peer": "naive",
      "n": 6, "ell": 128, "t": 0, "seed": 29},
@@ -90,6 +101,10 @@ CASES: list[dict] = [
      "n": 9, "ell": 128, "t": 2, "seed": 37},
     {"name": "sync-two-round", "engine": "sync", "peer": "two-round",
      "n": 9, "ell": 240, "t": 2, "seed": 41},
+    {"name": "sync-cross-validate-k3", "engine": "sync",
+     "peer": "cross-validate", "n": 6, "ell": 256, "t": 0, "seed": 53,
+     "peer_params": {"q": 3}, "sources": 3,
+     "source_faults": ["wrong-bits"]},
 ]
 
 
@@ -109,7 +124,7 @@ def _queried_digest(queried: dict) -> str:
     return _sha("|".join(parts))
 
 
-def _capture_async(case: dict) -> dict:
+def _capture_async(case: dict, *, force_sourceset: bool = False) -> dict:
     from repro.experiments import ExperimentSpec
     from repro.sim import run_download
 
@@ -119,11 +134,20 @@ def _capture_async(case: dict) -> dict:
         strategy=case.get("strategy", "wrong-bits"),
         network=case.get("network", "asynchronous"),
         protocol_params=case.get("protocol_params", {}),
-        base_seed=case["seed"])
+        base_seed=case["seed"],
+        sources=case.get("sources", 1),
+        source_faults=tuple(case.get("source_faults", ())))
+    source_faults = spec.source_faults
+    if force_sourceset and spec.sources == 1 and not source_faults:
+        # Route the run through a k=1 honest SourceSet instead of the
+        # plain DataSource; the record must stay bit-identical (same
+        # seed, same accounting, same trace — the tentpole contract).
+        source_faults = ("honest",)
     result = run_download(
         n=spec.n, ell=spec.ell, peer_factory=spec.peer_factory(),
         adversary=spec.build_adversary(), t=spec.t,
-        seed=spec.seed_for(0))
+        seed=spec.seed_for(0), sources=spec.sources,
+        source_faults=source_faults)
     outputs = {str(pid): _array_digest(result.outputs[pid])
                for pid in sorted(result.honest)
                if result.outputs[pid] is not None}
@@ -155,17 +179,27 @@ _SYNC_PEERS = {
     "two-round": lambda: __import__(
         "repro.sync.protocols",
         fromlist=["SyncTwoRoundPeer"]).SyncTwoRoundPeer,
+    "cross-validate": lambda: __import__(
+        "repro.sync.protocols",
+        fromlist=["SyncCrossValidatePeer"]).SyncCrossValidatePeer,
 }
 
 
-def _capture_sync(case: dict) -> dict:
+def _capture_sync(case: dict, *, force_sourceset: bool = False) -> dict:
     from repro.sync.engine import run_sync_download
 
     peer_class = _SYNC_PEERS[case["peer"]]()
+    peer_params = case.get("peer_params", {})
+    source_faults = tuple(case.get("source_faults", ()))
+    if force_sourceset and case.get("sources", 1) == 1 \
+            and not source_faults:
+        source_faults = ("honest",)
     result = run_sync_download(
         n=case["n"], ell=case["ell"], t=case["t"],
-        peer_factory=lambda pid, config, rng: peer_class(pid, config, rng),
-        seed=case["seed"])
+        peer_factory=lambda pid, config, rng: peer_class(
+            pid, config, rng, **peer_params),
+        seed=case["seed"], sources=case.get("sources", 1),
+        source_faults=source_faults)
     outputs = {str(pid): _array_digest(result.outputs[pid])
                for pid in sorted(result.honest)
                if result.outputs[pid] is not None}
@@ -184,12 +218,18 @@ def _capture_sync(case: dict) -> dict:
     }
 
 
-def capture_case(case: dict) -> dict:
-    """Run one case and reduce it to its canonical golden record."""
+def capture_case(case: dict, *, force_sourceset: bool = False) -> dict:
+    """Run one case and reduce it to its canonical golden record.
+
+    ``force_sourceset=True`` reroutes single-source cases through a
+    ``k=1`` honest :class:`~repro.sim.sourceset.SourceSet`; the record
+    must come out bit-identical (the multi-source layer's identity
+    contract, pinned by the golden-trace battery).
+    """
     if case["engine"] == "async":
-        return _capture_async(case)
+        return _capture_async(case, force_sourceset=force_sourceset)
     if case["engine"] == "sync":
-        return _capture_sync(case)
+        return _capture_sync(case, force_sourceset=force_sourceset)
     raise ValueError(f"unknown engine {case['engine']!r}")
 
 

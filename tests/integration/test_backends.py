@@ -15,7 +15,11 @@ engines; these tests pin the contract seams between them:
 - sync-backend telemetry is valid schema v1 including the round
   markers; journal lines and tables carry rounds only when present;
 - the registry rejects unknown names helpfully and accepts
-  downstream-registered backends everywhere ``run_experiment`` goes.
+  downstream-registered backends everywhere ``run_experiment`` goes;
+- multi-source specs produce the same Q and success rate on both
+  engines, with schema-v1-valid telemetry (``source`` on query events,
+  ``source_disagreement`` on decode splits) — and single-source runs
+  keep the exact pre-multi-source event shape.
 """
 
 import dataclasses
@@ -229,6 +233,74 @@ class TestSyncTelemetry:
         kinds = [entry["event"] for entry in telemetry.events]
         assert kinds[0] == "run_header"
         assert kinds[-1] == "run_summary"
+
+
+class TestMultiSourceConformance:
+    """The multi-source layer across backends: same spec, same measures
+    on both engines, and schema-v1-valid telemetry including the
+    ``source`` query field and ``source_disagreement`` events."""
+
+    def multi_spec(self, backend=None, **overrides):
+        base = dict(protocol="cross-validate", n=6, ell=60,
+                    network="synchronous", repeats=2, base_seed=21,
+                    protocol_params={"q": 3}, sources=3)
+        base.update(overrides)
+        if backend is not None:
+            base["backend"] = backend
+        return ExperimentSpec(**base)
+
+    def test_sim_and_sync_agree_on_q_and_success(self):
+        emulated = run_experiment(self.multi_spec())
+        lockstep = run_experiment(self.multi_spec(backend="sync"))
+        assert emulated.mean_query_complexity == \
+            lockstep.mean_query_complexity == 3 * 60
+        assert emulated.success_rate == lockstep.success_rate == 1.0
+
+    def test_agreement_survives_a_faulty_source(self):
+        faults = ("wrong-bits:1.0",)
+        emulated = run_experiment(self.multi_spec(source_faults=faults))
+        lockstep = run_experiment(self.multi_spec(backend="sync",
+                                                  source_faults=faults))
+        assert emulated.success_rate == lockstep.success_rate == 1.0
+        assert emulated.mean_query_complexity == \
+            lockstep.mean_query_complexity
+
+    @pytest.mark.parametrize("backend", ["sim", "sync"])
+    def test_multi_source_telemetry_validates_schema_v1(self, backend):
+        spec = self.multi_spec(backend=backend if backend == "sync"
+                               else None,
+                               source_faults=("wrong-bits:1.0",))
+        telemetry = RecordingTelemetry()
+        get_backend(backend).run_one(spec, 0, spec.seed_for(0), telemetry)
+        queries = [entry for entry in telemetry.events
+                   if entry["event"] == "query"]
+        assert queries and all("source" in entry for entry in queries)
+        assert {entry["source"] for entry in queries} == {0, 1, 2}
+        for entry in telemetry.events:
+            validate_event(entry)
+
+    def test_disagreement_events_validate_schema_v1(self):
+        # q=2 with a certain liar: every position disagrees on both
+        # backends, and the emitted events are valid schema v1.
+        spec = self.multi_spec(protocol_params={"q": 2}, sources=2,
+                               source_faults=("honest", "wrong-bits:1.0"))
+        telemetry = RecordingTelemetry()
+        get_backend("sim").run_one(spec, 0, spec.seed_for(0), telemetry)
+        disagreements = [entry for entry in telemetry.events
+                         if entry["event"] == "source_disagreement"]
+        assert len(disagreements) == spec.n * spec.ell
+        for entry in disagreements:
+            validate_event(entry)
+
+    def test_single_source_events_stay_schema_stable(self):
+        # k=1 runs must not grow a ``source`` field — old exports and
+        # their consumers keep parsing unchanged.
+        spec = self.multi_spec(protocol_params={"q": 1}, sources=1)
+        telemetry = RecordingTelemetry()
+        get_backend("sim").run_one(spec, 0, spec.seed_for(0), telemetry)
+        queries = [entry for entry in telemetry.events
+                   if entry["event"] == "query"]
+        assert queries and all("source" not in entry for entry in queries)
 
 
 class TestRoundsPlumbing:

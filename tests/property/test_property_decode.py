@@ -1,0 +1,107 @@
+"""Vote-decode rules as pure functions, under Hypothesis.
+
+The cross-validation protocols stand on two tiny functions
+(:mod:`repro.protocols.decode`); this suite pins their algebra:
+agreement with a naive Counter-based reference on arbitrary vote
+multisets, invariance under source-order permutation, the exact
+majority threshold, and the honest-majority guarantee the protocols'
+correctness argument uses (with at most ``f`` lying votes out of
+``q >= 2f + 1``, the majority decode is the truth or nothing —
+never the lie).
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.protocols.decode import (
+    majority_decode,
+    majority_decode_reference,
+    majority_threshold,
+    threshold_decode,
+    threshold_decode_reference,
+)
+
+bits = st.integers(min_value=0, max_value=1)
+vote_lists = st.lists(bits, min_size=0, max_size=9)
+qs = st.integers(min_value=1, max_value=9)
+
+
+class TestMajorityDecode:
+    @given(vote_lists, qs)
+    def test_agrees_with_reference(self, votes, q):
+        if len(votes) > q:
+            votes = votes[:q]
+        assert majority_decode(votes, q) == \
+            majority_decode_reference(votes, q)
+
+    @given(vote_lists, qs, st.randoms(use_true_random=False))
+    def test_permutation_invariant(self, votes, q, rnd):
+        if len(votes) > q:
+            votes = votes[:q]
+        shuffled = list(votes)
+        rnd.shuffle(shuffled)
+        assert majority_decode(votes, q) == majority_decode(shuffled, q)
+
+    @given(qs)
+    def test_threshold_is_strict_majority_of_q(self, q):
+        need = majority_threshold(q)
+        assert need * 2 > q >= need
+        # need - 1 identical votes never decode; need always do.
+        assert majority_decode([1] * (need - 1), q) is None
+        assert majority_decode([1] * need, q) == 1
+        assert majority_decode([0] * need, q) == 0
+
+    @given(st.integers(min_value=0, max_value=3), vote_lists)
+    def test_honest_majority_never_decodes_the_lie(self, f, lies):
+        """With q = 2f + 1 and at most f lying votes, the decode is the
+        truth (once enough honest votes are in) or None — never wrong."""
+        q = 2 * f + 1
+        truth = 1
+        lying = [1 - truth] * min(f, len(lies))
+        for honest_count in range(q - len(lying) + 1):
+            votes = lying + [truth] * honest_count
+            decoded = majority_decode(votes, q)
+            assert decoded in (None, truth)
+            if honest_count >= majority_threshold(q):
+                assert decoded == truth
+
+    def test_rejects_more_votes_than_q(self):
+        import pytest
+        with pytest.raises(ValueError):
+            majority_decode([1, 1, 0], 2)
+
+    def test_rejects_non_bits(self):
+        import pytest
+        with pytest.raises(ValueError):
+            majority_decode([2], 3)
+
+
+class TestThresholdDecode:
+    @given(vote_lists, st.integers(min_value=1, max_value=9))
+    def test_agrees_with_reference(self, votes, threshold):
+        assert threshold_decode(votes, threshold) == \
+            threshold_decode_reference(votes, threshold)
+
+    @given(vote_lists, st.integers(min_value=1, max_value=9),
+           st.randoms(use_true_random=False))
+    def test_permutation_invariant(self, votes, threshold, rnd):
+        shuffled = list(votes)
+        rnd.shuffle(shuffled)
+        assert threshold_decode(votes, threshold) == \
+            threshold_decode(shuffled, threshold)
+
+    @given(vote_lists)
+    def test_unanimity_threshold_means_all_agree(self, votes):
+        decoded = threshold_decode(votes, max(1, len(votes)))
+        if votes and len(set(votes)) == 1:
+            assert decoded == votes[0]
+        else:
+            assert decoded is None
+
+    @given(vote_lists, qs)
+    def test_majority_is_threshold_at_the_majority_mark(self, votes, q):
+        """majority_decode(votes, q) is threshold_decode at q//2+1 —
+        the two rules are one family."""
+        if len(votes) > q:
+            votes = votes[:q]
+        assert majority_decode(votes, q) == \
+            threshold_decode(votes, majority_threshold(q))

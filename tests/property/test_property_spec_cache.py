@@ -140,9 +140,23 @@ class TestBackendIdentityPreservation:
     def test_sim_cache_key_matches_pre_backend_formula(self, spec):
         payload = dataclasses.asdict(spec)
         del payload["backend"]  # the pre-refactor dataclass had none
+        # ... nor the multi-source fields; their defaults are stripped
+        # the same way, so single-source keys never moved.
+        del payload["sources"]
+        del payload["source_faults"]
         digest = hashlib.sha256(
             f"{CODE_VERSION}\n{canonical_json(payload)}".encode("utf-8"))
         assert spec_cache_key(spec) == digest.hexdigest()
+
+    @settings(**COMMON)
+    @given(spec=specs())
+    def test_multi_source_fields_do_discriminate(self, spec):
+        """Defaults are stripped for identity, but non-default source
+        configurations must key (and seed) differently."""
+        multi = dataclasses.replace(spec, sources=3,
+                                    source_faults=("wrong-bits",))
+        assert spec_cache_key(multi) != spec_cache_key(spec)
+        assert multi.seed_for(0) != spec.seed_for(0)
 
 
 class TestStoreLoadRoundTrip:

@@ -1,0 +1,186 @@
+"""Tests for the cross-validation protocols (multi-source downloads)."""
+
+import pytest
+
+from repro.obs.telemetry import RecordingTelemetry, using
+from repro.protocols import (
+    CrossValidateDownloadPeer,
+    CrossValidateEscalateDownloadPeer,
+)
+from repro.sim import run_download
+
+from tests.conftest import assert_download_correct
+
+
+class TestCrossValidate:
+    def test_correct_without_source_faults(self):
+        result = run_download(
+            n=4, ell=128,
+            peer_factory=CrossValidateDownloadPeer.factory(q=3),
+            seed=1, sources=3)
+        assert_download_correct(result)
+
+    def test_query_complexity_is_q_times_ell(self):
+        result = run_download(
+            n=4, ell=100,
+            peer_factory=CrossValidateDownloadPeer.factory(q=3),
+            seed=1, sources=5)
+        assert result.report.query_complexity == 3 * 100
+
+    def test_q_defaults_to_all_sources(self):
+        result = run_download(
+            n=2, ell=64,
+            peer_factory=CrossValidateDownloadPeer.factory(),
+            seed=1, sources=4)
+        assert result.report.query_complexity == 4 * 64
+
+    def test_q1_on_single_source_matches_naive_cost(self):
+        result = run_download(
+            n=4, ell=128,
+            peer_factory=CrossValidateDownloadPeer.factory(q=1),
+            seed=1)
+        assert_download_correct(result)
+        assert result.report.query_complexity == 128
+
+    def test_majority_defeats_one_lying_source_of_three(self):
+        result = run_download(
+            n=4, ell=128,
+            peer_factory=CrossValidateDownloadPeer.factory(q=3),
+            seed=2, sources=3, source_faults=("wrong-bits:1.0",))
+        assert_download_correct(result)
+
+    def test_majority_defeats_f_faulty_of_2f_plus_1(self):
+        result = run_download(
+            n=4, ell=96,
+            peer_factory=CrossValidateDownloadPeer.factory(q=5),
+            seed=3, sources=5,
+            source_faults=("wrong-bits", "stale:0.2"))
+        assert_download_correct(result)
+
+    def test_withholding_source_cannot_stall_honest_majority(self):
+        result = run_download(
+            n=4, ell=64,
+            peer_factory=CrossValidateDownloadPeer.factory(q=3),
+            seed=4, sources=3, source_faults=("withhold",))
+        assert_download_correct(result)
+
+    def test_threshold_decode_rule(self):
+        result = run_download(
+            n=4, ell=64,
+            peer_factory=CrossValidateDownloadPeer.factory(
+                q=3, decode="threshold", threshold=2),
+            seed=5, sources=3, source_faults=("wrong-bits:1.0",))
+        assert_download_correct(result)
+
+    def test_source_rotation_spreads_load(self):
+        result = run_download(
+            n=3, ell=32,
+            peer_factory=CrossValidateDownloadPeer.factory(q=2),
+            seed=6, sources=3)
+        by_source = result.queried_by_source
+        # Peer p queries endpoints (p + j) mod 3 for j < 2 (one chunk).
+        assert set(by_source) == {(0, 0), (0, 1), (1, 1), (1, 2),
+                                  (2, 2), (2, 0)}
+
+    def test_defeated_decoder_emits_disagreement_and_terminates(self):
+        # q = 2 with one certain liar: every position splits 1-1, the
+        # decode is None everywhere, and the peer falls back to the
+        # lowest-numbered endpoint's bit after noting the disagreement.
+        recording = RecordingTelemetry()
+        with using(recording):
+            result = run_download(
+                n=2, ell=32,
+                peer_factory=CrossValidateDownloadPeer.factory(q=2),
+                seed=7, sources=2, source_faults=("honest",
+                                                  "wrong-bits:1.0"))
+        disagreements = [entry for entry in recording.events
+                         if entry.get("event") == "source_disagreement"]
+        # Both peers disagree on every position.
+        assert len(disagreements) == 2 * 32
+        assert all(sorted(entry["votes"]) == [0, 1]
+                   for entry in disagreements)
+        # Endpoint 0 is honest and lowest-numbered, so the fallback
+        # happens to recover the truth here.
+        assert result.download_correct
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            run_download(n=2, ell=16,
+                         peer_factory=CrossValidateDownloadPeer.factory(
+                             q=4),
+                         seed=1, sources=3)
+        with pytest.raises(ValueError):
+            run_download(n=2, ell=16,
+                         peer_factory=CrossValidateDownloadPeer.factory(
+                             decode="plurality"),
+                         seed=1, sources=3)
+        with pytest.raises(ValueError):
+            run_download(n=2, ell=16,
+                         peer_factory=CrossValidateDownloadPeer.factory(
+                             q=3, threshold=4),
+                         seed=1, sources=3)
+
+    def test_sends_no_peer_messages(self):
+        result = run_download(
+            n=4, ell=64,
+            peer_factory=CrossValidateDownloadPeer.factory(q=3),
+            seed=8, sources=3, source_faults=("wrong-bits",))
+        assert result.report.message_complexity == 0
+
+
+class TestCrossValidateEscalate:
+    def test_fault_free_cost_is_f_plus_1_ell(self):
+        result = run_download(
+            n=4, ell=128,
+            peer_factory=CrossValidateEscalateDownloadPeer.factory(f=1),
+            seed=1, sources=3)
+        assert_download_correct(result)
+        assert result.report.query_complexity == 2 * 128
+
+    def test_escalates_to_2f_plus_1_under_fault(self):
+        result = run_download(
+            n=4, ell=128,
+            peer_factory=CrossValidateEscalateDownloadPeer.factory(f=1),
+            seed=2, sources=3, source_faults=("wrong-bits:1.0",))
+        assert_download_correct(result)
+        assert result.report.query_complexity == 3 * 128
+
+    def test_disagreement_telemetry_precedes_escalation(self):
+        recording = RecordingTelemetry()
+        with using(recording):
+            run_download(
+                n=2, ell=32,
+                peer_factory=CrossValidateEscalateDownloadPeer.factory(
+                    f=1),
+                seed=3, sources=3, source_faults=("wrong-bits:1.0",))
+        kinds = [entry.get("event") for entry in recording.events]
+        assert "source_disagreement" in kinds
+
+    def test_f_zero_is_the_single_source_baseline(self):
+        result = run_download(
+            n=4, ell=100,
+            peer_factory=CrossValidateEscalateDownloadPeer.factory(),
+            seed=4)
+        assert_download_correct(result)
+        assert result.report.query_complexity == 100
+
+    def test_stale_source_tolerated(self):
+        result = run_download(
+            n=4, ell=96,
+            peer_factory=CrossValidateEscalateDownloadPeer.factory(f=1),
+            seed=5, sources=3, source_faults=("stale:0.25",))
+        assert_download_correct(result)
+
+    def test_needs_2f_plus_1_sources(self):
+        with pytest.raises(ValueError):
+            run_download(
+                n=2, ell=16,
+                peer_factory=CrossValidateEscalateDownloadPeer.factory(
+                    f=2),
+                seed=1, sources=3)
+        with pytest.raises(ValueError):
+            run_download(
+                n=2, ell=16,
+                peer_factory=CrossValidateEscalateDownloadPeer.factory(
+                    f=-1),
+                seed=1, sources=3)

@@ -12,7 +12,8 @@ class TestLookup:
         assert names == {
             "naive", "balanced", "crash-one", "crash-multi",
             "crash-multi-fast", "one-round", "byz-committee",
-            "byz-two-cycle", "byz-multi-cycle"}
+            "byz-two-cycle", "byz-multi-cycle", "cross-validate",
+            "cross-validate-escalate"}
 
     def test_get_returns_entry(self):
         entry = get("crash-multi")
@@ -28,9 +29,12 @@ class TestLookup:
 
 
 class TestSupports:
-    def test_byzantine_majority_only_naive(self):
+    def test_byzantine_majority_only_peer_independent(self):
+        # Beyond beta = 1/2 only the protocols with no peer-to-peer
+        # dependence survive: naive and the multi-source validators.
         entries = protocols_for(fault_model="byzantine", beta=0.6)
-        assert [entry.name for entry in entries] == ["naive"]
+        assert [entry.name for entry in entries] == [
+            "cross-validate", "cross-validate-escalate", "naive"]
 
     def test_byzantine_minority_includes_committee_and_randomized(self):
         names = {entry.name
@@ -57,7 +61,8 @@ class TestSupports:
     def test_exclude_naive(self):
         entries = protocols_for(fault_model="byzantine", beta=0.6,
                                 include_naive=False)
-        assert entries == []
+        assert [entry.name for entry in entries] == [
+            "cross-validate", "cross-validate-escalate"]
 
     def test_unknown_fault_model_rejected(self):
         entry = get("naive")
