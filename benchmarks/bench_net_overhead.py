@@ -1,0 +1,129 @@
+"""E16 — net-backend overhead over the simulator (gated).
+
+The net backend runs the same protocols over real Unix-domain sockets
+behind a chaos proxy, so wall-clock ``T`` is *expected* to be slower
+than the in-process simulator — what must NOT drift is everything
+else.  This bench measures and gates three things:
+
+- *conformance stays free*: for every spec the net run's query
+  complexity equals the simulator's bit for bit (fault-free proxy);
+- *chaos costs retries, not bits*: a seeded chaos arm still decodes
+  correctly with the identical ``Q`` / ``total_query_bits``, paying
+  only in retried frames and wall-clock;
+- *the transport is bounded*: each net run finishes within a generous
+  absolute ceiling, so a transport regression (leaked children, lost
+  wakeups, unbounded backoff) fails CI instead of merely slowing it.
+
+The sim/net wall-clock ratio is recorded via ``benchmark.extra_info``
+for CI logs but deliberately NOT gated — real sockets on shared CI
+runners are too noisy for a tight relative gate, and docs/MODEL.md
+documents that ``T`` is incomparable across these backends by design.
+"""
+
+import dataclasses
+import statistics
+import time
+
+from repro.execution import RetryPolicy
+from repro.experiments import ExperimentSpec
+from repro.experiments.runner import execute_repeat
+from repro.net import run_net_download
+
+from benchmarks.support import Row, print_table
+
+#: Net-valid specs (asynchronous network, no peer fault model) sized so
+#: transport cost is visible but the battery stays CI-friendly.
+SPECS = [
+    ExperimentSpec(protocol="naive", n=2, ell=192),
+    ExperimentSpec(protocol="balanced", n=3, ell=128),
+    ExperimentSpec(protocol="cross-validate", n=3, ell=128,
+                   protocol_params={"q": 3}, sources=3,
+                   source_faults=("wrong-bits:1.0",)),
+]
+
+#: Timing rounds per spec per variant (medians are reported).
+ROUNDS = 3
+
+#: Absolute ceiling per net run: these arrays download in well under a
+#: second on any machine; a run near the ceiling means the transport
+#: is retrying or hanging its way to the deadline.
+MAX_NET_SECONDS = 20.0
+
+#: Seeded chaos arm for the retries-not-bits gate.
+CHAOS = ("drop:0.15", "delay:0.01", "dup:0.1")
+
+#: Fast retry policy for the chaos arm (same shape as the test battery).
+FAST_RETRY = RetryPolicy(max_attempts=5, base_delay=0.02, backoff=2.0,
+                         max_delay=0.2, jitter=0.5)
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _battery():
+    records = []
+    for spec in SPECS:
+        net_spec = dataclasses.replace(spec, backend="net")
+        sim_times, net_times = [], []
+        sim = net = None
+        for _ in range(ROUNDS):
+            sim, seconds = _timed(execute_repeat, spec, 0)
+            sim_times.append(seconds)
+            net, seconds = _timed(execute_repeat, net_spec, 0)
+            net_times.append(seconds)
+        records.append({
+            "spec": spec, "sim": sim, "net": net,
+            "sim_median": statistics.median(sim_times),
+            "net_median": statistics.median(net_times),
+        })
+    chaos_clean = run_net_download(
+        n=3, ell=128, protocol="balanced", seed=13,
+        retry=FAST_RETRY, request_timeout=0.5, run_timeout=30.0)
+    chaos_noisy, chaos_seconds = _timed(
+        run_net_download,
+        n=3, ell=128, protocol="balanced", seed=13, proxy_faults=CHAOS,
+        retry=FAST_RETRY, request_timeout=0.5, run_timeout=30.0)
+    return records, chaos_clean, chaos_noisy, chaos_seconds
+
+
+def bench_net_overhead(benchmark):
+    records, clean, noisy, chaos_seconds = benchmark.pedantic(
+        _battery, rounds=1, iterations=1)
+    rows = []
+    for record in records:
+        ratio = record["net_median"] / record["sim_median"]
+        rows.append(Row(record["spec"].protocol, {
+            "sim s": record["sim_median"],
+            "net s": record["net_median"],
+            "net/sim": ratio,
+            "Q": float(record["net"].queries),
+        }))
+        benchmark.extra_info[
+            f"{record['spec'].protocol}_net_over_sim"] = ratio
+    rows.append(Row("balanced + chaos proxy", {
+        "net s": chaos_seconds,
+        "Q": float(noisy.query_complexity),
+        "retries": float(noisy.retries),
+    }))
+    print_table(
+        f"E16 net-backend overhead (median of {ROUNDS}, fault-free "
+        f"proxy) + one chaos arm",
+        ["sim s", "net s", "net/sim", "Q", "retries"], rows)
+    benchmark.extra_info["chaos_retries"] = noisy.retries
+    benchmark.extra_info["chaos_seconds"] = chaos_seconds
+    # Gated: conformance is exact on every spec...
+    for record in records:
+        assert record["net"].correct and record["sim"].correct
+        assert record["net"].queries == record["sim"].queries, (
+            f"{record['spec'].protocol}: net Q {record['net'].queries} "
+            f"!= sim Q {record['sim'].queries}")
+        # ...and the transport stays inside its absolute ceiling.
+        assert record["net_median"] <= MAX_NET_SECONDS
+    # Chaos pays in retries and wall-clock, never in bits.
+    assert noisy.download_correct
+    assert noisy.query_complexity == clean.query_complexity
+    assert noisy.total_query_bits == clean.total_query_bits
+    assert chaos_seconds <= MAX_NET_SECONDS

@@ -162,7 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
                                    "to run (lowerbound backend; default "
                                    "deterministic)")
     sweep_parser.add_argument("--backend",
-                              choices=["sim", "sync", "lowerbound"],
+                              choices=["sim", "sync", "lowerbound",
+                                       "net"],
                               default="sim",
                               help="execution engine: 'sim' is the "
                                    "asynchronous discrete-event "
@@ -174,7 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
                                    "unit latencies inside the async "
                                    "kernel); 'lowerbound' runs the "
                                    "Theorem 3.1/3.2 adversarial "
-                                   "constructions")
+                                   "constructions; 'net' runs real "
+                                   "peers over Unix sockets behind the "
+                                   "chaos proxy (see --proxy-faults; "
+                                   "time is wall clock)")
     sweep_parser.add_argument("--repeats", type=int, default=2)
     sweep_parser.add_argument("--seed", type=int, default=0)
     _add_source_arguments(sweep_parser)
@@ -224,6 +228,15 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(task outcomes, cache hits, and — "
                                    "with --workers 1 — every in-process "
                                    "run's events) to this JSONL file")
+    sweep_parser.add_argument("--proxy-faults", default=None,
+                              help="backend=net only: comma-separated "
+                                   "chaos-proxy fault specs, "
+                                   "kind[:param] — drop[:rate], "
+                                   "dup[:rate], delay[:seconds], "
+                                   "reorder[:rate], disconnect[:rate]. "
+                                   "Seeded per run; shakes the wire "
+                                   "without changing the experiment's "
+                                   "seeds")
     sweep_parser.add_argument("--progress", action="store_true",
                               help="paint a live progress line to stderr "
                                    "(done/failed/retried, cache hits, "
@@ -264,6 +277,13 @@ def _source_faults_for(args) -> tuple:
     if not getattr(args, "source_faults", None):
         return ()
     return tuple(part.strip() for part in args.source_faults.split(",")
+                 if part.strip())
+
+
+def _proxy_faults_for(args) -> tuple:
+    if not getattr(args, "proxy_faults", None):
+        return ()
+    return tuple(part.strip() for part in args.proxy_faults.split(",")
                  if part.strip())
 
 
@@ -425,7 +445,8 @@ def _command_sweep(args, out) -> int:
         strategy=strategy, network=network,
         protocol_params=_source_params_for(args),
         repeats=args.repeats, base_seed=args.seed, backend=args.backend,
-        sources=args.sources, source_faults=_source_faults_for(args))
+        sources=args.sources, source_faults=_source_faults_for(args),
+        proxy_faults=_proxy_faults_for(args))
     values = (None if args.axis is None
               else _parse_axis_values(args.axis, args.values))
     cache = None if args.no_cache else ResultCache(args.cache_dir)

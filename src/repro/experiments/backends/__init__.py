@@ -16,9 +16,9 @@ against one execution substrate.  The contract is two methods:
 Because every backend speaks this one protocol, the parallel runner,
 retry/chaos layer, result cache, sweep journal, telemetry counters,
 progress line, persistence, and reporting all work identically for
-``backend="sim"``, ``"sync"``, and ``"lowerbound"`` specs — and for
-anything registered by downstream code (see docs/EXTENDING.md,
-"Adding an execution backend").
+``backend="sim"``, ``"sync"``, ``"lowerbound"``, and ``"net"``
+specs — and for anything registered by downstream code (see
+docs/EXTENDING.md, "Adding an execution backend").
 
 Registered built-ins:
 
@@ -28,6 +28,8 @@ Registered built-ins:
            round counts are the time measure
 ``lowerbound`` the Theorem 3.1/3.2 adversarial constructions
            (:mod:`repro.lowerbounds`), spec-driven and seedable
+``net``    real peers over sockets behind a seeded chaos proxy
+           (:mod:`repro.net`); time is wall clock, by design
 ========== ==========================================================
 """
 
@@ -110,9 +112,11 @@ def telemetry_scope(telemetry: Optional["Telemetry"]):
 # Built-ins register at import time so that ExperimentSpec validation
 # (which resolves spec.backend) always finds them.
 from repro.experiments.backends.lowerbound import LowerBoundBackend
+from repro.experiments.backends.net import NetBackend
 from repro.experiments.backends.sim import SimBackend
 from repro.experiments.backends.sync import SyncBackend
 
 register_backend("sim", SimBackend())
 register_backend("sync", SyncBackend())
 register_backend("lowerbound", LowerBoundBackend())
+register_backend("net", NetBackend())

@@ -69,6 +69,10 @@ class LowerBoundBackend:
                 f"fault_model must be 'none' or 'byzantine' for "
                 f"backend='lowerbound' (the construction corrupts its "
                 f"own majority), got {spec.fault_model!r}")
+        if spec.proxy_faults:
+            raise ValueError(
+                "proxy_faults apply only to backend='net' — the "
+                "lower-bound constructions have no transport to shake")
         construction, _ = _split_params(spec)
         claimed_t = construction.get("claimed_t")
         if claimed_t is not None:

@@ -49,6 +49,11 @@ class SimBackend:
         from repro.sim.sourceset import parse_faults
         check_positive("sources", spec.sources)
         parse_faults(spec.source_faults, spec.sources)  # grammar check
+        if spec.proxy_faults:
+            raise ValueError(
+                "proxy_faults apply only to backend='net' — the chaos "
+                "proxy sits on its sockets; the simulator's transport "
+                "adversary is the network/fault model")
         q = spec.protocol_params.get("q")
         if q is not None and not 1 <= q <= spec.sources:
             raise ValueError(f"q={q} must be in [1, sources="

@@ -39,6 +39,8 @@ _SYNC_PROTOCOLS: dict[str, tuple[str, tuple[str, ...]]] = {
     "byz-two-cycle": ("SyncTwoRoundPeer", ("num_segments", "tau")),
     "cross-validate": ("SyncCrossValidatePeer",
                        ("q", "decode", "threshold")),
+    "cross-validate-escalate": ("SyncCrossValidateEscalatePeer",
+                                ("f",)),
 }
 
 _SYNC_FAULT_MODELS = ("none", "crash", "byzantine")
@@ -116,10 +118,20 @@ class SyncBackend:
         from repro.sim.sourceset import parse_faults
         check_positive("sources", spec.sources)
         parse_faults(spec.source_faults, spec.sources)  # grammar check
+        if spec.proxy_faults:
+            raise ValueError(
+                "proxy_faults apply only to backend='net' — the chaos "
+                "proxy sits on its sockets; the lockstep engine has no "
+                "transport to shake")
         q = spec.protocol_params.get("q")
         if q is not None and not 1 <= q <= spec.sources:
             raise ValueError(f"q={q} must be in [1, sources="
                              f"{spec.sources}]")
+        f = spec.protocol_params.get("f")
+        if (spec.protocol == "cross-validate-escalate" and f is not None
+                and 2 * f + 1 > spec.sources):
+            raise ValueError(f"escalation needs 2f + 1 <= sources, got "
+                             f"f={f}, sources={spec.sources}")
 
     def run_one(self, spec: "ExperimentSpec", repeat: int, seed: int,
                 telemetry: Optional["Telemetry"]) -> RepeatRecord:

@@ -8,16 +8,24 @@ interprets the spec (see :mod:`repro.experiments.backends`):
 
 - ``"sim"`` (the default) — the asynchronous discrete-event simulator;
 - ``"sync"`` — the round-native lockstep engine (``repro.sync``);
-- ``"lowerbound"`` — the Theorem 3.1/3.2 adversarial constructions.
+- ``"lowerbound"`` — the Theorem 3.1/3.2 adversarial constructions;
+- ``"net"`` — real peer processes/tasks over sockets (``repro.net``).
 
 Identity rules (load-bearing — the golden traces and every on-disk
 cache/journal entry depend on them):
 
 - :meth:`ExperimentSpec.seed_for` omits ``backend`` from the identity
-  string when it is ``"sim"``, so every pre-backend seed is unchanged;
+  string when it is ``"sim"`` — so every pre-backend seed is unchanged
+  — and also when it is ``"net"``: the net backend *replays* sim specs
+  over real sockets, and sharing the per-repeat seeds is exactly what
+  makes its query complexity comparable bit-for-bit;
+- ``proxy_faults`` never joins :meth:`ExperimentSpec.seed_for` at all
+  (transport chaos must not change the experiment's inputs), but it
+  does join :func:`repro.execution.cache.spec_cache_key` when
+  non-empty, because outcomes (time, retries, failures) differ;
 - :func:`repro.execution.cache.spec_cache_key` likewise drops the
-  field for ``"sim"`` specs, so old cache entries and journals still
-  hit.
+  ``backend`` field for ``"sim"`` specs, so old cache entries and
+  journals still hit.
 """
 
 from __future__ import annotations
@@ -78,6 +86,7 @@ class ExperimentSpec:
     backend: str = "sim"
     sources: int = 1
     source_faults: tuple = ()
+    proxy_faults: tuple = ()
 
     def __post_init__(self) -> None:
         # Persistence reconstructs specs from JSON, where tuples come
@@ -85,6 +94,9 @@ class ExperimentSpec:
         if not isinstance(self.source_faults, tuple):
             object.__setattr__(self, "source_faults",
                                tuple(self.source_faults))
+        if not isinstance(self.proxy_faults, tuple):
+            object.__setattr__(self, "proxy_faults",
+                               tuple(self.proxy_faults))
         # Validation is delegated to the backend: each engine accepts a
         # different protocol vocabulary and network/fault combination.
         from repro.experiments.backends import get_backend
@@ -129,14 +141,18 @@ class ExperimentSpec:
         same canonical form the cache key hashes — so seed identity and
         cache identity cannot diverge, whatever the params' nesting or
         insertion order.  ``backend`` joins the identity only when it
-        is not ``"sim"``, and ``sources``/``source_faults`` only when
-        non-default: every seed computed before those fields existed
-        stays byte-identical (the golden traces pin this).
+        is neither ``"sim"`` nor ``"net"`` (``net`` replays the
+        simulator's per-repeat seeds so its Q is comparable bit-for-
+        bit), and ``sources``/``source_faults`` only when non-default:
+        every seed computed before those fields existed stays
+        byte-identical (the golden traces pin this).  ``proxy_faults``
+        never joins at all — transport chaos is noise on the wire, not
+        part of the experiment's inputs.
         """
         identity = (f"{self.protocol}|{self.n}|{self.ell}|"
                     f"{self.fault_model}|{self.beta}|{self.strategy}|"
                     f"{self.network}|{canonical_json(self.protocol_params)}")
-        if self.backend != "sim":
+        if self.backend not in ("sim", "net"):
             identity = f"{self.backend}|{identity}"
         if self.sources != 1:
             identity = f"{identity}|sources={self.sources}"

@@ -1,0 +1,62 @@
+"""Real-transport execution: peers over sockets behind a chaos proxy.
+
+The simulator (:mod:`repro.sim`) models communication; this package
+*performs* it.  Each peer is an asyncio task (or a spawned OS process,
+see :mod:`repro.net.worker`) speaking length-prefixed JSON frames
+(:mod:`repro.net.wire`) over Unix sockets; the external source is a
+small socket server (:mod:`repro.net.server`); and every byte of
+peer↔source and peer↔peer traffic routes through a deterministic
+chaos proxy (:mod:`repro.net.proxy` + :mod:`repro.net.chaos`) that
+injects latency, drops, duplicates, reordering, and mid-stream
+disconnects — all seeded, so runs are reproducible.
+
+Robustness invariants (the point of the exercise):
+
+- every request carries an idempotent request ID, so retries never
+  double-charge query complexity;
+- every exchange has a per-request timeout and retries on the PR-2
+  :class:`~repro.execution.RetryPolicy` (deterministic-jitter backoff);
+- a peer that crashes or exhausts its retries fails the *run* with
+  :class:`~repro.net.driver.NetRunError` — the engine's retry layer
+  then degrades it into an explicit ``failed_runs`` record, never a
+  hung sweep;
+- children are always reaped (SIGTERM, then SIGKILL) and sockets
+  removed, even when the run dies mid-flight.
+
+Entry point: :func:`run_net_download`, wrapped by the ``"net"``
+execution backend (:mod:`repro.experiments.backends.net`).
+"""
+
+from repro.net.chaos import ChaosPlan, parse_proxy_fault, parse_proxy_faults
+from repro.net.client import NetClient, NetRequestError
+from repro.net.driver import NetRunError, NetRunResult, run_net_download
+from repro.net.server import PeerInbox, SourceServer
+from repro.net.wire import (
+    MAX_FRAME,
+    WireError,
+    decode_body,
+    encode_frame,
+    frame_digest,
+    read_frame,
+    read_raw_frame,
+)
+
+__all__ = [
+    "ChaosPlan",
+    "MAX_FRAME",
+    "NetClient",
+    "NetRequestError",
+    "NetRunError",
+    "NetRunResult",
+    "PeerInbox",
+    "SourceServer",
+    "WireError",
+    "decode_body",
+    "encode_frame",
+    "frame_digest",
+    "parse_proxy_fault",
+    "parse_proxy_faults",
+    "read_frame",
+    "read_raw_frame",
+    "run_net_download",
+]

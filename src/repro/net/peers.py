@@ -1,0 +1,311 @@
+"""Peer logic for the net backend, one coroutine per peer.
+
+Each class mirrors its simulator counterpart's *query structure*
+exactly — same chunking (:data:`CHUNK`), same round-robin index
+assignment, same source rotation, same decode and escalation rules —
+because that structure is what the net↔sim conformance tests gate:
+a fault-free proxy replay of a sim spec must charge the identical
+query complexity and decode the identical array.  What differs is the
+substrate: queries are frames over sockets with timeouts and retries,
+and "wait for responses" is ``asyncio.gather`` instead of a virtual
+clock.
+
+The four protocols whose query sets are pure functions of
+``(pid, n, ell, source views)`` run here:
+
+- ``naive`` — every peer downloads everything from endpoint 0;
+- ``balanced`` — round-robin slices shared peer-to-peer (the protocol
+  that exercises the peer↔peer transport);
+- ``cross-validate`` — ``q`` rotated endpoints per chunk, majority or
+  threshold decode, lowest-endpoint fallback on a defeated decode;
+- ``cross-validate-escalate`` — optimistic ``f + 1`` endpoints,
+  escalating a chunk to all ``2f + 1`` on any disagreement.
+
+Protocols whose query sets depend on latency or on adversarial peer
+behaviour (the crash/Byzantine families) stay simulator-only: the net
+backend's adversary is the chaos proxy, not the peers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from repro.core.assignment import round_robin_indices
+from repro.obs.telemetry import counter, event
+from repro.protocols.decode import (
+    majority_decode,
+    majority_threshold,
+    threshold_decode,
+)
+from repro.util.bitarrays import BitArray
+
+from repro.net.client import NetClient, NetRequestError
+from repro.net.server import PeerInbox
+
+#: Bits per source request — the simulator protocols' chunk size.
+CHUNK = 4096
+
+_DECODE_RULES = ("majority", "threshold")
+
+
+class NetPeer:
+    """Shared plumbing: clients, request IDs, the working array."""
+
+    protocol_name = "net"
+
+    def __init__(self, pid: int, *, n: int, ell: int, sources: int,
+                 client_factory: Callable[[str, str], NetClient],
+                 source_path: str,
+                 peer_paths: Optional[dict[int, str]] = None,
+                 inbox: Optional[PeerInbox] = None,
+                 clock: Callable[[], float] = None) -> None:
+        self.pid = pid
+        self.n = n
+        self.ell = ell
+        self.k = sources
+        self.inbox = inbox
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self._client_factory = client_factory
+        self._source_path = source_path
+        self._peer_paths = dict(peer_paths or {})
+        self._source_clients: dict[int, NetClient] = {}
+        self._peer_clients: dict[int, NetClient] = {}
+        self._seq = 0
+        self._working: dict[int, int] = {}
+        self.messages = 0  #: logical peer-to-peer sends (not retries)
+        self.shares_abandoned = 0  #: shares unacked past the retry budget
+
+    # -- transport helpers ------------------------------------------------
+
+    def _source_client(self, sid: int) -> NetClient:
+        """One client per endpoint so a chunk's ``q`` queries can fly
+        concurrently (each client serializes its own connection)."""
+        if sid not in self._source_clients:
+            self._source_clients[sid] = self._client_factory(
+                self._source_path, f"peer-{self.pid}:src{sid}")
+        return self._source_clients[sid]
+
+    def _peer_client(self, other: int) -> NetClient:
+        if other not in self._peer_clients:
+            self._peer_clients[other] = self._client_factory(
+                self._peer_paths[other], f"peer-{self.pid}:p{other}")
+        return self._peer_clients[other]
+
+    def _next_rid(self) -> str:
+        self._seq += 1
+        return f"p{self.pid}:{self._seq}"
+
+    async def query(self, sid: int, indices) -> dict[int, int]:
+        """Query endpoint ``sid`` for ``indices``; returns index->bit."""
+        response = await self._source_client(sid).request({
+            "type": "query", "rid": self._next_rid(),
+            "peer": self.pid, "source": sid,
+            "indices": list(indices)})
+        return {int(index): bit
+                for index, bit in response["values"].items()}
+
+    async def send_share(self, other: int,
+                         values: dict[int, int]) -> None:
+        """Send one logical share (retries ride inside the client).
+
+        Delivery is best-effort past the retry budget: a receiver that
+        stops answering has either already deduped this share (only its
+        ack was the casualty — the common case when a worker process
+        finishes and exits) or genuinely crashed, and a crashed receiver
+        trips the run deadline on its own.  Abandoning the send can
+        therefore never hide a failure; it only avoids manufacturing
+        one."""
+        self.messages += 1
+        try:
+            await self._peer_client(other).request({
+                "type": "share", "rid": self._next_rid(),
+                "src": self.pid, "mid": 0,
+                "values": {str(index): bit
+                           for index, bit in values.items()}})
+        except NetRequestError:
+            self.shares_abandoned += 1
+            counter("net_shares_abandoned")
+
+    def close(self) -> None:
+        for client in (list(self._source_clients.values())
+                       + list(self._peer_clients.values())):
+            client.close()
+
+    @property
+    def retries(self) -> int:
+        return sum(client.retries
+                   for client in (list(self._source_clients.values())
+                                  + list(self._peer_clients.values())))
+
+    # -- protocol helpers -------------------------------------------------
+
+    def learn_many(self, values: dict[int, int]) -> None:
+        self._working.update(values)
+
+    def output(self) -> BitArray:
+        if len(self._working) != self.ell:
+            missing = self.ell - len(self._working)
+            raise RuntimeError(f"peer {self.pid} finished with "
+                               f"{missing} bits unresolved")
+        return BitArray.from_bits(self._working[index]
+                                  for index in range(self.ell))
+
+    def _note_disagreement(self, index: int, votes: list[int]) -> None:
+        event("source_disagreement", t=self.clock(), peer=self.pid,
+              index=index, votes=list(votes))
+
+    async def run(self) -> BitArray:
+        raise NotImplementedError
+
+
+class NetNaivePeer(NetPeer):
+    """Download everything from endpoint 0 (Q = ell per peer)."""
+
+    protocol_name = "naive"
+
+    async def run(self) -> BitArray:
+        for lo in range(0, self.ell, CHUNK):
+            hi = min(self.ell, lo + CHUNK)
+            self.learn_many(await self.query(0, range(lo, hi)))
+        return self.output()
+
+
+class NetBalancedPeer(NetPeer):
+    """Round-robin slices shared peer-to-peer (Q = ceil(ell / n))."""
+
+    protocol_name = "balanced"
+
+    async def run(self) -> BitArray:
+        mine = round_robin_indices(self.pid, self.ell, self.n)
+        values = await self.query(0, mine)
+        self.learn_many(values)
+        others = [pid for pid in range(self.n) if pid != self.pid]
+        await asyncio.gather(*(self.send_share(other, values)
+                               for other in others))
+        await self.inbox.wait_for_shares(self.n - 1)
+        self.learn_many(self.inbox.merged_values())
+        return self.output()
+
+
+class NetCrossValidatePeer(NetPeer):
+    """``q`` rotated endpoints per chunk, decoded by vote."""
+
+    protocol_name = "cross-validate"
+
+    def __init__(self, pid: int, *, q: Optional[int] = None,
+                 decode: str = "majority",
+                 threshold: Optional[int] = None, **kwargs) -> None:
+        super().__init__(pid, **kwargs)
+        if decode not in _DECODE_RULES:
+            raise ValueError(f"decode must be one of {_DECODE_RULES}, "
+                             f"got {decode!r}")
+        self.q = q if q is not None else self.k
+        if not 1 <= self.q <= self.k:
+            raise ValueError(f"q={self.q} must be in [1, k={self.k}]")
+        self.decode = decode
+        self.threshold = (threshold if threshold is not None
+                          else majority_threshold(self.q))
+        if not 1 <= self.threshold <= self.q:
+            raise ValueError(f"threshold={self.threshold} must be in "
+                             f"[1, q={self.q}]")
+
+    def _decode(self, votes: list[int]) -> Optional[int]:
+        if self.decode == "majority":
+            return majority_decode(votes, self.q)
+        return threshold_decode(votes, self.threshold)
+
+    def _chunk_sources(self, chunk_no: int) -> list[int]:
+        """The simulator's rotation rule, verbatim."""
+        return [(self.pid + chunk_no + j) % self.k
+                for j in range(self.q)]
+
+    async def _resolve_chunk(self, lo: int, hi: int,
+                             chunk_no: int) -> None:
+        sids = self._chunk_sources(chunk_no)
+        answers = await asyncio.gather(*(self.query(sid, range(lo, hi))
+                                         for sid in sids))
+        by_sid = dict(zip(sids, answers))
+        decided: dict[int, int] = {}
+        for index in range(lo, hi):
+            votes = [by_sid[sid][index] for sid in sids]
+            bit = self._decode(votes)
+            if bit is None:
+                # The sources defeated the decode rule: record it and
+                # fall back to the lowest-numbered endpoint's answer so
+                # the run terminates (incorrectly, and reported so).
+                self._note_disagreement(index, votes)
+                bit = by_sid[min(sids)][index]
+            decided[index] = bit
+        self.learn_many(decided)
+
+    async def run(self) -> BitArray:
+        for chunk_no, lo in enumerate(range(0, self.ell, CHUNK)):
+            hi = min(self.ell, lo + CHUNK)
+            await self._resolve_chunk(lo, hi, chunk_no)
+        return self.output()
+
+
+class NetCrossValidateEscalatePeer(NetCrossValidatePeer):
+    """Optimistic ``f + 1`` endpoints; escalate chunks on
+    disagreement to the full ``2f + 1`` with majority decode."""
+
+    protocol_name = "cross-validate-escalate"
+
+    def __init__(self, pid: int, *, f: int = 0, **kwargs) -> None:
+        k = kwargs.get("sources", 1)
+        if f < 0:
+            raise ValueError(f"f must be >= 0, got {f}")
+        if 2 * f + 1 > k:
+            raise ValueError(f"escalation needs 2f + 1 <= k sources, "
+                             f"got f={f}, k={k}")
+        super().__init__(pid, q=2 * f + 1, decode="majority", **kwargs)
+        self.f = f
+
+    async def _resolve_chunk(self, lo: int, hi: int,
+                             chunk_no: int) -> None:
+        chosen = self._chunk_sources(chunk_no)
+        first, extra = chosen[:self.f + 1], chosen[self.f + 1:]
+        answers = await asyncio.gather(*(self.query(sid, range(lo, hi))
+                                         for sid in first))
+        by_sid = dict(zip(first, answers))
+        disagreeing = [
+            index for index in range(lo, hi)
+            if threshold_decode([by_sid[sid][index] for sid in first],
+                                len(first)) is None]
+        if not disagreeing:
+            self.learn_many({index: by_sid[first[0]][index]
+                             for index in range(lo, hi)})
+            return
+        for index in disagreeing:
+            self._note_disagreement(
+                index, [by_sid[sid][index] for sid in first])
+        more = await asyncio.gather(*(self.query(sid, range(lo, hi))
+                                      for sid in extra))
+        by_sid.update(zip(extra, more))
+        decided: dict[int, int] = {}
+        for index in range(lo, hi):
+            votes = [by_sid[sid][index] for sid in chosen]
+            bit = majority_decode(votes, self.q)
+            if bit is None:
+                self._note_disagreement(index, votes)
+                bit = by_sid[min(chosen)][index]
+            decided[index] = bit
+        self.learn_many(decided)
+
+
+#: Registry protocol name -> net peer class.
+NET_PEERS: dict[str, type] = {
+    "naive": NetNaivePeer,
+    "balanced": NetBalancedPeer,
+    "cross-validate": NetCrossValidatePeer,
+    "cross-validate-escalate": NetCrossValidateEscalatePeer,
+}
+
+#: Accepted protocol params per protocol (validated by the backend).
+NET_PARAMS: dict[str, tuple[str, ...]] = {
+    "naive": (),
+    "balanced": (),
+    "cross-validate": ("q", "decode", "threshold"),
+    "cross-validate-escalate": ("f",),
+}

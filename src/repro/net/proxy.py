@@ -1,0 +1,192 @@
+"""The chaos proxy: a real socket forwarder that injects faults.
+
+Every net-backend connection — peer↔source and peer↔peer alike —
+dials a proxy listener instead of its upstream; the proxy opens one
+upstream connection per accepted client and pumps frames in both
+directions, asking the :class:`~repro.net.chaos.ChaosPlan` what to do
+with each one.  A ``None`` plan forwards everything untouched (the
+fault-free conformance configuration).
+
+Mechanics worth knowing:
+
+- frames are parsed (length prefix + body) rather than splicing raw
+  bytes, because decisions are keyed on frame content — a fault hits
+  a whole request or response, never half of one;
+- delayed and duplicated frames are written by their own scheduled
+  task behind a per-writer lock, so a held frame does not block the
+  frames behind it — which is exactly how "delay" doubles as
+  reordering;
+- ``disconnect`` tears down both halves of the client's connection
+  mid-stream; the client sees EOF and reconnects.  Server-side state
+  (request dedupe) lives above the connection, so nothing is lost;
+- the proxy always runs in the driver process, even when peers are
+  spawned processes, so proxy telemetry is never emitted from (and
+  lost in) a child.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Optional
+
+from repro.obs.telemetry import event
+
+from repro.net.chaos import PASS, ChaosPlan
+from repro.net.wire import WireError, _PREFIX, read_raw_frame
+
+#: How long a route waits for its upstream socket to exist (workers
+#: create their inbox sockets after the proxy starts listening).
+_UPSTREAM_WAIT = 5.0
+
+
+class ChaosProxy:
+    """One run's fault-injecting forwarder over any number of routes."""
+
+    def __init__(self, plan: Optional[ChaosPlan] = None, *,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.plan = plan
+        self.clock = clock if clock is not None else time.monotonic
+        self.counts = {"drop": 0, "dup": 0, "delay": 0, "disconnect": 0}
+        self._servers: list[asyncio.AbstractServer] = []
+        self._tasks: set[asyncio.Task] = set()
+
+    async def add_route(self, listen_path: str, upstream_path: str,
+                        label: str) -> None:
+        """Listen on ``listen_path``; forward each client to its own
+        connection to ``upstream_path``."""
+
+        async def handle(reader, writer):
+            try:
+                await self._handle_client(reader, writer, upstream_path,
+                                          label)
+            except asyncio.CancelledError:
+                # Loop teardown cancels accepted-connection tasks that
+                # are still waiting on an upstream; finishing quietly
+                # keeps asyncio's stream callback from logging it.
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+        server = await asyncio.start_unix_server(handle,
+                                                 path=listen_path)
+        self._servers.append(server)
+
+    async def close(self) -> None:
+        """Stop listening and cancel every in-flight pump task."""
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._servers.clear()
+
+    # -- per-connection plumbing ------------------------------------------
+
+    async def _connect_upstream(self, path: str):
+        """Dial the upstream, waiting for its socket to appear (process
+        mode starts workers after the proxy)."""
+        deadline = time.monotonic() + _UPSTREAM_WAIT
+        while True:
+            try:
+                return await asyncio.open_unix_connection(path)
+            except (FileNotFoundError, ConnectionRefusedError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                await asyncio.sleep(0.02)
+
+    async def _handle_client(self, client_reader, client_writer,
+                             upstream_path: str, label: str) -> None:
+        try:
+            up_reader, up_writer = await self._connect_upstream(
+                upstream_path)
+        except OSError:
+            client_writer.close()
+            return
+        closed = asyncio.Event()
+        pumps = [
+            asyncio.ensure_future(self._pump(
+                client_reader, up_writer, label, "c2s", closed)),
+            asyncio.ensure_future(self._pump(
+                up_reader, client_writer, label, "s2c", closed)),
+        ]
+        for task in pumps:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        await closed.wait()
+        for task in pumps:
+            task.cancel()
+        for writer in (client_writer, up_writer):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+    async def _pump(self, reader, writer, label: str, direction: str,
+                    closed: asyncio.Event) -> None:
+        lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    body = await read_raw_frame(reader)
+                except WireError:
+                    break
+                if body is None:
+                    break
+                decision = (self.plan.decide(body, direction)
+                            if self.plan is not None else PASS)
+                if decision.disconnect:
+                    self.counts["disconnect"] += 1
+                    event("net_proxy_disconnect", t=self.clock(),
+                          link=label, direction=direction)
+                    break
+                if decision.drop:
+                    self.counts["drop"] += 1
+                    event("net_proxy_drop", t=self.clock(), link=label,
+                          direction=direction)
+                    continue
+                frame = _PREFIX.pack(len(body)) + body
+                copies = 2 if decision.duplicate else 1
+                if decision.duplicate:
+                    self.counts["dup"] += 1
+                    event("net_proxy_dup", t=self.clock(), link=label,
+                          direction=direction)
+                if decision.delay > 0:
+                    self.counts["delay"] += 1
+                    event("net_proxy_delay", t=self.clock(), link=label,
+                          direction=direction, seconds=decision.delay)
+                    task = asyncio.ensure_future(self._write_later(
+                        writer, lock, frame, copies, decision.delay))
+                    self._tasks.add(task)
+                    task.add_done_callback(self._tasks.discard)
+                else:
+                    await self._write_now(writer, lock, frame, copies)
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+        finally:
+            closed.set()
+
+    async def _write_now(self, writer, lock, frame: bytes,
+                         copies: int) -> None:
+        async with lock:
+            try:
+                for _ in range(copies):
+                    writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write_later(self, writer, lock, frame: bytes,
+                           copies: int, delay: float) -> None:
+        try:
+            await asyncio.sleep(delay)
+            await self._write_now(writer, lock, frame, copies)
+        except asyncio.CancelledError:  # pragma: no cover - teardown
+            pass

@@ -1,0 +1,232 @@
+"""Socket servers for the net backend: the source set and peer inboxes.
+
+:class:`SourceServer` is the external data source as an actual server.
+One listener serves all ``k`` endpoints of a
+:class:`~repro.sim.sourceset.SourceSet`-style configuration: a query
+frame names its endpoint, and the server answers from that endpoint's
+*view* — built with the same fault models, the same RNG splits, and
+therefore the same bits as the simulator builds for the same seed.
+
+Query accounting mirrors the simulator exactly, with one new rule on
+top — **idempotent request IDs**.  The first time a request ID is
+seen, its unique indices are charged (duplicates within the request
+collapsed, re-queries across requests charged again, exactly like
+:meth:`SourceSet.request_bits_from`) and the response is cached; any
+later frame with the same ID — a client retry after a dropped
+response, a proxy-duplicated request — is answered from the cache
+without touching a counter.  That is what makes query complexity under
+a faulty proxy *equal* to the fault-free run's, which the conformance
+tests gate.  Replayed responses carry an incremented ``resend`` field
+so their bytes differ per send — a content-hashing proxy that dropped
+the original must get a fresh decision for the replay.
+
+Source-fault latency semantics (net has no virtual clock, so ``@onset``
+is rejected at validation):
+
+- ``withhold`` answers the *truth* after an extra fixed delay — the
+  sim's "released at quiescence" compressed to wall clock: it costs
+  time, never liveness, and never Q;
+- ``slow:factor`` multiplies the base response delay;
+- everything else answers its view after the base delay (0 by
+  default).
+
+:class:`PeerInbox` is the peer↔peer half: each peer's server accepts
+``share`` frames, deduplicates them by ``(sender, message id)``, and
+always acknowledges — retried shares are re-acked (with a ``resend``
+counter), never double-counted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import defaultdict
+from typing import Callable, Optional, Sequence
+
+from repro.sim.sourceset import SourceFault
+from repro.util.bitarrays import BitArray, canonical_indices, mask_to_set
+
+from repro.net.wire import WireError, encode_frame, read_frame
+
+
+class SourceServer:
+    """All ``k`` source endpoints behind one Unix-socket listener."""
+
+    def __init__(self, data: BitArray, views: Sequence[BitArray],
+                 faults: Sequence[SourceFault], *,
+                 base_delay: float = 0.0,
+                 withhold_delay: float = 0.2) -> None:
+        self.data = data
+        self.views = list(views)
+        self.faults = list(faults)
+        self.base_delay = base_delay
+        self.withhold_delay = withhold_delay
+        self.k = len(self.views)
+        self.query_bits: dict[int, int] = defaultdict(int)
+        self.requests_served = 0
+        self._queried_masks: dict[int, int] = {}
+        self._per_source_masks: dict[tuple[int, int], int] = {}
+        self._responses: dict[str, dict] = {}
+        self._resends: dict[str, int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self, path: str) -> None:
+        self._server = await asyncio.start_unix_server(self._handle,
+                                                       path=path)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- accounting (read by the driver after the run) --------------------
+
+    @property
+    def queried_indices(self) -> dict[int, set[int]]:
+        """Positions each peer queried, unioned over endpoints."""
+        return {pid: mask_to_set(mask)
+                for pid, mask in self._queried_masks.items()}
+
+    @property
+    def queried_by_source(self) -> dict[tuple[int, int], set[int]]:
+        """Positions queried per ``(peer, source)`` pair."""
+        return {key: mask_to_set(mask)
+                for key, mask in self._per_source_masks.items()}
+
+    # -- serving ----------------------------------------------------------
+
+    def _answer(self, frame: dict) -> tuple[dict, float]:
+        """Build (response payload, response delay) for one query frame.
+
+        Charges Q only on the first sighting of the frame's request ID.
+        """
+        rid = frame["rid"]
+        source_id = int(frame.get("source", 0))
+        if not 0 <= source_id < self.k:
+            raise WireError(f"source {source_id} out of range "
+                            f"[0, {self.k})")
+        fault = self.faults[source_id]
+        delay = self.base_delay
+        if fault.withholding:
+            delay = self.withhold_delay
+        elif fault.latency_factor != 1.0:
+            delay = delay * fault.latency_factor
+        cached = self._responses.get(rid)
+        if cached is not None:
+            self._resends[rid] += 1
+            response = dict(cached)
+            response["resend"] = self._resends[rid]
+            return response, delay
+        pid = int(frame["peer"])
+        unique, mask = canonical_indices(frame["indices"], len(self.data))
+        self.query_bits[pid] += len(unique)
+        self._queried_masks[pid] = self._queried_masks.get(pid, 0) | mask
+        key = (pid, source_id)
+        self._per_source_masks[key] = \
+            self._per_source_masks.get(key, 0) | mask
+        self.requests_served += 1
+        # A withholding endpoint delays the truth (the sim's quiescence
+        # release); every other fault answers its standing view.
+        view = self.data if fault.withholding else self.views[source_id]
+        response = {
+            "type": "bits",
+            "rid": rid,
+            "values": {str(index): bit for index, bit
+                       in zip(unique, view.get_many(unique))},
+            "resend": 0,
+        }
+        self._responses[rid] = response
+        self._resends[rid] = 0
+        return response, delay
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                if frame.get("type") != "query":
+                    raise WireError(f"source server got a "
+                                    f"{frame.get('type')!r} frame")
+                response, delay = self._answer(frame)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        except (WireError, ConnectionError, OSError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+
+class PeerInbox:
+    """One peer's server side: receive shares, dedupe, acknowledge."""
+
+    def __init__(self, pid: int, *,
+                 on_share: Optional[Callable[[dict], None]] = None
+                 ) -> None:
+        self.pid = pid
+        self.shares: dict[tuple[int, int], dict[int, int]] = {}
+        self._resends: dict[tuple[int, int], int] = {}
+        self._changed = asyncio.Event()
+        self._on_share = on_share
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self, path: str) -> None:
+        self._server = await asyncio.start_unix_server(self._handle,
+                                                       path=path)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def wait_for_shares(self, count: int) -> None:
+        """Block until shares from ``count`` distinct senders arrived."""
+        while len({src for src, _ in self.shares}) < count:
+            self._changed.clear()
+            await self._changed.wait()
+
+    def merged_values(self) -> dict[int, int]:
+        """Every learned (index, bit) across all deduplicated shares."""
+        merged: dict[int, int] = {}
+        for values in self.shares.values():
+            merged.update(values)
+        return merged
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                if frame.get("type") != "share":
+                    raise WireError(f"peer inbox got a "
+                                    f"{frame.get('type')!r} frame")
+                key = (int(frame["src"]), int(frame["mid"]))
+                if key not in self.shares:
+                    self.shares[key] = {int(index): bit for index, bit
+                                        in frame["values"].items()}
+                    self._resends[key] = 0
+                    if self._on_share is not None:
+                        self._on_share(frame)
+                    self._changed.set()
+                else:
+                    self._resends[key] += 1
+                ack = {"type": "ack", "rid": frame["rid"],
+                       "resend": self._resends[key]}
+                writer.write(encode_frame(ack))
+                await writer.drain()
+        except (WireError, ConnectionError, OSError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass

@@ -1,0 +1,87 @@
+"""Length-prefixed JSON framing for the net backend.
+
+One frame = a 4-byte big-endian body length followed by the body: the
+canonical JSON encoding (sorted keys, compact separators) of one flat
+dict.  Canonical encoding matters beyond tidiness — the chaos proxy
+decides each frame's fate from a content hash of the body bytes
+(:func:`frame_digest`), so "the same payload" must always serialize to
+the same bytes, whatever dict insertion order produced it.
+
+Reading distinguishes the two ways a stream can end: EOF exactly on a
+frame boundary is a clean close (``None``), EOF mid-frame — or an
+oversized or non-JSON body — is a :class:`WireError` (the client
+treats both like a connection failure and retries).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import struct
+from typing import Optional
+
+#: Upper bound on one frame's body, far above any legal payload; a
+#: larger prefix means a corrupt or hostile stream, not a big request.
+MAX_FRAME = 8 * 1024 * 1024
+
+_PREFIX = struct.Struct(">I")
+
+
+class WireError(Exception):
+    """A malformed frame: truncated, oversized, or not canonical JSON."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one payload to its unique on-wire byte string."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise WireError(f"frame body of {len(body)} bytes exceeds the "
+                        f"{MAX_FRAME}-byte limit")
+    return _PREFIX.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse a frame body back into its payload dict."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"frame body is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WireError(f"frame body must be a JSON object, "
+                        f"got {type(payload).__name__}")
+    return payload
+
+
+def frame_digest(body: bytes) -> str:
+    """Content hash the chaos proxy keys its per-frame decisions on."""
+    return hashlib.sha256(body).hexdigest()
+
+
+async def read_raw_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one frame; returns the *body* bytes, or ``None`` on a
+    clean EOF at a frame boundary."""
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise WireError("stream closed inside a frame prefix") from exc
+    (length,) = _PREFIX.unpack(prefix)
+    if length > MAX_FRAME:
+        raise WireError(f"frame prefix announces {length} bytes "
+                        f"(limit {MAX_FRAME})")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireError(f"stream closed {length - len(exc.partial)} "
+                        f"bytes short of a frame body") from exc
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read and parse one frame (``None`` on clean EOF)."""
+    body = await read_raw_frame(reader)
+    if body is None:
+        return None
+    return decode_body(body)

@@ -10,7 +10,9 @@ enforces, and which the doc tests cross-check against the docs).
 
 Field conventions:
 
-- ``t`` — virtual simulation time (float).  Never wall clock.
+- ``t`` — virtual simulation time (float).  Never wall clock, with
+  one documented exception: the ``net_*`` kinds, whose runs have no
+  virtual clock, use wall-clock seconds since the run started.
 - ``wall_ms`` / ``wall_s`` — wall-clock durations; present only on
   span and sweep events, and ignored by ``repro trace diff``.
 - ``peer`` / ``src`` / ``dst`` — peer IDs; ``proc`` — a process name
@@ -83,6 +85,16 @@ EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     # -- scheduler --------------------------------------------------------
     "proc_start": (("t", "proc"), ()),
     "wake": (("t", "proc"), ()),
+    # -- net backend (``t`` is wall-clock seconds since run start — the
+    # -- one documented exception to the virtual-time convention) ---------
+    "net_connect": (("t", "proc", "addr"), ("attempt",)),
+    "net_retry": (("t", "proc", "rid", "attempt"), ("delay", "error")),
+    "net_timeout": (("t", "proc", "rid"), ("attempt", "seconds")),
+    "net_crash": (("t", "proc"), ("error",)),
+    "net_proxy_drop": (("t", "link", "direction"), ("kind",)),
+    "net_proxy_delay": (("t", "link", "direction", "seconds"), ("kind",)),
+    "net_proxy_dup": (("t", "link", "direction"), ("kind",)),
+    "net_proxy_disconnect": (("t", "link", "direction"), ("kind",)),
     # -- spans / counters / sweep progress --------------------------------
     "span_start": (("name",), ()),
     "span_end": (("name", "wall_ms"), ()),

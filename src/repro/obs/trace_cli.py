@@ -127,6 +127,14 @@ def render_summary(events: Sequence[dict]) -> str:
         lines.append("per-peer query bits:")
         for pid in sorted(per_peer, key=lambda key: int(key)):
             lines.append(f"  peer {int(pid):>3} {per_peer[pid]:>8}")
+    transport = Counter(entry["event"] for entry in events
+                        if entry.get("event", "").startswith("net_"))
+    if transport:
+        if lines:
+            lines.append("")
+        lines.append("net        : " + ", ".join(
+            f"{count} {kind.removeprefix('net_')}"
+            for kind, count in sorted(transport.items())))
     return "\n".join(lines) if lines else "(empty export)"
 
 

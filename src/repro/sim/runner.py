@@ -32,7 +32,7 @@ from repro.sim.network import Network
 from repro.sim.peer import Peer, SimEnv
 from repro.sim.process import Process
 from repro.sim.scheduler import DEFAULT_MAX_EVENTS, Kernel
-from repro.sim.source import DataSource
+from repro.sim.source import DataSource, MutableDataSource
 from repro.sim.sourceset import SourceSet, parse_faults
 from repro.sim.trace import TraceRecorder
 from repro.util.bitarrays import BitArray
@@ -105,6 +105,7 @@ class Simulation:
                  source_factory=None,
                  sources: int = 1,
                  source_faults=(),
+                 mutations=(),
                  extras: Optional[dict] = None) -> None:
         check_positive("n", n)
         self.n = n
@@ -151,6 +152,16 @@ class Simulation:
             raise ConfigurationError(
                 "pass either source_factory= or sources=/source_faults=, "
                 "not both (a custom factory owns the whole source layer)")
+        #: Scheduled truth flips ``(time, index)``: a mutable ``X``.
+        #: Alone they select :class:`MutableDataSource`; combined with
+        #: sources/source_faults they ride on the :class:`SourceSet`,
+        #: where honest endpoints track the live array and stale
+        #: endpoints keep serving their frozen pre-mutation snapshot.
+        self.mutations = tuple(mutations)
+        if source_factory is not None and self.mutations:
+            raise ConfigurationError(
+                "pass either source_factory= or mutations=, not both "
+                "(a custom factory owns the whole source layer)")
         self.extras = dict(extras or {})
 
     def _resolve_data(self, data, ell) -> BitArray:
@@ -196,7 +207,12 @@ class Simulation:
         elif self.source_faults:
             source = SourceSet(self.data.copy(), metrics, network,
                                self.adversary, k=self.sources,
-                               faults=self.source_faults, rng=self.rng)
+                               faults=self.source_faults, rng=self.rng,
+                               mutations=self.mutations)
+        elif self.mutations:
+            source = MutableDataSource(self.data.copy(), metrics,
+                                       network, self.adversary,
+                                       mutations=self.mutations)
         else:
             source = DataSource(self.data.copy(), metrics, network,
                                 self.adversary)
@@ -285,6 +301,7 @@ def run_download(*, n: int, peer_factory: PeerFactory,
                  trace: bool = False,
                  sources: int = 1,
                  source_faults=(),
+                 mutations=(),
                  extras: Optional[dict] = None,
                  max_events: int = DEFAULT_MAX_EVENTS) -> RunResult:
     """One-call convenience: build a :class:`Simulation` and run it."""
@@ -293,5 +310,5 @@ def run_download(*, n: int, peer_factory: PeerFactory,
         adversary=adversary, seed=seed,
         message_size_limit=message_size_limit, packetize=packetize,
         fifo=fifo, trace=trace, sources=sources,
-        source_faults=source_faults, extras=extras)
+        source_faults=source_faults, mutations=mutations, extras=extras)
     return simulation.run(max_events=max_events)

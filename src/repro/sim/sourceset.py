@@ -50,7 +50,7 @@ from repro.sim.messages import SOURCE_ID, SourceResponse
 from repro.sim.network import WITHHOLD
 from repro.util.bitarrays import BitArray, canonical_indices, mask_to_set
 from repro.util.rng import SplittableRNG
-from repro.util.validation import check_range
+from repro.util.validation import check_index, check_range
 
 
 class SourceFault:
@@ -288,7 +288,8 @@ class SourceSet:
     def __init__(self, data: BitArray, metrics, network, adversary, *,
                  k: Optional[int] = None,
                  faults: Sequence[Union[str, SourceFault]] = (),
-                 rng: Optional[SplittableRNG] = None) -> None:
+                 rng: Optional[SplittableRNG] = None,
+                 mutations: Sequence[tuple] = ()) -> None:
         self.data = data
         self.metrics = metrics
         self.network = network
@@ -310,6 +311,26 @@ class SourceSet:
             fault.build_view(self.data,
                              view_rng.split(f"source-{sid}"))
             for sid, fault in enumerate(self.faults)]
+        # Mutable truth composes with the fault models through view
+        # *aliasing*: honest endpoints answer from ``self.data`` itself
+        # (build_view returns the reference), so scheduled flips reach
+        # them immediately, while stale/wrong-bits views are copies
+        # frozen above — a ``stale:0`` endpoint is therefore a pure
+        # pre-mutation snapshot of a mutable ``X``, exactly the lagging
+        # replica of the paper's closing open problem.  Views freeze
+        # BEFORE the first flip can fire because mutations only run
+        # once the kernel does.
+        self.mutations = list(mutations)
+        self.applied_mutations: list[tuple[float, int]] = []
+        for time, index in self.mutations:
+            check_index("mutation index", index, len(self.data))
+            network.kernel.schedule(time,
+                                    lambda i=index: self._flip(i),
+                                    kind=f"mutate:{index}")
+
+    def _flip(self, index: int) -> None:
+        self.data[index] = 1 - self.data[index]
+        self.applied_mutations.append((self.network.kernel.now, index))
 
     def __len__(self) -> int:
         return len(self.data)

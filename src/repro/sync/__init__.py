@@ -26,6 +26,7 @@ from repro.sync.protocols import (
     SyncBalancedPeer,
     SyncCrashPeer,
     SyncCommitteePeer,
+    SyncCrossValidateEscalatePeer,
     SyncCrossValidatePeer,
     SyncNaivePeer,
     SyncTwoRoundPeer,
@@ -40,6 +41,7 @@ __all__ = [
     "SyncCommitteePeer",
     "SyncConfig",
     "SyncCrashPeer",
+    "SyncCrossValidateEscalatePeer",
     "SyncCrossValidatePeer",
     "SyncEngine",
     "SyncNaivePeer",

@@ -14,6 +14,9 @@ the round complexity the synchronous papers report:
 - :class:`SyncCrossValidatePeer` — 1 round, the round-native form of
   the multi-source cross-validation protocol (query ``q`` of the
   engine's ``k`` endpoints, vote-decode every position).
+- :class:`SyncCrossValidateEscalatePeer` — 1 round optimistically
+  (``f + 1`` endpoints, unanimity), 2 on disagreement (escalate to
+  all ``2f + 1``, majority decode).
 """
 
 from __future__ import annotations
@@ -263,6 +266,86 @@ class SyncCrossValidatePeer(SyncPeer):
                         "index": index, "votes": list(votes[index])})
                 best = fallback.get(index)
                 bit = best[1] if best is not None else 0
+            builder.put(index, bit)
+        self.finish(builder.to_array())
+
+
+class SyncCrossValidateEscalatePeer(SyncPeer):
+    """Optimistic round-native cross-validation with escalation.
+
+    Round 1 queries the ``f + 1`` rotated endpoints
+    ``(pid + j) % k`` for everything; a position whose votes are
+    unanimous is settled, and if *every* position is, the peer
+    finishes — one round at ``(f + 1) ell`` query bits, the
+    optimistic case.  Any disagreement escalates the whole download:
+    round 2 brings in the remaining ``f`` endpoints for the full
+    ``2f + 1`` votes, decodes by strict majority, and falls back to
+    the lowest-numbered answering endpoint where even that fails
+    (terminating incorrectly, which the engine's correctness check
+    reports).  Round complexity is therefore exactly 1 or 2 — the
+    lockstep form of
+    :class:`~repro.protocols.multisource.CrossValidateEscalateDownloadPeer`.
+    """
+
+    def __init__(self, pid: int, config: SyncConfig, rng: SplittableRNG,
+                 f: int = 0) -> None:
+        super().__init__(pid, config, rng)
+        if f < 0:
+            raise ValueError(f"f must be >= 0, got {f}")
+        self.f = f
+        # k attaches with the source after construction; votes persist
+        # across the escalation round.
+        self._votes: Optional[dict[int, list[int]]] = None
+        self._fallback: dict[int, tuple[int, int]] = {}
+
+    def _absorb(self, sid: int, answers: dict[int, int]) -> None:
+        for index, bit in answers.items():
+            self._votes[index].append(bit)
+            best = self._fallback.get(index)
+            if best is None or sid < best[0]:
+                self._fallback[index] = (sid, bit)
+
+    def _emit_disagreement(self, round_no: int, index: int) -> None:
+        source = self._source
+        if source.telemetry is not None:
+            source.telemetry.emit("source_disagreement", {
+                "t": float(round_no), "peer": self.pid,
+                "index": index, "votes": list(self._votes[index])})
+
+    def round(self, round_no: int, inbox) -> None:
+        source = self._source
+        k = getattr(source, "k", 1)
+        if 2 * self.f + 1 > k:
+            raise ValueError(f"escalation needs 2f + 1 <= k sources, "
+                             f"got f={self.f}, k={k}")
+        chosen = [(self.pid + j) % k for j in range(2 * self.f + 1)]
+        if self._votes is None:
+            self._votes = {index: [] for index in range(self.ell)}
+            for sid in chosen[:self.f + 1]:
+                self._absorb(sid, source.query_from(
+                    sid, self.pid, range(self.ell)))
+            disagreeing = [
+                index for index in range(self.ell)
+                if threshold_decode(self._votes[index],
+                                    self.f + 1) is None]
+            if not disagreeing:
+                builder = _ArrayBuilder(self.ell)
+                for index in range(self.ell):
+                    builder.put(index, self._votes[index][0])
+                self.finish(builder.to_array())
+                return
+            for index in disagreeing:
+                self._emit_disagreement(round_no, index)
+            return  # escalate next round
+        for sid in chosen[self.f + 1:]:
+            self._absorb(sid, source.query_from(
+                sid, self.pid, range(self.ell)))
+        builder = _ArrayBuilder(self.ell)
+        for index in range(self.ell):
+            bit = majority_decode(self._votes[index], 2 * self.f + 1)
+            if bit is None:
+                self._emit_disagreement(round_no, index)
+                bit = self._fallback[index][1]
             builder.put(index, bit)
         self.finish(builder.to_array())
 

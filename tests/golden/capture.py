@@ -105,6 +105,10 @@ CASES: list[dict] = [
      "peer": "cross-validate", "n": 6, "ell": 256, "t": 0, "seed": 53,
      "peer_params": {"q": 3}, "sources": 3,
      "source_faults": ["wrong-bits"]},
+    {"name": "sync-cross-validate-escalate-k3", "engine": "sync",
+     "peer": "cross-validate-escalate", "n": 6, "ell": 256, "t": 0,
+     "seed": 59, "peer_params": {"f": 1}, "sources": 3,
+     "source_faults": ["wrong-bits"]},
 ]
 
 
@@ -182,6 +186,10 @@ _SYNC_PEERS = {
     "cross-validate": lambda: __import__(
         "repro.sync.protocols",
         fromlist=["SyncCrossValidatePeer"]).SyncCrossValidatePeer,
+    "cross-validate-escalate": lambda: __import__(
+        "repro.sync.protocols",
+        fromlist=["SyncCrossValidateEscalatePeer"]
+    ).SyncCrossValidateEscalatePeer,
 }
 
 

@@ -304,5 +304,85 @@ class TestCliResume:
         assert code == 0
 
 
+#: Multi-source arms: engine faults crossed with *source* faults, so
+#: the chaos battery also covers sweeps whose subject is itself a
+#: faulty-source experiment.  Positional chaos indices are private to
+#: this battery (its own specs, its own baseline) — extending the main
+#: SPECS list would silently retarget every plan above.
+SOURCE_SPECS = [
+    ExperimentSpec(protocol="cross-validate", n=6, ell=128,
+                   protocol_params={"q": 3}, sources=3,
+                   source_faults=("wrong-bits",), repeats=2),
+    ExperimentSpec(protocol="cross-validate-escalate", n=6, ell=128,
+                   protocol_params={"f": 1}, sources=3,
+                   source_faults=("withhold",), repeats=2),
+]
+
+
+@pytest.fixture(scope="module")
+def source_baseline():
+    """Fault-free serial ground truth for the source-fault arms."""
+    return ParallelRunner(workers=1, policy=NO_RETRY,
+                          strict=True).run_many(SOURCE_SPECS)
+
+
+class TestSourceFaultArms:
+    """Engine chaos × source faults: wrong-bits and withholding
+    endpoints inside the runs, kills/stalls/transients around them."""
+
+    def test_baseline_is_correct_despite_faulty_sources(self,
+                                                        source_baseline):
+        for outcome in source_baseline:
+            assert outcome.failed_runs == 0
+            assert outcome.success_rate == 1.0
+
+    def test_worker_kill_over_faulty_sources(self, source_baseline):
+        outcomes = ParallelRunner(
+            workers=2, policy=FAST,
+            chaos=ChaosPlan(kill_on=(0,))).run_many(SOURCE_SPECS)
+        assert_outcomes_identical(source_baseline, outcomes)
+
+    def test_transients_over_faulty_sources(self, source_baseline):
+        plan = ChaosPlan(transient_until=((0, 2), (3, 1)))
+        for workers in (1, 2):
+            outcomes = ParallelRunner(workers=workers, policy=FAST,
+                                      chaos=plan).run_many(SOURCE_SPECS)
+            assert_outcomes_identical(source_baseline, outcomes)
+
+    def test_stall_over_faulty_sources(self, source_baseline):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.001,
+                             task_timeout=0.3)
+        outcomes = ParallelRunner(
+            workers=2, policy=policy,
+            chaos=ChaosPlan(stall_on=(1,), stall_seconds=30.0)
+        ).run_many(SOURCE_SPECS)
+        assert_outcomes_identical(source_baseline, outcomes)
+
+    def test_resume_over_faulty_sources_is_bit_identical(self, tmp_path,
+                                                         source_baseline):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        ParallelRunner(workers=1, journal=journal).run_many(SOURCE_SPECS)
+        assert drop_journal_lines(path, [0, 3]) == 2
+        resumed = SweepJournal(path)
+        outcomes = ParallelRunner(
+            workers=2, journal=resumed, policy=FAST,
+            chaos=ChaosPlan(kill_on=(0,), transient_until=((1, 1),))
+        ).run_many(SOURCE_SPECS)
+        assert resumed.stats.appended == 2
+        assert_outcomes_identical(source_baseline, outcomes)
+
+    def test_exhausted_budget_degrades_into_failed_runs(self,
+                                                        source_baseline):
+        outcomes = ParallelRunner(
+            workers=1, policy=FAST,
+            chaos=ChaosPlan(transient_until=((0, 99),))
+        ).run_many(SOURCE_SPECS)
+        damaged, intact = outcomes[0], outcomes[1:]
+        assert damaged.failed_runs == 1
+        assert damaged.completed_runs == damaged.runs - 1
+        assert_outcomes_identical(source_baseline[1:], intact)
+
+
 def _square(value):
     return value * value

@@ -66,6 +66,26 @@ class TestSummary:
     def test_summary_of_empty_stream(self):
         assert render_summary([]) == "(empty export)"
 
+    def test_summary_digests_net_transport_events(self):
+        # A net-backend export has no run_header/run_summary envelope;
+        # the summary must still digest the transport events instead
+        # of claiming the export is empty.
+        events = [
+            {"event": "net_connect", "t": 0.1, "proc": "peer-0:src0",
+             "addr": "/tmp/src.sock"},
+            {"event": "net_proxy_drop", "t": 0.2, "link": "src",
+             "direction": "c2s"},
+            {"event": "net_proxy_drop", "t": 0.3, "link": "src",
+             "direction": "s2c"},
+            {"event": "net_retry", "t": 0.4, "proc": "peer-0",
+             "rid": "p0:1", "attempt": 2},
+        ]
+        text = render_summary(events)
+        assert text.startswith("net        : ")
+        assert "1 connect" in text
+        assert "2 proxy_drop" in text
+        assert "1 retry" in text
+
 
 class TestTimeline:
     def test_timeline_rows_and_roles(self, export):

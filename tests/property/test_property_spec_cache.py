@@ -144,6 +144,7 @@ class TestBackendIdentityPreservation:
         # the same way, so single-source keys never moved.
         del payload["sources"]
         del payload["source_faults"]
+        del payload["proxy_faults"]
         digest = hashlib.sha256(
             f"{CODE_VERSION}\n{canonical_json(payload)}".encode("utf-8"))
         assert spec_cache_key(spec) == digest.hexdigest()
@@ -157,6 +158,26 @@ class TestBackendIdentityPreservation:
                                     source_faults=("wrong-bits",))
         assert spec_cache_key(multi) != spec_cache_key(spec)
         assert multi.seed_for(0) != spec.seed_for(0)
+
+    @settings(**COMMON)
+    @given(n=st.integers(min_value=1, max_value=32),
+           ell=st.integers(min_value=1, max_value=1 << 12),
+           base_seed=st.integers(min_value=0, max_value=2 ** 32),
+           repeat=st.integers(min_value=0, max_value=7))
+    def test_net_replays_sim_seeds_and_proxy_faults_never_reseed(
+            self, n, ell, base_seed, repeat):
+        """The net backend replays the simulator's per-repeat seeds
+        (that is what makes its Q comparable bit-for-bit), and
+        transport chaos keys differently — outcomes (time, retries,
+        failures) change — without ever reseeding the inputs."""
+        sim = ExperimentSpec(protocol="naive", n=n, ell=ell,
+                             base_seed=base_seed)
+        net = dataclasses.replace(sim, backend="net")
+        chaotic = dataclasses.replace(net, proxy_faults=("drop:0.2",))
+        assert net.seed_for(repeat) == sim.seed_for(repeat)
+        assert chaotic.seed_for(repeat) == sim.seed_for(repeat)
+        assert spec_cache_key(net) != spec_cache_key(sim)
+        assert spec_cache_key(chaotic) != spec_cache_key(net)
 
 
 class TestStoreLoadRoundTrip:

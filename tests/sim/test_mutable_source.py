@@ -144,3 +144,36 @@ class TestFactory:
             n=2, data="1100", peer_factory=NaiveDownloadPeer.factory(),
             source_factory=mutable_source_factory([]), seed=1).run()
         assert result.download_correct
+
+
+class TestMutationsParameter:
+    """`mutations=` on Simulation/run_download, without a factory."""
+
+    def test_mutations_alone_select_mutable_source(self):
+        # A late flip (after all round-trips complete) leaves the
+        # downloaded array equal to the original snapshot.
+        result = Simulation(
+            n=2, data="1100", peer_factory=NaiveDownloadPeer.factory(),
+            mutations=[(100.0, 0)], seed=1).run()
+        assert result.download_correct
+
+    def test_mutations_compose_with_stale_source_fault(self):
+        # Mutable X behind a source set: the honest majority tracks
+        # the live truth while a stale:0 endpoint serves the frozen
+        # pre-mutation snapshot; cross-validation still decodes.
+        from repro.protocols import get
+        from repro.sim import run_download
+        result = run_download(
+            n=3, ell=64, peer_factory=get("cross-validate").factory(q=3),
+            seed=5, sources=3, source_faults=("stale:0",),
+            mutations=[(50.0, 7)])
+        assert result.download_correct
+
+    def test_factory_and_mutations_are_mutually_exclusive(self):
+        from repro.sim.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            Simulation(
+                n=2, data="1100",
+                peer_factory=NaiveDownloadPeer.factory(),
+                source_factory=mutable_source_factory([]),
+                mutations=[(0.1, 0)], seed=1)

@@ -29,7 +29,8 @@ class StubReceiver:
         self.received.append(message)
 
 
-def build(bits="10110100", *, k=1, faults=(), seed=0, receivers=1):
+def build(bits="10110100", *, k=1, faults=(), seed=0, receivers=1,
+          mutations=()):
     kernel = Kernel()
     metrics = MetricsCollector()
     adversary = Adversary()
@@ -39,7 +40,7 @@ def build(bits="10110100", *, k=1, faults=(), seed=0, receivers=1):
         network.attach(stub)
     source = SourceSet(BitArray.from_string(bits), metrics, network,
                        adversary, k=k, faults=faults,
-                       rng=SplittableRNG(seed))
+                       rng=SplittableRNG(seed), mutations=mutations)
     return kernel, metrics, source, stubs
 
 
@@ -205,6 +206,27 @@ class TestHonestIdentity:
                                       honest=True)
         _, _, source2, _ = build(k=1, faults=(view_fault_honest,))
         assert source2.honest_sources() == [0]
+
+    def test_mutable_truth_reaches_honest_but_not_stale(self):
+        # A flip at t=0.4; queries at t=0.6.  The honest endpoint
+        # answers the live (flipped) truth, the stale:0 endpoint keeps
+        # serving its pure pre-mutation snapshot.
+        kernel, _, source, stubs = build(
+            "0000", k=2, faults=("honest", parse_fault("stale:0")),
+            mutations=[(0.4, 2)])
+        kernel.schedule(0.6,
+                        lambda: source.request_bits_from(0, 0, 1, [2]))
+        kernel.schedule(0.6,
+                        lambda: source.request_bits_from(1, 0, 2, [2]))
+        kernel.run()
+        by_rid = {m.request_id: m.values for m in stubs[0].received}
+        assert by_rid[1] == {2: 1}  # honest: sees the flip
+        assert by_rid[2] == {2: 0}  # stale snapshot: frozen pre-flip
+        assert source.applied_mutations == [(0.4, 2)]
+
+    def test_mutation_index_validated(self):
+        with pytest.raises(ValueError):
+            build("0000", mutations=[(0.1, 99)])
 
     def test_k1_honest_matches_datasource_surface(self):
         kernel, metrics, source, stubs = build(k=1)

@@ -208,3 +208,46 @@ class TestSyncCrashProtocol:
         assert result.download_correct
         # optimal ell/(n - t) = 200; allow the constant.
         assert result.query_complexity <= 2 * 800 // 4 + 8
+
+
+class TestSyncCrossValidateEscalate:
+    def factory(self, f=1):
+        from repro.sync import SyncCrossValidateEscalatePeer
+
+        def make(pid, config, rng):
+            return SyncCrossValidateEscalatePeer(pid, config, rng, f=f)
+        return make
+
+    def test_honest_sources_finish_in_one_round(self):
+        result = run_sync_download(n=4, ell=64, t=0,
+                                   peer_factory=self.factory(), seed=2,
+                                   sources=3)
+        assert result.download_correct
+        assert result.rounds == 1
+        # optimistic cost: f + 1 = 2 endpoints, full array each.
+        assert result.query_complexity == 2 * 64
+
+    def test_liar_forces_escalation_round(self):
+        result = run_sync_download(n=4, ell=64, t=0,
+                                   peer_factory=self.factory(), seed=2,
+                                   sources=3,
+                                   source_faults=("wrong-bits:1.0",))
+        assert result.download_correct
+        assert result.rounds == 2
+        # every peer's rotation includes the liar at total blackout
+        # rate, so all escalate to 2f + 1 = 3 endpoints.
+        assert result.query_complexity == 3 * 64
+
+    def test_f0_is_single_source_one_round(self):
+        result = run_sync_download(n=3, ell=32, t=0,
+                                   peer_factory=self.factory(f=0), seed=5)
+        assert result.download_correct
+        assert result.rounds == 1
+        assert result.query_complexity == 32
+
+    def test_infeasible_f_rejected(self):
+        import pytest
+        with pytest.raises(ValueError, match="2f"):
+            run_sync_download(n=2, ell=16, t=0,
+                              peer_factory=self.factory(f=1), seed=1,
+                              sources=2)
