@@ -22,6 +22,11 @@ from typing import Iterable, Sequence
 
 from repro.util.validation import check_nonnegative, check_positive
 
+try:  # numpy is an optional extra (`pip install repro[scale]`)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI
+    _np = None
+
 
 def round_robin_owner(index: int, n: int) -> int:
     """Phase-1 owner of bit ``index``: simple modulo round-robin."""
@@ -187,6 +192,57 @@ def committees_of_peer(pid: int, blocks: int, committee_size: int,
     """All block IDs whose committee contains ``pid``."""
     return [block for block in range(blocks)
             if pid in committee_for(block, committee_size, n)]
+
+
+def committees_by_peer(blocks: int, committee_size: int,
+                       n: int) -> dict[int, list[int]]:
+    """Batched inverse of :func:`committee_for` over *all* blocks.
+
+    One ``O(blocks * committee_size)`` pass instead of ``n`` calls to
+    :func:`committees_of_peer` (each ``O(blocks * committee_size)``) —
+    the scale path's committee board precomputes the whole membership
+    map this way.  Each peer's block list is ascending, matching
+    :func:`committees_of_peer` exactly; peers serving on no committee
+    are absent from the dict.
+    """
+    check_nonnegative("blocks", blocks)
+    by_peer: dict[int, list[int]] = {}
+    for block in range(blocks):
+        # ``committee_for`` repeats members when committee_size > n;
+        # a peer still serves each committee once (set semantics, as
+        # in the scalar function's ``pid in committee`` test).
+        for pid in set(committee_for(block, committee_size, n)):
+            bucket = by_peer.get(pid)
+            if bucket is None:
+                by_peer[pid] = [block]
+            else:
+                bucket.append(block)
+    return by_peer
+
+
+def digit_owners(indices: Sequence[int], phase: int, n: int) -> list[int]:
+    """Batched :func:`digit_owner` over ``indices`` (argument order).
+
+    Validates once and computes the ``n ** (phase - 1)`` divisor once;
+    vectorized through numpy when the optional scale extra is
+    installed and the values fit machine integers, with the pure-python
+    path as the exact fallback.  Element-for-element equal to the
+    scalar function (pinned by a Hypothesis property).
+    """
+    check_positive("phase", phase)
+    check_positive("n", n)
+    indices = list(indices)
+    if not indices:
+        return []
+    lowest = min(indices)
+    if lowest < 0:
+        check_nonnegative("index", lowest)
+    width = n ** (phase - 1)
+    if (_np is not None and width < 2 ** 62
+            and max(indices) < 2 ** 62):
+        array = _np.asarray(indices, dtype=_np.int64)
+        return ((array // width) % n).tolist()
+    return [(index // width) % n for index in indices]
 
 
 def invert(assignment: dict[int, int], n: int) -> list[list[int]]:

@@ -85,6 +85,7 @@ EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     # -- scheduler --------------------------------------------------------
     "proc_start": (("t", "proc"), ()),
     "wake": (("t", "proc"), ()),
+    "scheduler_stats": (("t", "queue", "events", "max_depth"), ()),
     # -- net backend (``t`` is wall-clock seconds since run start — the
     # -- one documented exception to the virtual-time convention) ---------
     "net_connect": (("t", "proc", "addr"), ("attempt",)),

@@ -12,7 +12,7 @@ callable :class:`~repro.sim.runner.Simulation` expects, so runs read::
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.sim.peer import Peer, SimEnv
 from repro.util.bitarrays import BitArray
@@ -48,17 +48,39 @@ class DownloadPeer(Peer):
     #: Human-readable protocol name (subclasses override).
     protocol_name = "download"
 
+    #: Does this protocol exchange peer-to-peer messages?  ``False``
+    #: marks *message-free* protocols (each peer talks only to the
+    #: source), whose peers form independent groups — the sharded
+    #: execution layer (:mod:`repro.execution.sharding`) may then split
+    #: one run across processes with bit-identical results.
+    peer_to_peer = True
+
     def __init__(self, pid: int, env: SimEnv) -> None:
         super().__init__(pid, env)
         # Working copy of the output: -1 marks unknown bits.  BitArray
         # cannot hold the sentinel, so the working array is a list and
-        # is packed only at finish time.
-        self.working: list[int] = [UNKNOWN] * env.ell
+        # is packed only at finish time.  On the scale path the list is
+        # allocated lazily on first touch — board-driven protocols
+        # never touch it, and n * ell sentinel lists are exactly the
+        # per-object memory the scale path exists to avoid.
+        self._working: Optional[list[int]] = (
+            None if env.scale is not None else [UNKNOWN] * env.ell)
         # Invariant: number of UNKNOWN entries in ``working``.  Learned
         # bits are never overwritten, so the count only decreases; it
         # makes ``all_known``/``known_count`` O(1) instead of a scan
         # per delivered message.
         self._unknown_count = env.ell
+
+    @property
+    def working(self) -> list[int]:
+        array = self._working
+        if array is None:
+            array = self._working = [UNKNOWN] * self.env.ell
+        return array
+
+    @working.setter
+    def working(self, array: list[int]) -> None:
+        self._working = array
 
     @classmethod
     def factory(cls, **params) -> Callable[[int, SimEnv], "DownloadPeer"]:
@@ -75,6 +97,9 @@ class DownloadPeer(Peer):
         (``repro trace summary``'s per-phase histogram).  Free when
         telemetry is disabled; never affects the run either way.
         """
+        scale = self.env.scale
+        if scale is not None:
+            scale.state.set_phase(self.pid, name)
         telemetry = self.env.telemetry
         if telemetry is not None:
             telemetry.emit("phase", {"t": self.env.kernel.now,
@@ -92,28 +117,46 @@ class DownloadPeer(Peer):
         """
         if bit not in (0, 1):
             raise ValueError(f"bit must be 0 or 1, got {bit!r}")
-        if self.working[index] == UNKNOWN:
-            self.working[index] = bit
-            self._unknown_count -= 1
+        working = self.working
+        if working[index] == UNKNOWN:
+            working[index] = bit
+            self._note_learned(1)
 
     def learn_many(self, values: dict[int, int]) -> None:
         """Record several bits at once."""
         working = self.working
+        learned = 0
         for index, bit in values.items():
             if bit not in (0, 1):
                 raise ValueError(f"bit must be 0 or 1, got {bit!r}")
             if working[index] == UNKNOWN:
                 working[index] = bit
-                self._unknown_count -= 1
+                learned += 1
+        if learned:
+            self._note_learned(learned)
 
     def learn_string(self, lo: int, string: str) -> None:
         """Record a segment string starting at bit ``lo``."""
         working = self.working
+        learned = 0
         for offset, ch in enumerate(string):
             index = lo + offset
             if working[index] == UNKNOWN:
                 working[index] = 1 if ch == "1" else 0
-                self._unknown_count -= 1
+                learned += 1
+        if learned:
+            self._note_learned(learned)
+
+    def _note_learned(self, count: int) -> None:
+        """Shrink the unknown-count invariant by ``count`` bits, and
+        mirror the new known count into the run's contiguous
+        :class:`~repro.sim.peerstate.PeerStateArrays` when the scale
+        path is active (one array write per batch, so whole-fleet
+        progress reads never touch the peer objects)."""
+        self._unknown_count -= count
+        scale = self.env.scale
+        if scale is not None:
+            scale.state.unknown_count[self.pid] = self._unknown_count
 
     def unknown_indices(self) -> list[int]:
         """Sorted indices this peer has not learned yet."""

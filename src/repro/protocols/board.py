@@ -1,0 +1,283 @@
+"""Batched committee tallies for the scale path's byz-committee runs.
+
+The baseline :class:`~repro.protocols.byz_committee.ByzCommitteeDownloadPeer`
+keeps one ``(block, string) -> supporters`` tally *per peer*; every
+report delivery touches one peer's dict.  At ``n = 10^5`` that is
+``O(n)`` dicts updated ``O(blocks * committee)`` times each.  The
+:class:`CommitteeBoard` stores the same information *per column*: one
+column per distinct ``(block, string)`` report value, with the vote
+counts of **all** peers for that column held in a
+:class:`TierTally` — tier ``k`` is a single arbitrary-precision-int
+bitmask of the peers holding at least ``k + 1`` votes.  Adding one
+report for a whole span of peers is then ``t + 1`` big-int AND/ORs
+(bytes-level vectorization, ~``n / 8`` bytes per operand) instead of
+``n`` dict updates, and the peers newly reaching the ``t + 1``
+acceptance threshold fall out as a bitmask.
+
+Observational equivalence to the per-peer engine (pinned by the golden
+battery with the scale path forced on):
+
+* Dedup by *distinct sender* is per ``(column, sender)`` delivered-set
+  bitmask — the same "count each committee member once" rule.
+* A peer accepts a block exactly once (``accepted_mask`` filters), and
+  acceptance fires at the exact delivery event where that peer's
+  ``t + 1``-th distinct vote lands — the same event as baseline.
+* Completion wake-ups go to newly-completed peers in ascending pid
+  order, matching the baseline's per-destination delivery order; all
+  other notifies in the baseline evaluate a false predicate and
+  schedule nothing, so skipping them is invisible.
+* Votes tallied for crashed/finished peers are never read again
+  (their output, if any, was packed at finish time), mirroring the
+  baseline where such deliveries evaporate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.assignment import committee_for, committees_by_peer
+from repro.core.segments import Segmentation
+from repro.sim.peerstate import numpy_or_none
+from repro.util.bitarrays import BitArray
+
+
+def iter_bits(mask: int):
+    """Yield the set-bit positions of ``mask`` in ascending order."""
+    while mask:
+        lsb = mask & -mask
+        yield lsb.bit_length() - 1
+        mask ^= lsb
+
+
+class TierTally:
+    """Saturating per-peer vote counter over bitmask tiers.
+
+    ``tiers[k]`` holds the peers with at least ``k + 1`` votes; counts
+    saturate at ``threshold``.  :meth:`add` credits one vote to every
+    peer in ``mask`` and returns the peers that *newly* reached the
+    threshold — the batched equivalent of incrementing ``n`` individual
+    counters and comparing each against ``threshold``.
+    """
+
+    __slots__ = ("threshold", "tiers")
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.tiers = [0] * threshold
+
+    def add(self, mask: int) -> int:
+        """Credit one vote to each peer in ``mask``; return the mask of
+        peers whose count just reached the threshold."""
+        tiers = self.tiers
+        top = self.threshold - 1
+        carry = mask
+        for level in range(top):
+            tier = tiers[level]
+            tiers[level] = tier | carry
+            carry &= tier
+            if not carry:
+                return 0
+        newly = carry & ~tiers[top]
+        tiers[top] |= carry
+        return newly
+
+    def count(self, pid: int) -> int:
+        """Current (saturated) vote count of peer ``pid`` — the
+        reference read-side used by the property tests."""
+        return sum((tier >> pid) & 1 for tier in self.tiers)
+
+
+class CommitteeBoard:
+    """Shared column-major report tally for one byz-committee run."""
+
+    def __init__(self, *, kernel, n: int, t: int, blocks: Segmentation,
+                 committee_size: int, backend: str = "python") -> None:
+        self.kernel = kernel
+        self.n = n
+        self.t = t
+        self.threshold = t + 1
+        self.blocks = blocks
+        self.num_blocks = blocks.num_segments
+        self.committee_size = committee_size
+        self._np = numpy_or_none() if backend == "numpy" else None
+        #: Registered receivers (the run's peers), indexed by pid; a
+        #: Byzantine shell's inner honest peer registers too.
+        self.receivers: list[Optional[object]] = [None] * n
+        self._members = committees_by_peer(self.num_blocks, committee_size,
+                                           n)
+        self._committees = [
+            frozenset(committee_for(block, committee_size, n))
+            for block in range(self.num_blocks)]
+        self._widths = [hi - lo for lo, hi in
+                        (blocks.bounds(block)
+                         for block in range(self.num_blocks))]
+        # Column store: one column per distinct (block, string) value.
+        self._cols: dict[tuple[int, str], int] = {}
+        self._col_string: list[str] = []
+        self._col_block: list[int] = []
+        self._tally: list[TierTally] = []
+        #: Per-(column, sender) delivered-destination bitmask: the
+        #: distinct-sender dedup rule, span-at-a-time.
+        self._seen: list[dict[int, int]] = []
+        #: Per-block bitmask of peers that accepted the block.
+        self._accepted_mask: list[int] = [0] * self.num_blocks
+        np = self._np
+        if np is not None:
+            self._accepted_col = np.full((self.num_blocks, n), -1,
+                                         dtype=np.int32)
+            self._accepted_count = np.zeros(n, dtype=np.int64)
+        else:
+            from array import array
+            self._accepted_col = [array("l", [-1]) * n
+                                  for _ in range(self.num_blocks)]
+            self._accepted_count = array("q", [0]) * n
+        #: Interned outputs keyed by the tuple of accepted column ids —
+        #: in a normal run every honest peer accepts the same columns,
+        #: so the whole fleet shares one packed BitArray.
+        self._outputs: dict[tuple, BitArray] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def register(self, peer) -> None:
+        self.receivers[peer.pid] = peer
+
+    def blocks_of(self, pid: int) -> list[int]:
+        """Blocks whose committee contains ``pid`` (ascending)."""
+        return self._members.get(pid, [])
+
+    # -- column management -------------------------------------------------
+
+    def _col_id(self, block: int, string: str) -> int:
+        col = self._cols.get((block, string))
+        if col is None:
+            col = len(self._col_string)
+            self._cols[(block, string)] = col
+            self._col_string.append(string)
+            self._col_block.append(block)
+            self._tally.append(TierTally(self.threshold))
+            self._seen.append({})
+        return col
+
+    def _valid_col(self, block: int, sender: int,
+                   string: str) -> Optional[int]:
+        """Column for a report, or ``None`` for reports the baseline
+        acceptance rule ignores (bad block, non-member, wrong width)."""
+        if not 0 <= block < self.num_blocks:
+            return None
+        if sender not in self._committees[block]:
+            return None
+        if len(string) != self._widths[block]:
+            return None
+        return self._col_id(block, string)
+
+    # -- delivery ----------------------------------------------------------
+
+    def on_single(self, pid: int, message) -> None:
+        """Per-delivery path: one report reached one peer (Byzantine
+        proxy sends and non-groupable latencies land here)."""
+        col = self._valid_col(message.block, message.sender, message.string)
+        if col is None:
+            return
+        bit = 1 << pid
+        seen = self._seen[col]
+        prev = seen.get(message.sender, 0)
+        if prev & bit:
+            return  # duplicate from this sender: counted once already
+        seen[message.sender] = prev | bit
+        newly = self._tally[col].add(bit)
+        if newly:
+            # The receiving peer's own deliver() notify covers it, as
+            # in the baseline — no extra notify from here.
+            self._apply_acceptances(col, newly, notify=False)
+
+    def deliver_span(self, message, lo: int, hi: int) -> None:
+        """Bulk path: one report reached the whole pid span [lo, hi)."""
+        col = self._valid_col(message.block, message.sender, message.string)
+        if col is None:
+            return
+        span = (1 << hi) - (1 << lo)
+        seen = self._seen[col]
+        sender = message.sender
+        prev = seen.get(sender, 0)
+        mask = span & ~prev if prev & span else span
+        seen[sender] = prev | span
+        if not mask:
+            return
+        newly = self._tally[col].add(mask)
+        if newly:
+            self._apply_acceptances(col, newly, notify=True)
+
+    def _apply_acceptances(self, col: int, newly: int,
+                           notify: bool) -> None:
+        block = self._col_block[col]
+        pending = newly & ~self._accepted_mask[block]
+        if not pending:
+            return
+        self._accepted_mask[block] |= pending
+        np = self._np
+        if np is not None:
+            indices = self._mask_to_indices(pending)
+            self._accepted_col[block][indices] = col
+            counts = self._accepted_count
+            counts[indices] += 1
+            completed = indices[counts[indices] == self.num_blocks]
+            completed = completed.tolist()
+        else:
+            row = self._accepted_col[block]
+            counts = self._accepted_count
+            completed = []
+            for pid in iter_bits(pending):
+                row[pid] = col
+                counts[pid] += 1
+                if counts[pid] == self.num_blocks:
+                    completed.append(pid)
+        if notify and completed:
+            kernel = self.kernel
+            receivers = self.receivers
+            for pid in completed:  # ascending = baseline delivery order
+                receiver = receivers[pid]
+                if receiver is not None:
+                    kernel.notify(receiver)
+
+    def _mask_to_indices(self, mask: int):
+        np = self._np
+        nbytes = (self.n + 7) // 8
+        raw = np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint8)
+        return np.nonzero(np.unpackbits(raw, bitorder="little",
+                                        count=self.n))[0]
+
+    # -- the peer-facing read side ----------------------------------------
+
+    def self_accept(self, pid: int, block: int, string: str) -> None:
+        """A committee member accepts its own reading — unless a
+        ``t+1``-supported report already settled the block (the
+        baseline's ``accepted.setdefault`` semantics)."""
+        bit = 1 << pid
+        if self._accepted_mask[block] & bit:
+            return
+        col = self._col_id(block, string)
+        self._accepted_mask[block] |= bit
+        self._accepted_col[block][pid] = col
+        self._accepted_count[pid] += 1
+
+    def accepted_blocks(self, pid: int) -> int:
+        """How many blocks ``pid`` has accepted so far."""
+        return int(self._accepted_count[pid])
+
+    def output_for(self, pid: int) -> BitArray:
+        """Pack ``pid``'s accepted strings into the output array.
+
+        Outputs are interned by accepted-column tuple: in a normal run
+        every honest peer accepted identical columns and the whole
+        fleet shares one :class:`BitArray` instead of ``n`` copies.
+        """
+        cols = tuple(int(self._accepted_col[block][pid])
+                     for block in range(self.num_blocks))
+        output = self._outputs.get(cols)
+        if output is None:
+            output = BitArray.from_segments(
+                self._col_string[col] for col in cols)
+            self._outputs[cols] = output
+        return output

@@ -76,7 +76,18 @@ class ByzCommitteeDownloadPeer(DownloadPeer):
         #: of once per later report.
         self._support: dict[tuple[int, str], set[int]] = {}
         self._committee_cache: dict[int, frozenset[int]] = {}
-        self.on_message(CommitteeReport, self._on_report)
+        #: Scale path: the run-shared column-major tally
+        #: (:class:`~repro.protocols.board.CommitteeBoard`) replaces
+        #: the per-peer ``accepted``/``_support`` dicts — same
+        #: acceptance rule, applied per span of peers instead of per
+        #: peer.  The deadline variant keeps the per-peer engine (its
+        #: leftover-query path reads the working array).
+        self._board = None
+        if env.scale is not None and give_up_time is None:
+            self._board = env.scale.committee_board(self)
+            self.on_message(CommitteeReport, self._on_report_scale)
+        else:
+            self.on_message(CommitteeReport, self._on_report)
 
     def _committee(self, block: int) -> frozenset[int]:
         committee = self._committee_cache.get(block)
@@ -106,9 +117,19 @@ class ByzCommitteeDownloadPeer(DownloadPeer):
             self.accepted[block] = message.string
             self.learn_string(lo, message.string)
 
+    def _on_report_scale(self, message: CommitteeReport) -> None:
+        # Per-destination fallback on the scale path (Byzantine runs,
+        # where the corrupting network proxy forces singleton sends):
+        # feed the shared board one vote at a time.  The bulk path
+        # (``deliver_span``) bypasses this handler entirely.
+        self._board.on_single(self.pid, message)
+
     # -- body --------------------------------------------------------------------
 
     def body(self) -> Iterator:
+        if self._board is not None:
+            yield from self._body_scale()
+            return
         self.begin_cycle()
         self.note_phase("report")
         my_blocks = [block for block in range(self.blocks.num_segments)
@@ -153,3 +174,38 @@ class ByzCommitteeDownloadPeer(DownloadPeer):
                 values = yield from self.query_bits(leftovers)
                 self.learn_many(values)
         self.finish_with_working()
+
+    def _body_scale(self) -> Iterator:
+        """The same protocol driven through the shared board.
+
+        Step-for-step identical to :meth:`body` in every externally
+        observable way (queries issued, messages sent, wait points,
+        virtual timestamps); only the tally bookkeeping moves from
+        per-peer dicts to the run-shared column store, and the output
+        is assembled from accepted block strings instead of a per-peer
+        working array (the strings are the same bits).
+        """
+        board = self._board
+        self.begin_cycle()
+        self.note_phase("report")
+        my_blocks = board.blocks_of(self.pid)
+        wanted: list[int] = []
+        for block in my_blocks:
+            lo, hi = self.blocks.bounds(block)
+            wanted.extend(range(lo, hi))
+        values = yield from self.query_bits(wanted)
+        for block in my_blocks:
+            lo, hi = self.blocks.bounds(block)
+            string = "".join("1" if values[index] else "0"
+                             for index in range(lo, hi))
+            board.self_accept(self.pid, block, string)
+            self.broadcast(CommitteeReport(sender=self.pid, block=block,
+                                           string=string))
+
+        self.begin_cycle()
+        self.note_phase("collect")
+        num_blocks = self.blocks.num_segments
+        yield self.wait_until(
+            lambda: board.accepted_blocks(self.pid) == num_blocks,
+            "t+1 matching reports for every block")
+        self.finish(board.output_for(self.pid))

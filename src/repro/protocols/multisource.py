@@ -64,6 +64,7 @@ class CrossValidateDownloadPeer(DownloadPeer):
     """
 
     protocol_name = "cross-validate"
+    peer_to_peer = False  # source-only: shardable (see execution.sharding)
 
     def __init__(self, pid: int, env: SimEnv,
                  q: Optional[int] = None, decode: str = "majority",

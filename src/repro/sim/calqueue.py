@@ -1,0 +1,169 @@
+"""A bucketed calendar queue with exact ``(time, seq)`` ordering.
+
+The kernel's default event store is a binary heap of
+``(time, seq, action, kind)`` tuples.  At six-figure ``n`` the heap is
+still correct but every push/pop pays ``O(log N)`` tuple comparisons on
+a single large array; a calendar queue (Brown 1988) spreads entries
+over time-indexed buckets so that push is ``O(1)`` and pop only touches
+the handful of entries sharing the current bucket slot.
+
+The implementation here is deliberately conservative about *ordering*:
+
+* Entries with equal ``time`` always share a bucket (the bucket index
+  is a pure function of ``time``), and each bucket is itself a small
+  ``(time, seq)`` heap — so the global pop order is exactly the binary
+  heap's pop order, tie-break included.  The golden-trace battery runs
+  with the calendar queue forced on to pin this.
+* A cached-min slot makes :meth:`peek` (and :func:`len`) ``O(1)``,
+  which the profiler and the ``scheduler_stats`` telemetry use.
+* Pushing an entry *behind* the current scan position (a zero-delay
+  event after the scan advanced) resets the scan, so nothing is ever
+  skipped; when a whole year of buckets is empty the queue falls back
+  to a direct scan over bucket minima instead of spinning.
+
+The queue is selected once, at kernel construction, from the expected
+event count — a run never switches between heap and calendar mid-way
+(see ``Kernel.__init__``), so the crossover cannot perturb a trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+#: Entries are the kernel's ``(time, seq, action, kind)`` tuples.
+Entry = tuple
+
+#: Default bucket slot width in virtual-time units.  Latencies in the
+#: simulator are O(1) (unit for NullAdversary, [0.5, 2.0] for the
+#: random-delay adversary), so a slot of 1.0 keeps each pop's scan
+#: short without scattering one timestep over many buckets.
+DEFAULT_WIDTH = 1.0
+
+#: Buckets are doubled when the population exceeds this many entries
+#: per bucket on average.
+_RESIZE_FACTOR = 4
+
+
+class CalendarQueue:
+    """Min-queue over ``(time, seq, ...)`` tuples, bucketed by time."""
+
+    def __init__(self, *, width: float = DEFAULT_WIDTH,
+                 nbuckets: int = 64) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if nbuckets < 1:
+            raise ValueError(f"nbuckets must be >= 1, got {nbuckets}")
+        self._width = width
+        self._nbuckets = nbuckets
+        self._buckets: list[list[Entry]] = [[] for _ in range(nbuckets)]
+        self._size = 0
+        # Scan state: the bucket the next pop starts searching from and
+        # the half-open slot [_slot_start, _year_end) it represents.
+        self._cur = 0
+        self._slot_start = 0.0
+        self._year_end = width
+        # Cached global minimum (lazy; cleared by pop and resize).
+        self._min: Optional[Entry] = None
+        self._min_bucket = -1
+
+    # -- core interface ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, entry: Entry) -> None:
+        time = entry[0]
+        index = int(time / self._width) % self._nbuckets
+        heapq.heappush(self._buckets[index], entry)
+        self._size += 1
+        if time < self._slot_start:
+            # A zero-delay event landed behind the scan position; pull
+            # the scan back so the next pop cannot skip it.
+            self._reposition(time)
+        # Keep the cached minimum valid, never *install* one: after a
+        # pop (or resize) clears the cache, smaller entries may remain
+        # in other buckets, so the next peek must re-locate lazily.
+        if self._min is not None and entry < self._min:
+            self._min = entry
+            self._min_bucket = index
+        if self._size > _RESIZE_FACTOR * self._nbuckets:
+            self._grow()
+
+    def peek(self) -> Optional[Entry]:
+        """The next entry to pop, or ``None`` when empty.  ``O(1)``
+        amortised: the scan for the minimum is cached until a pop."""
+        if self._size == 0:
+            return None
+        if self._min is None:
+            self._locate_min()
+        return self._min
+
+    def pop(self) -> Entry:
+        entry = self.peek()
+        if entry is None:
+            raise IndexError("pop from an empty CalendarQueue")
+        # The cached minimum is by construction the top of its bucket's
+        # heap, so popping that bucket removes exactly ``entry``.
+        popped = heapq.heappop(self._buckets[self._min_bucket])
+        assert popped is entry
+        self._size -= 1
+        self._min = None
+        return entry
+
+    # -- internals ---------------------------------------------------------
+
+    def _reposition(self, time: float) -> None:
+        """Point the scan at the bucket slot containing ``time``."""
+        slot = int(time / self._width)
+        self._cur = slot % self._nbuckets
+        self._slot_start = slot * self._width
+        self._year_end = self._slot_start + self._width
+
+    def _locate_min(self) -> None:
+        """Find the global minimum entry.  Calendar scan: walk buckets
+        from the current slot, taking the first bucket whose top entry
+        falls inside the slot's time window; after a fruitless year,
+        fall back to a direct scan over all bucket minima."""
+        buckets = self._buckets
+        width = self._width
+        cur, slot_start, year_end = (self._cur, self._slot_start,
+                                     self._year_end)
+        for _ in range(self._nbuckets):
+            bucket = buckets[cur]
+            if bucket and bucket[0][0] < year_end:
+                self._cur = cur
+                self._slot_start = slot_start
+                self._year_end = year_end
+                self._min = bucket[0]
+                self._min_bucket = cur
+                return
+            cur = (cur + 1) % self._nbuckets
+            slot_start = year_end
+            year_end += width
+        # Sparse region: nothing within a whole year of slots.  Take
+        # the true minimum over bucket tops and re-anchor the scan.
+        best = None
+        best_bucket = -1
+        for index, bucket in enumerate(buckets):
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_bucket = index
+        assert best is not None, "size > 0 but all buckets empty"
+        self._min = best
+        self._min_bucket = best_bucket
+        self._reposition(best[0])
+
+    def _grow(self) -> None:
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        self._nbuckets *= 2
+        self._buckets = [[] for _ in range(self._nbuckets)]
+        for entry in entries:
+            index = int(entry[0] / self._width) % self._nbuckets
+            heapq.heappush(self._buckets[index], entry)
+        self._min = None
+        if entries:
+            self._reposition(min(entry[0] for entry in entries))

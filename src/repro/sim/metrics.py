@@ -63,6 +63,18 @@ class MetricsCollector:
         self.messages_sent[pid] += 1
         self.message_bits_sent[pid] += bits
 
+    def record_messages(self, pid: int, count: int, bits_each: int) -> None:
+        """Charge ``count`` equal-sized sends to ``pid`` in one update.
+
+        Bulk companion to :meth:`record_message` for the scale path's
+        grouped broadcasts; totals are identical to ``count`` scalar
+        calls.
+        """
+        if count <= 0:
+            return
+        self.messages_sent[pid] += count
+        self.message_bits_sent[pid] += count * bits_each
+
     def record_start(self, pid: int, time: float) -> None:
         """Record the virtual time peer ``pid`` began executing."""
         self.start_time[pid] = time

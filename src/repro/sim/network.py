@@ -69,6 +69,12 @@ class WithheldMessage:
 class Network:
     """Complete network over ``n`` peers with per-message adversary delays."""
 
+    #: Class marker checked by the scale path: bulk broadcasts require
+    #: the real network.  The Byzantine corrupting proxy lacks the
+    #: marker, so wrapped senders fall back to exact per-destination
+    #: sends.
+    BULK_CAPABLE = True
+
     def __init__(self, kernel: Kernel, metrics: MetricsCollector,
                  adversary, message_size_limit: Optional[int] = None,
                  packetize: bool = False, fifo: bool = False) -> None:
@@ -204,6 +210,118 @@ class Network:
             delay,
             lambda: self._deliver(destination, message),
             kind=f"deliver:{sender_pid}->{destination}")
+
+    # -- the scale path's bulk broadcast ----------------------------------
+
+    def broadcast_message(self, sender_pid: int, n: int, message: Message,
+                          *, sender_cycle: int = 0, sink=None) -> None:
+        """Broadcast ``message`` to every peer but the sender, grouping
+        equal-latency runs of destinations into single delivery events.
+
+        Semantics are exactly :meth:`Peer.broadcast`'s per-destination
+        loop: every adversary hook (``permit_send``,
+        ``transform_message``, ``message_latency``) fires once per
+        destination, in ascending destination order, so RNG draw order
+        and crash-mid-batch behaviour are bit-identical to the
+        baseline.  Only the *scheduling* is collapsed: a maximal run of
+        consecutive destinations whose message passed through
+        untransformed with the same numeric latency becomes one queued
+        event delivered by ``sink.deliver_span``.  Because the run's
+        per-destination events would have carried consecutive sequence
+        numbers, no other event can order between them — the pop order
+        of the whole queue is provably unchanged (the golden battery
+        pins this with the scale path forced on).
+
+        Callers must ensure no per-delivery instrumentation is active
+        (see ``ScaleContext.bulk_eligible``); withheld, transformed,
+        and singleton deliveries fall back to the exact per-message
+        paths.
+        """
+        kernel = self.kernel
+        adversary = self.adversary
+        metrics = self.metrics
+        sender = self._receivers.get(sender_pid)
+        now = kernel.now
+        size = message.size_bits()
+        sent = 0          # untransformed sends, for one batched charge
+        run_lo = -1       # current groupable destination run [lo, hi)
+        run_hi = -1
+        run_latency = 0.0
+
+        def flush() -> None:
+            nonlocal run_lo
+            if run_lo < 0:
+                return
+            if run_hi - run_lo == 1:
+                destination = run_lo
+                kernel.schedule(
+                    run_latency,
+                    lambda: self._deliver(destination, message),
+                    kind=f"deliver:{sender_pid}->{destination}")
+            else:
+                lo, hi = run_lo, run_hi
+                kernel.schedule(
+                    run_latency,
+                    lambda: self._deliver_span(message, lo, hi, sink),
+                    kind=f"deliver-span:{sender_pid}->{lo}:{hi}")
+            run_lo = -1
+
+        for destination in range(n):
+            if destination == sender_pid:
+                continue
+            if sender is not None and not sender.live:
+                # Crashed mid-batch: the remaining sends would all
+                # short-circuit on the live check, exactly as here.
+                break
+            if not adversary.permit_send(sender_pid, destination, message,
+                                         now):
+                continue
+            transformed = adversary.transform_message(
+                sender_pid, destination, message, now, sender_cycle)
+            if transformed is None:
+                continue  # dynamically-corrupted sender: message eaten
+            if transformed is not message:
+                flush()
+                metrics.record_message(sender_pid, transformed.size_bits())
+                latency = adversary.message_latency(
+                    sender_pid, destination, transformed, now, sender_cycle)
+                self._dispatch(sender_pid, destination, transformed, latency)
+                continue
+            sent += 1
+            latency = adversary.message_latency(
+                sender_pid, destination, message, now, sender_cycle)
+            if isinstance(latency, _Withhold):
+                flush()
+                self._withheld.append(WithheldMessage(
+                    sender_pid, destination, message, now))
+                continue
+            if not isinstance(latency, (int, float)) or latency < 0:
+                raise ValueError(
+                    f"adversary returned invalid latency {latency!r}")
+            latency = float(latency)
+            if run_lo >= 0 and destination == run_hi \
+                    and latency == run_latency:
+                run_hi = destination + 1
+            else:
+                flush()
+                run_lo, run_hi, run_latency = (destination,
+                                               destination + 1, latency)
+        flush()
+        if sent:
+            metrics.record_messages(sender_pid, sent, size)
+
+    def _deliver_span(self, message: Message, lo: int, hi: int,
+                      sink) -> None:
+        """Deliver ``message`` to the contiguous pid span ``[lo, hi)``
+        as one event.  ``events_processed`` is compensated so event
+        accounting matches the per-destination engine exactly; the sink
+        owns the per-peer effects (tallies and completion notifies).
+        Crashed/finished receivers need no check here: the baseline
+        pops their delivery events too (then evaporates them), and the
+        sink's tally state for non-live peers is never read again.
+        """
+        self.kernel.events_processed += (hi - lo) - 1
+        sink.deliver_span(message, lo, hi)
 
     def deliver_direct(self, destination: int, message: Message,
                        latency) -> None:

@@ -1,0 +1,121 @@
+"""Struct-of-arrays peer state for the vectorized scale path.
+
+At paper-scale ``n`` every peer owns its own little bundle of Python
+objects — an unknown-bit counter, a query bitmask inside the source's
+dict, a phase string.  At ``n = 10^5`` that layout costs both memory
+(object headers, dict entries) and time (hashing a pid on every query).
+:class:`PeerStateArrays` stores the same facts contiguously, indexed by
+pid:
+
+* ``unknown_count[pid]`` — bits the peer has not yet learned,
+* ``query_masks[pid]`` — the peer's cumulative query bitmask (an
+  arbitrary-precision int, the same bytes-level representation
+  ``util/bitarrays`` uses),
+* ``phase[pid]`` — the peer's current protocol phase as a small
+  interned id (see :meth:`phase_id`),
+* ``terminated[pid]`` — completion flags.
+
+The arrays are numpy-backed when numpy is importable and the scale
+config asks for it, with an ``array``-module fallback otherwise —
+numpy is an *optional* extra (``pip install repro[scale]``); the main
+test matrix runs without it.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from repro.sim.errors import ConfigurationError
+
+try:  # pragma: no cover - exercised via both CI paths
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def numpy_or_none():
+    """The numpy module when importable, else ``None``."""
+    return _np
+
+
+def require_numpy(context: str = "the numpy scale backend"):
+    """Return numpy or raise a :class:`ConfigurationError` that names
+    the optional extra to install."""
+    if _np is None:
+        raise ConfigurationError(
+            f"{context} requires numpy, which is not installed; "
+            f"install the optional extra with `pip install repro[scale]` "
+            f"(or set REPRO_SCALE=python for the pure-python fallback)")
+    return _np
+
+
+class PeerStateArrays:
+    """Contiguous per-peer state shared by one scale-mode run."""
+
+    def __init__(self, n: int, ell: int, backend: str = "python") -> None:
+        if backend not in ("numpy", "python"):
+            raise ConfigurationError(
+                f"unknown scale backend {backend!r}; "
+                f"expected 'numpy' or 'python'")
+        if backend == "numpy":
+            np = require_numpy()
+            self.unknown_count = np.full(n, ell, dtype=np.int64)
+            self.phase = np.zeros(n, dtype=np.int16)
+            self.terminated = np.zeros(n, dtype=bool)
+        else:
+            self.unknown_count = array("q", [ell]) * n
+            self.phase = array("h", [0]) * n
+            self.terminated = array("b", [0]) * n
+        #: Per-peer cumulative query bitmasks (python ints — exact and
+        #: unbounded, and bulk OR over a slice of peers is a bytes-level
+        #: operation).  A contiguous list indexed by pid replaces the
+        #: source's per-pid dict: no hashing on the query hot path.
+        self.query_masks: list[int] = [0] * n
+        #: Which peers have issued at least one query — distinguishes
+        #: "never queried" from "queried an empty mask" so the source's
+        #: ``queried_indices`` view stays key-for-key identical to the
+        #: baseline dict.
+        if backend == "numpy":
+            self.query_touched = _np.zeros(n, dtype=bool)
+        else:
+            self.query_touched = array("b", [0]) * n
+        self.backend = backend
+        self.n = n
+        self.ell = ell
+        self._phase_ids: dict[str, int] = {"": 0}
+        self._phase_names: list[str] = [""]
+
+    # -- phase flags -------------------------------------------------------
+
+    def phase_id(self, name: str) -> int:
+        """Intern ``name`` and return its small-int id."""
+        pid = self._phase_ids.get(name)
+        if pid is None:
+            pid = len(self._phase_names)
+            self._phase_ids[name] = pid
+            self._phase_names.append(name)
+        return pid
+
+    def phase_name(self, pid: int) -> str:
+        """The phase name peer ``pid`` last noted."""
+        return self._phase_names[self.phase[pid]]
+
+    def set_phase(self, pid: int, name: str) -> None:
+        self.phase[pid] = self.phase_id(name)
+
+    # -- bulk views --------------------------------------------------------
+
+    def known_counts(self) -> list[int]:
+        """Per-peer known-bit counts (``ell - unknown``) as a list."""
+        ell = self.ell
+        return [ell - unknown for unknown in self.unknown_count]
+
+    def combined_query_mask(self, lo: int = 0,
+                            hi: Optional[int] = None) -> int:
+        """OR of the query masks of peers ``lo..hi-1`` — the union of
+        everything that slice of peers asked the source for."""
+        mask = 0
+        for peer_mask in self.query_masks[lo:hi]:
+            mask |= peer_mask
+        return mask

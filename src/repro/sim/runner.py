@@ -31,6 +31,8 @@ from repro.sim.metrics import ComplexityReport, MetricsCollector, RunStatus
 from repro.sim.network import Network
 from repro.sim.peer import Peer, SimEnv
 from repro.sim.process import Process
+from repro.sim.scalepath import (ScaleContext, resolve_scale,
+                                 use_calendar_queue)
 from repro.sim.scheduler import DEFAULT_MAX_EVENTS, Kernel
 from repro.sim.source import DataSource, MutableDataSource
 from repro.sim.sourceset import SourceSet, parse_faults
@@ -106,7 +108,9 @@ class Simulation:
                  sources: int = 1,
                  source_faults=(),
                  mutations=(),
-                 extras: Optional[dict] = None) -> None:
+                 extras: Optional[dict] = None,
+                 scale=None,
+                 peer_subset=None) -> None:
         check_positive("n", n)
         self.n = n
         self.seed = seed
@@ -163,6 +167,18 @@ class Simulation:
                 "pass either source_factory= or mutations=, not both "
                 "(a custom factory owns the whole source layer)")
         self.extras = dict(extras or {})
+        #: Opt-in vectorized scale path.  ``None`` consults the
+        #: ``REPRO_SCALE`` environment flag (the default, so pool
+        #: workers inherit the CLI's ``--scale`` choice); True/False
+        #: and the explicit backend grammar force it.  Resolved at
+        #: construction so a bad value fails fast.
+        self.scale_config = resolve_scale(scale)
+        #: Restrict instantiation to these pids (sharded execution of
+        #: message-free protocols; see :mod:`repro.execution.sharding`).
+        #: Global parameters — ``n``, seeds, the input — are untouched,
+        #: so every derived RNG stream matches the unsharded run.
+        self.peer_subset = (None if peer_subset is None
+                            else sorted(peer_subset))
 
     def _resolve_data(self, data, ell) -> BitArray:
         if data is None:
@@ -186,7 +202,10 @@ class Simulation:
     def run(self, *, max_events: int = DEFAULT_MAX_EVENTS,
             max_time: Optional[float] = None) -> RunResult:
         """Execute the simulation to completion and summarize it."""
-        kernel = Kernel()
+        scale_config = self.scale_config
+        kernel = Kernel(use_calendar=(
+            scale_config is not None
+            and use_calendar_queue(scale_config, self.n)))
         metrics = MetricsCollector()
         trace = TraceRecorder() if self.trace_enabled else None
         # Resolve the process-global telemetry backend exactly once per
@@ -217,11 +236,18 @@ class Simulation:
             source = DataSource(self.data.copy(), metrics, network,
                                 self.adversary)
         source.telemetry = sink
+        scale_ctx = None
+        if scale_config is not None:
+            scale_ctx = ScaleContext(scale_config, self.n, self.ell)
+            bind = getattr(source, "bind_scale_state", None)
+            if bind is not None:
+                bind(scale_ctx.state)
         env = SimEnv(kernel=kernel, network=network, source=source,
                      metrics=metrics, adversary=self.adversary,
                      n=self.n, t=self.t, ell=self.ell, rng=self.rng,
                      message_size_limit=self.message_size_limit,
-                     trace=trace, telemetry=sink, extras=self.extras)
+                     trace=trace, telemetry=sink, extras=self.extras,
+                     scale=scale_ctx)
         self.adversary.bind(env)
 
         processes: dict[int, Process] = {}
@@ -242,7 +268,9 @@ class Simulation:
                                              "protocol_name",
                                              protocol_class.__name__)
             sink.emit("run_header", header)
-        for pid in range(self.n):
+        pids = (range(self.n) if self.peer_subset is None
+                else self.peer_subset)
+        for pid in pids:
             if pid in planned_faulty:
                 process = self.adversary.make_faulty_peer(
                     pid, env, self.peer_factory)
@@ -257,8 +285,13 @@ class Simulation:
 
         kernel.run(max_events=max_events, max_time=max_time)
 
+        if sink is not None and scale_ctx is not None:
+            sink.emit("scheduler_stats", {
+                "t": kernel.now, "queue": kernel.queue_kind,
+                "events": kernel.events_processed,
+                "max_depth": kernel.max_depth})
         actually_faulty = set(self.adversary.actually_faulty())
-        honest = set(range(self.n)) - actually_faulty
+        honest = set(pids) - actually_faulty
         statuses = {}
         outputs: dict[int, Optional[BitArray]] = {}
         for pid, process in processes.items():
@@ -303,6 +336,7 @@ def run_download(*, n: int, peer_factory: PeerFactory,
                  source_faults=(),
                  mutations=(),
                  extras: Optional[dict] = None,
+                 scale=None,
                  max_events: int = DEFAULT_MAX_EVENTS) -> RunResult:
     """One-call convenience: build a :class:`Simulation` and run it."""
     simulation = Simulation(
@@ -310,5 +344,6 @@ def run_download(*, n: int, peer_factory: PeerFactory,
         adversary=adversary, seed=seed,
         message_size_limit=message_size_limit, packetize=packetize,
         fifo=fifo, trace=trace, sources=sources,
-        source_faults=source_faults, mutations=mutations, extras=extras)
+        source_faults=source_faults, mutations=mutations, extras=extras,
+        scale=scale)
     return simulation.run(max_events=max_events)

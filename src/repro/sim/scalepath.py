@@ -1,0 +1,173 @@
+"""The opt-in vectorized scale path: configuration and run context.
+
+At paper-scale ``n`` the simulator's per-object, per-message style is
+the right trade — readable, traceable, adversary-exact.  At
+``n = 10^5`` the Python overhead of one scheduled event per delivery
+dominates wall-clock.  The scale path keeps the *semantics* (every
+adversary hook still fires once per destination, in the exact baseline
+order) but collapses the *mechanics*:
+
+* per-peer state moves into contiguous
+  :class:`~repro.sim.peerstate.PeerStateArrays`,
+* a broadcast schedules one event per run of equal-latency consecutive
+  destinations instead of one per destination
+  (:meth:`~repro.sim.network.Network.broadcast_message`),
+* message tallies are applied per *span* of peers by a bulk sink
+  (e.g. :class:`~repro.protocols.board.CommitteeBoard`),
+* the kernel's event store switches to the
+  :class:`~repro.sim.calqueue.CalendarQueue` above an event-count
+  threshold (decided once, at kernel construction).
+
+The path is **opt-in** (``REPRO_SCALE=1`` / ``Simulation(scale=...)`` /
+``--scale``) and pinned bit-identical to the default engine at small
+``n`` by the golden-trace battery run with the path forced on
+(``tests/integration/test_scale_golden.py``).  It deliberately does
+not participate in experiment identity: ``seed_for`` and the result
+cache ignore it, exactly like ``workers=``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.errors import ConfigurationError
+from repro.sim.peerstate import PeerStateArrays, numpy_or_none, require_numpy
+
+#: Opt-in flag: ``1``/``auto`` (numpy when available, else python),
+#: ``numpy`` (require the extra), ``python`` (force the fallback),
+#: ``0``/empty (off).
+ENV_FLAG = "REPRO_SCALE"
+
+#: Override for the calendar-queue crossover (expected events); ``0``
+#: forces the calendar queue for every scale-mode run (the golden
+#: battery uses this to pin ordering at small n).
+ENV_THRESHOLD = "REPRO_SCALE_THRESHOLD"
+
+#: Default expected-event count above which a scale-mode run selects
+#: the calendar queue.  With roughly :data:`EVENTS_PER_PEER` baseline
+#: events per peer this crosses over around n = 3-4 * 10^4 — measured
+#: in docs/PERFORMANCE.md ("Scaling to 10^5 peers").
+DEFAULT_CALENDAR_THRESHOLD = 200_000
+
+#: Coarse per-peer event estimate (start, query wait, response
+#: delivery, wake, terminate, slack) used only for queue selection.
+EVENTS_PER_PEER = 6
+
+_ON_VALUES = ("1", "auto", "on", "true", "yes")
+_OFF_VALUES = ("", "0", "off", "false", "no", "none")
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Resolved scale-path settings for one run."""
+
+    backend: str  # "numpy" | "python"
+    calendar_threshold: int = DEFAULT_CALENDAR_THRESHOLD
+
+
+def resolve_scale(explicit=None) -> Optional[ScaleConfig]:
+    """Resolve the scale setting into a config, or ``None`` (off).
+
+    ``explicit`` is the ``Simulation(scale=...)`` argument: ``None``
+    defers to the :data:`ENV_FLAG` environment variable (how the CLI's
+    ``--scale`` reaches pool workers), ``False`` forces off, ``True``
+    means auto, and the strings accept the same grammar as the env var.
+    """
+    if explicit is None:
+        explicit = os.environ.get(ENV_FLAG, "")
+    if explicit is False:
+        return None
+    if explicit is True:
+        explicit = "auto"
+    name = str(explicit).strip().lower()
+    if name in _OFF_VALUES:
+        return None
+    if name in _ON_VALUES:
+        backend = "numpy" if numpy_or_none() is not None else "python"
+    elif name == "numpy":
+        require_numpy(f"{ENV_FLAG}=numpy")
+        backend = "numpy"
+    elif name == "python":
+        backend = "python"
+    else:
+        raise ConfigurationError(
+            f"unrecognized scale mode {explicit!r}; expected one of "
+            f"1/auto, numpy, python, or 0/off")
+    threshold = DEFAULT_CALENDAR_THRESHOLD
+    raw = os.environ.get(ENV_THRESHOLD)
+    if raw is not None:
+        try:
+            threshold = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{ENV_THRESHOLD} must be an integer, got {raw!r}")
+    return ScaleConfig(backend=backend, calendar_threshold=threshold)
+
+
+def use_calendar_queue(config: Optional[ScaleConfig], n: int) -> bool:
+    """Queue selection, decided once per run at kernel construction:
+    scale mode on *and* the expected event count clears the threshold.
+    A run can therefore never cross between heap and calendar mid-way."""
+    if config is None:
+        return False
+    return EVENTS_PER_PEER * n >= config.calendar_threshold
+
+
+class ScaleContext:
+    """Shared per-run scale state: arrays, bulk sinks, shared boards.
+
+    One instance per :meth:`Simulation.run`, referenced from
+    ``SimEnv.scale``; ``None`` there means the run is on the default
+    engine and every scale hook is skipped.
+    """
+
+    def __init__(self, config: ScaleConfig, n: int, ell: int) -> None:
+        self.config = config
+        self.n = n
+        self.ell = ell
+        self.state = PeerStateArrays(n, ell, config.backend)
+        #: ``message type -> bulk sink``: a broadcast of a registered
+        #: type may be delivered to a whole span of peers as one event
+        #: (the sink owns delivery semantics for that type; registering
+        #: one asserts the protocol reads those messages only through
+        #: its handler, never from the inbox).
+        self.sinks: dict[type, object] = {}
+        #: Shared per-run structures keyed by the protocol that owns
+        #: them (e.g. the committee board).
+        self.boards: dict[object, object] = {}
+
+    def bulk_eligible(self, network) -> bool:
+        """True when ``network`` may take the bulk broadcast path.
+
+        Bulk grouping changes nothing observable only when no per-
+        destination instrumentation or ordering feature is active:
+        telemetry and tracing emit per delivery, FIFO links and size
+        limits act per message.  Byzantine senders route through a
+        corrupting proxy that lacks ``broadcast_message`` entirely and
+        fall back to the exact per-destination loop.
+        """
+        return (getattr(network, "BULK_CAPABLE", False)
+                and network.telemetry is None
+                and network.trace is None
+                and not network.fifo
+                and network.message_size_limit is None)
+
+    def committee_board(self, peer):
+        """The run's shared :class:`~repro.protocols.board.CommitteeBoard`
+        for ``peer``'s committee configuration, creating it on first
+        use and registering ``peer`` with it."""
+        from repro.protocols.board import CommitteeBoard
+        from repro.protocols.byz_committee import CommitteeReport
+        key = ("committee", peer.blocks.num_segments, peer.committee_size)
+        board = self.boards.get(key)
+        if board is None:
+            board = CommitteeBoard(
+                kernel=peer.env.kernel, n=self.n, t=peer.env.t,
+                blocks=peer.blocks, committee_size=peer.committee_size,
+                backend=self.config.backend)
+            self.boards[key] = board
+            self.sinks[CommitteeReport] = board
+        board.register(peer)
+        return board

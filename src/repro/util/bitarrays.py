@@ -143,6 +143,18 @@ class BitArray:
             array._bytes[:] = value.to_bytes(len(array._bytes), "little")
         return array
 
+    @classmethod
+    def from_segments(cls, segments: Iterable[str]) -> "BitArray":
+        """Build from consecutive segment strings, concatenated in order.
+
+        Batched companion to :meth:`set_segment`: assembling an output
+        from ``k`` accepted block strings costs one join and one
+        int conversion instead of ``k`` shift-and-mask writes.
+        Equivalent to ``from_string("".join(segments))``; the scale
+        path packs whole-peer outputs this way.
+        """
+        return cls.from_string("".join(segments))
+
     # -- element access ------------------------------------------------------
 
     def __len__(self) -> int:

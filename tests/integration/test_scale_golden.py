@@ -1,0 +1,167 @@
+"""The scale path's identity contract, pinned by the golden battery.
+
+The vectorized scale path (struct-of-arrays peer state, bulk span
+broadcasts, the calendar-queue event store, pid-sharded execution) is
+admissible only because it is *bit-identical* to the default engine:
+same RNG draws, same accounting, same event schedule, same output
+arrays.  These tests force the path on at golden-battery sizes —
+``REPRO_SCALE`` plus ``REPRO_SCALE_THRESHOLD=0`` so even tiny runs take
+the calendar queue — and require every pinned record to come out
+unchanged, on both backends.
+"""
+
+import pytest
+
+from repro.protocols import (
+    ByzCommitteeDownloadPeer,
+    CrossValidateDownloadPeer,
+    NaiveDownloadPeer,
+)
+from repro.sim import run_download
+from repro.sim.errors import ConfigurationError
+from repro.sim.peerstate import numpy_or_none
+from repro.sim.scalepath import ENV_FLAG, ENV_THRESHOLD
+from tests.golden.capture import CASES, capture_case, load_fixture
+
+BACKENDS = ["python"] + (["numpy"] if numpy_or_none() is not None else [])
+
+needs_numpy = pytest.mark.skipif(numpy_or_none() is None,
+                                 reason="numpy not installed")
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return load_fixture()
+
+
+def _assert_matches(case_name: str, expected: dict, actual: dict,
+                    label: str) -> None:
+    for key in sorted(set(expected) | set(actual)):
+        assert actual.get(key) == expected.get(key), (
+            f"{case_name}: {label} diverges in {key!r}: "
+            f"expected {expected.get(key)!r}, got {actual.get(key)!r}")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case["name"])
+def test_scale_forced_trace_is_bit_identical(case, backend, golden,
+                                             monkeypatch):
+    """Every golden case, scale path forced on (calendar queue
+    included): the record must equal the checked-in fixture byte for
+    byte.  Sync-engine cases ignore the flag — keeping them in the
+    sweep pins exactly that."""
+    monkeypatch.setenv(ENV_FLAG, backend)
+    monkeypatch.setenv(ENV_THRESHOLD, "0")
+    _assert_matches(case["name"], golden[case["name"]],
+                    capture_case(case), f"scale[{backend}]")
+
+
+class TestQueueSelectionBoundary:
+    """The heap/calendar decision is made once, at kernel construction
+    — a run just under the threshold stays on the heap, just over it
+    moves to the calendar, and neither changes the record."""
+
+    CASE = next(case for case in CASES
+                if case["name"] == "byz-committee")
+
+    @pytest.mark.parametrize("threshold", [
+        # EVENTS_PER_PEER * n for the case is tiny; 0 forces the
+        # calendar queue, a huge value pins the heap.  Same record
+        # either way.
+        pytest.param("0", id="calendar"),
+        pytest.param("1000000000", id="heap"),
+    ])
+    def test_record_identical_across_the_boundary(self, threshold, golden,
+                                                  monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "python")
+        monkeypatch.setenv(ENV_THRESHOLD, threshold)
+        _assert_matches(self.CASE["name"], golden[self.CASE["name"]],
+                        capture_case(self.CASE), f"threshold={threshold}")
+
+
+def _record(result) -> dict:
+    """The comparison record for direct run_download equality checks."""
+    return {
+        "correct": bool(result.download_correct),
+        "query_complexity": result.report.query_complexity,
+        "total_query_bits": result.report.total_query_bits,
+        "message_complexity": result.report.message_complexity,
+        "message_bits": result.report.message_bits,
+        "time_complexity": repr(result.report.time_complexity),
+        "per_peer_query_bits": dict(result.report.per_peer_query_bits),
+        "per_peer_messages": dict(result.report.per_peer_messages),
+        "elapsed_virtual_time": repr(result.elapsed_virtual_time),
+        "events_processed": result.events_processed,
+        "honest": sorted(result.honest),
+        "faulty": sorted(result.faulty),
+        "statuses": dict(result.statuses),
+        "outputs": {pid: (None if output is None
+                          else output.segment(0, len(output)))
+                    for pid, output in result.outputs.items()},
+        "queried": {pid: sorted(indices)
+                    for pid, indices in result.queried_indices.items()},
+    }
+
+
+class TestBulkSpanEquality:
+    """Fault-free byz-committee at moderate n is the bulk path's best
+    case — every broadcast collapses to one span per latency run and
+    every tally lands on the shared board.  The record must still equal
+    the per-event engine's."""
+
+    KWARGS = dict(n=40, ell=512, t=3, seed=77)
+
+    def _run(self, scale):
+        return run_download(
+            peer_factory=ByzCommitteeDownloadPeer.factory(block_size=64),
+            scale=scale, **self.KWARGS)
+
+    def test_python_backend_matches_baseline(self, monkeypatch):
+        monkeypatch.setenv(ENV_THRESHOLD, "0")
+        assert _record(self._run("python")) == _record(self._run(False))
+
+    @needs_numpy
+    def test_numpy_backend_matches_baseline(self, monkeypatch):
+        monkeypatch.setenv(ENV_THRESHOLD, "0")
+        assert _record(self._run("numpy")) == _record(self._run(False))
+
+
+class TestShardedEquality:
+    """pid-sharded execution of message-free protocols merges back to
+    the unsharded record exactly (see execution.sharding docstring for
+    the independence argument)."""
+
+    def test_naive_sharded_matches_unsharded(self):
+        from repro.execution import run_sharded
+        kwargs = dict(n=24, ell=96, peer_factory=NaiveDownloadPeer.factory(),
+                      t=7, seed=5)
+        whole = run_download(**kwargs)
+        parts = run_sharded(shards=4, **kwargs)
+        assert _record(parts) == _record(whole)
+
+    def test_cross_validate_sharded_with_workers(self):
+        from repro.execution import run_sharded
+        kwargs = dict(n=12, ell=128,
+                      peer_factory=CrossValidateDownloadPeer.factory(q=3),
+                      t=0, seed=11, sources=3,
+                      source_faults=("wrong-bits",))
+        whole = run_download(**kwargs)
+        parts = run_sharded(shards=3, workers=3, **kwargs)
+        assert _record(parts) == _record(whole)
+
+    def test_scale_mode_shards_match_too(self, monkeypatch):
+        from repro.execution import run_sharded
+        monkeypatch.setenv(ENV_THRESHOLD, "0")
+        kwargs = dict(n=18, ell=64, peer_factory=NaiveDownloadPeer.factory(),
+                      t=5, seed=23, scale="python")
+        whole = run_download(**kwargs)
+        parts = run_sharded(shards=3, **kwargs)
+        assert _record(parts) == _record(whole)
+
+    def test_messaging_protocols_are_rejected(self):
+        from repro.execution import run_sharded
+        with pytest.raises(ConfigurationError, match="message-free"):
+            run_sharded(
+                n=8, ell=64, shards=2,
+                peer_factory=ByzCommitteeDownloadPeer.factory(block_size=8),
+                t=2)

@@ -1,0 +1,124 @@
+"""Property-based tests for the scale path's batched kernels.
+
+Each batched primitive (tier-mask vote tallies, whole-run assignment
+maps, segment-packed BitArray construction) must be *extensionally
+equal* to the incremental code it replaces — the golden battery pins
+whole runs, these pin the kernels element for element on arbitrary
+inputs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.assignment import (
+    committees_by_peer,
+    committees_of_peer,
+    digit_owner,
+    digit_owners,
+)
+from repro.protocols.board import TierTally
+from repro.util.bitarrays import BitArray
+
+# A vote mask over a small peer universe; small enough that sequences
+# of them explore saturation and re-voting quickly.
+vote_masks = st.integers(min_value=0, max_value=(1 << 12) - 1)
+
+segments = st.lists(
+    st.text(alphabet="01", min_size=0, max_size=40), max_size=12)
+
+
+class TestTierTally:
+    @given(st.lists(vote_masks, max_size=30),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_per_peer_counters(self, masks, threshold):
+        """Saturating counts and newly-at-threshold sets both equal a
+        naive dict of per-peer integer counters."""
+        tally = TierTally(threshold)
+        counts: dict[int, int] = {}
+        for mask in masks:
+            expected_newly = 0
+            for pid in range(12):
+                if (mask >> pid) & 1:
+                    before = counts.get(pid, 0)
+                    counts[pid] = min(threshold, before + 1)
+                    if before == threshold - 1:
+                        expected_newly |= 1 << pid
+            assert tally.add(mask) == expected_newly
+        for pid in range(12):
+            assert tally.count(pid) == counts.get(pid, 0)
+
+    @given(st.lists(vote_masks, min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_each_peer_reaches_threshold_at_most_once(self, masks,
+                                                      threshold):
+        tally = TierTally(threshold)
+        seen = 0
+        for mask in masks:
+            newly = tally.add(mask)
+            assert newly & seen == 0
+            seen |= newly
+
+
+class TestDigitOwnersBatch:
+    @given(st.lists(st.integers(min_value=0, max_value=50_000),
+                    max_size=60),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=200, deadline=None)
+    def test_equals_scalar_map(self, indices, phase, n):
+        assert digit_owners(indices, phase, n) == [
+            digit_owner(index, phase, n) for index in indices]
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_huge_indices_take_the_exact_path(self, phase, n):
+        # Values past any machine-integer range must still match the
+        # scalar function (the numpy fast path bows out here).
+        indices = [10**30, 10**30 + 1, 2**70]
+        assert digit_owners(indices, phase, n) == [
+            digit_owner(index, phase, n) for index in indices]
+
+
+class TestCommitteesByPeer:
+    @given(st.integers(min_value=0, max_value=40),
+           st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=12))
+    @settings(max_examples=200, deadline=None)
+    def test_equals_per_peer_scan(self, blocks, committee_size, n):
+        batched = committees_by_peer(blocks, committee_size, n)
+        for pid in range(n):
+            assert batched.get(pid, []) == committees_of_peer(
+                pid, blocks, committee_size, n)
+
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_total_membership_is_blocks_times_size(self, blocks,
+                                                   committee_size, n):
+        batched = committees_by_peer(blocks, committee_size, n)
+        total = sum(len(block_ids) for block_ids in batched.values())
+        assert total == blocks * min(committee_size, n)
+
+
+class TestFromSegments:
+    @given(segments)
+    @settings(max_examples=200, deadline=None)
+    def test_equals_from_string_of_concatenation(self, parts):
+        joined = "".join(parts)
+        packed = BitArray.from_segments(parts)
+        reference = BitArray.from_string(joined)
+        assert len(packed) == len(joined)
+        assert packed.segment(0, len(packed)) == \
+            reference.segment(0, len(reference))
+
+    @given(segments)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trips_each_segment(self, parts):
+        packed = BitArray.from_segments(parts)
+        offset = 0
+        for part in parts:
+            assert packed.segment(offset, offset + len(part)) == part
+            offset += len(part)

@@ -1,0 +1,143 @@
+"""CalendarQueue ordering contract: exactly a binary heap, tie-breaks
+included.
+
+The kernel's golden traces depend on the event store popping
+``(time, seq, ...)`` tuples in strictly the heap's order.  These tests
+drive a :class:`~repro.sim.calqueue.CalendarQueue` and a ``heapq``
+reference side by side through randomized push/pop streams — equal
+times, zero delays, interleavings, resize crossings — and require the
+pop sequences to match element for element.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.calqueue import CalendarQueue
+
+
+def _drain_both(cal, heap):
+    out_cal, out_heap = [], []
+    while cal:
+        out_cal.append(cal.pop())
+    while heap:
+        out_heap.append(heapq.heappop(heap))
+    return out_cal, out_heap
+
+
+def _run_stream(times, *, width=1.0, nbuckets=4, interleave_rng=None):
+    """Push every time (seq ascending); optionally interleave pops."""
+    cal = CalendarQueue(width=width, nbuckets=nbuckets)
+    heap = []
+    popped_cal, popped_heap = [], []
+    for seq, time in enumerate(times):
+        entry = (time, seq, None, "k")
+        cal.push(entry)
+        heapq.heappush(heap, entry)
+        if interleave_rng is not None and interleave_rng.random() < 0.4 \
+                and cal:
+            popped_cal.append(cal.pop())
+            popped_heap.append(heapq.heappop(heap))
+    tail_cal, tail_heap = _drain_both(cal, heap)
+    return popped_cal + tail_cal, popped_heap + tail_heap
+
+
+class TestOrdering:
+    def test_matches_heap_on_random_times(self):
+        rng = random.Random(7)
+        times = [round(rng.uniform(0, 50), 3) for _ in range(500)]
+        got, want = _run_stream(times)
+        assert got == want
+
+    def test_equal_times_pop_in_seq_order(self):
+        times = [3.0] * 50 + [1.0] * 50 + [3.0] * 50
+        got, want = _run_stream(times)
+        assert got == want
+        ones = [entry for entry in got if entry[0] == 1.0]
+        assert [entry[1] for entry in ones] == sorted(
+            entry[1] for entry in ones)
+
+    def test_interleaved_push_pop(self):
+        rng = random.Random(13)
+        # Monotone-ish times with zero-delay repeats, like a kernel run.
+        now = 0.0
+        times = []
+        for _ in range(800):
+            if rng.random() < 0.3:
+                times.append(now)  # zero-delay event at current time
+            else:
+                now += rng.choice([0.5, 1.0, 1.0, 2.0])
+                times.append(now)
+        got, want = _run_stream(times, interleave_rng=random.Random(17))
+        assert got == want
+
+    def test_push_behind_scan_position(self):
+        # Advance the scan deep into the calendar, then push an event
+        # at an earlier time (still >= all remaining entries).
+        cal = CalendarQueue(width=1.0, nbuckets=4)
+        heap = []
+        for seq, time in enumerate([40.0, 41.0, 42.0]):
+            entry = (time, seq, None, "k")
+            cal.push(entry)
+            heapq.heappush(heap, entry)
+        assert cal.pop() == heapq.heappop(heap)  # scan now at t=40
+        late = (40.0, 99, None, "k")  # zero-delay at the popped time
+        cal.push(late)
+        heapq.heappush(heap, late)
+        got, want = _drain_both(cal, heap)
+        assert got == want
+
+    def test_sparse_times_fall_back_to_direct_scan(self):
+        # Gaps far wider than nbuckets * width force the year-scan
+        # fallback; ordering must survive it.
+        times = [0.0, 1000.0, 5.0, 2500.0, 1000.0, 12_000.0]
+        got, want = _run_stream(times, nbuckets=2)
+        assert got == want
+
+    def test_resize_preserves_order(self):
+        rng = random.Random(29)
+        times = [round(rng.uniform(0, 10), 2) for _ in range(300)]
+        # nbuckets=1 with _RESIZE_FACTOR=4 forces several doublings.
+        got, want = _run_stream(times, nbuckets=1)
+        assert got == want
+
+
+class TestInterface:
+    def test_len_and_bool(self):
+        cal = CalendarQueue()
+        assert len(cal) == 0 and not cal
+        cal.push((1.0, 0, None, "k"))
+        assert len(cal) == 1 and cal
+
+    def test_peek_is_stable_and_matches_pop(self):
+        cal = CalendarQueue(nbuckets=4)
+        for seq, time in enumerate([3.0, 1.0, 2.0, 1.0]):
+            cal.push((time, seq, None, "k"))
+        assert cal.peek() == (1.0, 1, None, "k")
+        assert cal.peek() == (1.0, 1, None, "k")
+        assert cal.pop() == (1.0, 1, None, "k")
+        assert cal.peek() == (1.0, 3, None, "k")
+
+    def test_peek_empty_returns_none(self):
+        assert CalendarQueue().peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+    def test_push_after_pop_does_not_fake_the_minimum(self):
+        # Regression: a push right after a pop must not install itself
+        # as the cached minimum when smaller entries remain.
+        cal = CalendarQueue(nbuckets=4)
+        cal.push((1.0, 0, None, "k"))
+        cal.push((2.0, 1, None, "k"))
+        cal.pop()
+        cal.push((5.0, 2, None, "k"))
+        assert cal.pop() == (2.0, 1, None, "k")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0)
+        with pytest.raises(ValueError):
+            CalendarQueue(nbuckets=0)

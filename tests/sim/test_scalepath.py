@@ -1,0 +1,160 @@
+"""Scale-path configuration and struct-of-arrays state unit tests."""
+
+import pytest
+
+from repro.sim.errors import ConfigurationError
+from repro.sim.peerstate import PeerStateArrays, numpy_or_none
+from repro.sim.scalepath import (
+    DEFAULT_CALENDAR_THRESHOLD,
+    ENV_FLAG,
+    ENV_THRESHOLD,
+    ScaleConfig,
+    ScaleContext,
+    resolve_scale,
+    use_calendar_queue,
+)
+
+BACKENDS = ["python"] + (["numpy"] if numpy_or_none() is not None else [])
+
+
+class TestResolveScale:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert resolve_scale() is None
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "false", "no",
+                                       "none"])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert resolve_scale() is None
+
+    @pytest.mark.parametrize("value", ["1", "auto", "on", "true", "yes"])
+    def test_on_values_pick_a_backend(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        config = resolve_scale()
+        expected = "numpy" if numpy_or_none() is not None else "python"
+        assert config is not None and config.backend == expected
+
+    def test_explicit_false_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert resolve_scale(False) is None
+
+    def test_explicit_true_means_auto(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert resolve_scale(True) is not None
+
+    def test_python_backend_forced(self):
+        assert resolve_scale("python").backend == "python"
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="unrecognized"):
+            resolve_scale("vectorized")
+
+    def test_numpy_request_errors_name_the_extra(self, monkeypatch):
+        if numpy_or_none() is not None:
+            assert resolve_scale("numpy").backend == "numpy"
+        import repro.sim.peerstate as peerstate
+        monkeypatch.setattr(peerstate, "_np", None)
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_scale("numpy")
+        message = str(excinfo.value)
+        assert "pip install repro[scale]" in message
+        assert "REPRO_SCALE=python" in message
+
+    def test_threshold_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_THRESHOLD, "12")
+        assert resolve_scale("python").calendar_threshold == 12
+
+    def test_threshold_env_must_be_int(self, monkeypatch):
+        monkeypatch.setenv(ENV_THRESHOLD, "lots")
+        with pytest.raises(ConfigurationError, match=ENV_THRESHOLD):
+            resolve_scale("python")
+
+
+class TestUseCalendarQueue:
+    def test_off_without_scale(self):
+        assert not use_calendar_queue(None, 10**6)
+
+    def test_threshold_boundary(self):
+        config = ScaleConfig(backend="python", calendar_threshold=60)
+        assert not use_calendar_queue(config, 9)    # 54 < 60
+        assert use_calendar_queue(config, 10)       # 60 >= 60
+
+    def test_zero_threshold_forces_calendar(self):
+        config = ScaleConfig(backend="python", calendar_threshold=0)
+        assert use_calendar_queue(config, 1)
+
+    def test_default_threshold_spares_small_runs(self):
+        config = ScaleConfig(backend="python")
+        assert config.calendar_threshold == DEFAULT_CALENDAR_THRESHOLD
+        assert not use_calendar_queue(config, 1_000)
+        assert use_calendar_queue(config, 100_000)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestPeerStateArrays:
+    def test_initial_state(self, backend):
+        state = PeerStateArrays(5, 64, backend)
+        assert list(state.unknown_count) == [64] * 5
+        assert list(state.terminated) == [False] * 5
+        assert state.query_masks == [0] * 5
+        assert not any(state.query_touched)
+
+    def test_phase_interning_round_trips(self, backend):
+        state = PeerStateArrays(3, 8, backend)
+        state.set_phase(1, "report")
+        state.set_phase(2, "collect")
+        state.set_phase(1, "collect")
+        assert state.phase_name(0) == ""
+        assert state.phase_name(1) == "collect"
+        assert state.phase_name(2) == "collect"
+        assert state.phase_id("report") == state.phase_id("report")
+
+    def test_known_counts_view(self, backend):
+        state = PeerStateArrays(3, 10, backend)
+        state.unknown_count[1] = 4
+        assert state.known_counts() == [0, 6, 0]
+
+    def test_combined_query_mask(self, backend):
+        state = PeerStateArrays(4, 16, backend)
+        state.query_masks[0] = 0b0011
+        state.query_masks[2] = 0b1100
+        assert state.combined_query_mask() == 0b1111
+        assert state.combined_query_mask(1, 3) == 0b1100
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigurationError, match="unknown scale backend"):
+        PeerStateArrays(2, 8, "cython")
+
+
+class _FakeNetwork:
+    BULK_CAPABLE = True
+    telemetry = None
+    trace = None
+    fifo = False
+    message_size_limit = None
+
+
+class TestBulkEligibility:
+    def _context(self):
+        return ScaleContext(ScaleConfig(backend="python"), n=4, ell=8)
+
+    def test_plain_network_is_eligible(self):
+        assert self._context().bulk_eligible(_FakeNetwork())
+
+    def test_proxy_without_marker_is_not(self):
+        class Proxy:
+            telemetry = None
+            trace = None
+            fifo = False
+            message_size_limit = None
+        assert not self._context().bulk_eligible(Proxy())
+
+    @pytest.mark.parametrize("attr,value", [
+        ("telemetry", object()), ("trace", object()),
+        ("fifo", True), ("message_size_limit", 64)])
+    def test_per_delivery_features_disable_bulk(self, attr, value):
+        network = _FakeNetwork()
+        setattr(network, attr, value)
+        assert not self._context().bulk_eligible(network)
