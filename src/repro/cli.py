@@ -16,6 +16,10 @@ Usage (installed as ``python -m repro``)::
     python -m repro run --protocol crash-multi --fault-model crash \
         --beta 0.5 --telemetry run.jsonl
     python -m repro trace summary run.jsonl
+    python -m repro serve --port 8321 --pool 4
+    python -m repro submit --protocol crash-multi --fault-model crash \
+        --beta 0.5 --axis beta --values 0.1,0.3,0.5 --wait
+    python -m repro status && python -m repro result <job-id>
 
 ``--telemetry out.jsonl`` records every schema event the run (or
 sweep) emits — the query timeline, adversary decisions, scheduler
@@ -33,6 +37,12 @@ fault-tolerant: every repeat runs under a retry policy
 the report instead of aborting the sweep (``--strict`` restores
 fail-fast), and ``--resume`` checkpoints completed repeats to a
 journal so an interrupted sweep picks up where it stopped.
+
+``serve`` runs the same engine as a long-lived job server (HTTP API,
+SSE progress, live dashboard, content-addressed dedup, journal-backed
+restart); ``submit``/``status``/``result``/``cancel`` are its clients,
+addressed via ``--server`` or ``$REPRO_SERVER`` — the operator guide
+is docs/SERVICE.md.
 
 The CLI is a thin veneer over the library; every option maps one-to-one
 onto a constructor argument documented in the API.
@@ -256,6 +266,97 @@ def build_parser() -> argparse.ArgumentParser:
                               help="paint a live progress line to stderr "
                                    "(done/failed/retried, cache hits, "
                                    "ETA)")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the download-as-a-service job API "
+                      "(docs/SERVICE.md)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8321,
+                              help="listen port; 0 picks a free one "
+                                   "(pair with --port-file so scripts "
+                                   "can find it)")
+    serve_parser.add_argument("--port-file", default=None,
+                              help="write the bound port here once "
+                                   "listening")
+    serve_parser.add_argument("--data-dir", default=None,
+                              help="job store root (default: "
+                                   "$REPRO_SERVICE_DIR or "
+                                   "~/.cache/repro/service); jobs in it "
+                                   "resume on restart")
+    serve_parser.add_argument("--pool", type=int, default=2,
+                              help="workers in the one shared pool all "
+                                   "jobs multiplex over")
+    serve_parser.add_argument("--pool-mode", choices=["thread", "process"],
+                              default="thread",
+                              help="'process' buys CPU parallelism at "
+                                   "fork cost")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the content-addressed result "
+                                   "cache (dedup of in-flight jobs still "
+                                   "applies)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="share a result cache outside the "
+                                   "data dir (e.g. with `repro sweep`)")
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a job to a running `repro serve`")
+    submit_parser.add_argument("--protocol", required=True)
+    submit_parser.add_argument("--n", type=int, default=16)
+    submit_parser.add_argument("--ell", type=int, default=4096)
+    submit_parser.add_argument("--fault-model",
+                               choices=["none", "crash", "byzantine",
+                                        "dynamic"],
+                               default="none")
+    submit_parser.add_argument("--beta", type=float, default=0.0)
+    submit_parser.add_argument("--strategy",
+                               choices=sorted(_STRATEGIES), default=None)
+    submit_parser.add_argument("--backend",
+                               choices=["sim", "sync", "net"],
+                               default="sim")
+    submit_parser.add_argument("--repeats", type=int, default=2)
+    submit_parser.add_argument("--seed", type=int, default=0)
+    _add_source_arguments(submit_parser)
+    submit_parser.add_argument("--proxy-faults", default=None,
+                               help="backend=net chaos-proxy fault specs "
+                                    "(see `repro sweep --proxy-faults`)")
+    submit_parser.add_argument("--axis", default=None,
+                               help="spec field to sweep server-side")
+    submit_parser.add_argument("--values", default=None,
+                               help="comma-separated axis values")
+    submit_parser.add_argument("--priority", type=int, default=10,
+                               help="lower runs first; equal priorities "
+                                    "are served round-robin")
+    submit_parser.add_argument("--client", default=None,
+                               help="submitter label (display only; "
+                                    "default $USER)")
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="block until the job finishes and "
+                                    "print its result table")
+    submit_parser.add_argument("--follow", action="store_true",
+                               help="stream the job's SSE events while "
+                                    "waiting (implies --wait)")
+
+    status_parser = subparsers.add_parser(
+        "status", help="show one job (or, with no id, every job)")
+    status_parser.add_argument("job", nargs="?", default=None)
+
+    result_parser = subparsers.add_parser(
+        "result", help="fetch a finished job's outcomes")
+    result_parser.add_argument("job")
+    result_parser.add_argument("--json-out", default=None,
+                               help="persist outcomes to this JSON file "
+                                    "(same format as `sweep --json-out`)")
+
+    cancel_parser = subparsers.add_parser(
+        "cancel", help="cancel a pending/running job (idempotent)")
+    cancel_parser.add_argument("job")
+
+    for client_parser in (submit_parser, status_parser, result_parser,
+                          cancel_parser):
+        client_parser.add_argument(
+            "--server", default=None,
+            help="server base URL (default: $REPRO_SERVER or "
+                 "http://127.0.0.1:8321)")
 
     from repro.obs.trace_cli import attach_trace_parser
     attach_trace_parser(subparsers)
@@ -555,6 +656,122 @@ def _command_sweep(args, out) -> int:
     return 0 if every_ok else 1
 
 
+def _service_url(args) -> str:
+    import os
+    return (args.server or os.environ.get("REPRO_SERVER")
+            or "http://127.0.0.1:8321")
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+    return ServiceClient(_service_url(args))
+
+
+def _print_job(job: dict, out) -> None:
+    progress = f"{job['done']}/{job['total']}"
+    correct = "—" if job.get("correct") is None else job["correct"]
+    print(f"{job['id']}  {job['state']:<9} {progress:>9}  "
+          f"prio={job['priority']:<3} subs={job['submissions']:<2} "
+          f"correct={correct}  client={job['client']}", file=out)
+
+
+def _command_serve(args, out) -> int:
+    import asyncio
+    import os
+
+    from repro.service import run_server
+    data_dir = (args.data_dir or os.environ.get("REPRO_SERVICE_DIR")
+                or Path.home() / ".cache" / "repro" / "service")
+    cache = (False if args.no_cache
+             else (args.cache_dir if args.cache_dir else True))
+    try:
+        asyncio.run(run_server(
+            data_dir, host=args.host, port=args.port, pool=args.pool,
+            pool_mode=args.pool_mode, cache=cache,
+            port_file=args.port_file,
+            log=lambda message: print(message, file=out, flush=True)))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _command_submit(args, out) -> int:
+    import dataclasses
+    import getpass
+    import json
+
+    from repro.experiments import ExperimentSpec, outcomes_table
+    from repro.persistence import outcome_from_dict
+    if (args.axis is None) != (args.values is None):
+        raise SystemExit("--axis and --values must be given together")
+    network = ("synchronous" if args.backend == "sync"
+               else "asynchronous")
+    spec = ExperimentSpec(
+        protocol=args.protocol, n=args.n, ell=args.ell,
+        fault_model=args.fault_model, beta=args.beta,
+        strategy=args.strategy or "wrong-bits", network=network,
+        protocol_params=_source_params_for(args),
+        repeats=args.repeats, base_seed=args.seed, backend=args.backend,
+        sources=args.sources, source_faults=_source_faults_for(args),
+        proxy_faults=_proxy_faults_for(args))
+    values = (() if args.axis is None
+              else _parse_axis_values(args.axis, args.values))
+    client = _service_client(args)
+    job = client.submit(dataclasses.asdict(spec), axis=args.axis,
+                        values=values, priority=args.priority,
+                        client=args.client or getpass.getuser())
+    verb = "submitted" if job["created"] else "coalesced into"
+    print(f"{verb} job {job['id']} ({job['state']}, "
+          f"{job['total']} tasks) at {_service_url(args)}", file=out)
+    if not (args.wait or args.follow):
+        return 0
+    if args.follow:
+        for entry in client.stream(job["id"]):
+            print(json.dumps(entry, sort_keys=True), file=out)
+    final = client.wait(job["id"])
+    if final["state"] != "done":
+        print(f"job {job['id']} ended {final['state']}: "
+              f"{final.get('error') or ''}", file=out)
+        return 1
+    payload = client.result(job["id"])
+    outcomes = [outcome_from_dict(entry) for entry in payload["outcomes"]]
+    print(outcomes_table(outcomes, axis=args.axis), file=out)
+    return 0 if final["correct"] else 1
+
+
+def _command_status(args, out) -> int:
+    client = _service_client(args)
+    if args.job is None:
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs", file=out)
+            return 0
+        for job in jobs:
+            _print_job(job, out)
+        return 0
+    _print_job(client.status(args.job), out)
+    return 0
+
+
+def _command_result(args, out) -> int:
+    from repro.experiments import outcomes_table
+    from repro.persistence import outcome_from_dict, save_outcomes
+    client = _service_client(args)
+    payload = client.result(args.job)
+    outcomes = [outcome_from_dict(entry) for entry in payload["outcomes"]]
+    print(outcomes_table(outcomes), file=out)
+    if args.json_out:
+        save_outcomes(outcomes, args.json_out)
+        print(f"outcomes written to {args.json_out}", file=out)
+    return 0 if payload["correct"] else 1
+
+
+def _command_cancel(args, out) -> int:
+    job = _service_client(args).cancel(args.job)
+    print(f"job {job['id']} is now {job['state']}", file=out)
+    return 0
+
+
 def _apply_scale(args) -> None:
     """Export ``--scale`` through the environment flag: the run itself
     and every pool worker then resolve the same setting (the scale
@@ -580,6 +797,30 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_lower_bound(args, out)
     if args.command == "sweep":
         return _command_sweep(args, out)
+    if args.command == "serve":
+        return _command_serve(args, out)
+    if args.command in ("submit", "status", "result", "cancel"):
+        from repro.service.client import ServiceError
+        handler = {"submit": _command_submit, "status": _command_status,
+                   "result": _command_result,
+                   "cancel": _command_cancel}[args.command]
+        try:
+            return handler(args, out)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except BrokenPipeError:
+            # Our own stdout closed early (`repro status | head`);
+            # the conventional quiet exit, not a server problem.  Point
+            # stdout at devnull so the interpreter's exit flush doesn't
+            # raise a second, unraisable EPIPE.
+            import os
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+        except (ConnectionError, OSError) as exc:
+            print(f"error: cannot reach {_service_url(args)}: {exc}",
+                  file=sys.stderr)
+            return 1
     if args.command == "trace":
         from repro.obs.trace_cli import run_trace_command
         return run_trace_command(args, out)

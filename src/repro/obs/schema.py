@@ -11,8 +11,10 @@ enforces, and which the doc tests cross-check against the docs).
 Field conventions:
 
 - ``t`` — virtual simulation time (float).  Never wall clock, with
-  one documented exception: the ``net_*`` kinds, whose runs have no
-  virtual clock, use wall-clock seconds since the run started.
+  two documented exceptions: the ``net_*`` kinds, whose runs have no
+  virtual clock, use wall-clock seconds since the run started, and the
+  ``job_*`` kinds (``repro serve``) use wall-clock seconds since the
+  server started.
 - ``wall_ms`` / ``wall_s`` — wall-clock durations; present only on
   span and sweep events, and ignored by ``repro trace diff``.
 - ``peer`` / ``src`` / ``dst`` — peer IDs; ``proc`` — a process name
@@ -96,6 +98,17 @@ EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "net_proxy_delay": (("t", "link", "direction", "seconds"), ("kind",)),
     "net_proxy_dup": (("t", "link", "direction"), ("kind",)),
     "net_proxy_disconnect": (("t", "link", "direction"), ("kind",)),
+    # -- service jobs (``repro serve``; ``t`` is wall-clock seconds
+    # -- since the server started — same exception as ``net_*``) ----------
+    "job_submitted": (("t", "job"), ("priority", "points", "repeats",
+                                     "client", "backend")),
+    "job_dedup": (("t", "job"), ("state",)),
+    "job_started": (("t", "job", "tasks"), ("replayed", "cache_hits")),
+    "job_progress": (("t", "job", "done", "total"),
+                     ("point", "repeat", "failed", "wall_s")),
+    "job_done": (("t", "job"), ("correct", "wall_s")),
+    "job_failed": (("t", "job"), ("error",)),
+    "job_cancelled": (("t", "job"), ()),
     # -- spans / counters / sweep progress --------------------------------
     "span_start": (("name",), ()),
     "span_end": (("name", "wall_ms"), ()),

@@ -1,0 +1,148 @@
+"""A small blocking client for the service API (stdlib only).
+
+Backs the ``repro submit/status/result/cancel`` CLI subcommands and
+``benchmarks/bench_service.py``; importable by anyone who wants to
+drive a server from Python without hand-rolling ``urllib`` calls::
+
+    from repro.service import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8321")
+    job = client.submit({"protocol": "dpb", "n": 4, "ell": 64})
+    done = client.wait(job["id"])
+    outcomes = client.result(job["id"])["outcomes"]
+
+The client is deliberately synchronous — callers that want concurrency
+run many clients in threads (exactly what the load bench does), which
+also exercises the server the way real independent peers would.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, Optional
+
+from repro.service.jobs import PRIORITY_DEFAULT, TERMINAL
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An API-level failure (non-2xx), with the server's explanation."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """One server, many calls.  ``base_url`` like ``http://host:port``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.base_url + path, data=body,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(exc.code, detail) from exc
+
+    # -- the API ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/api/stats")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/api/jobs")["jobs"]
+
+    def submit(self, spec: dict, *, axis: Optional[str] = None,
+               values=(), priority: int = PRIORITY_DEFAULT,
+               client: str = "anonymous") -> dict:
+        """Submit one job; returns the job dict (``created`` says
+        whether this submission coalesced into an existing one)."""
+        payload = {"spec": spec, "axis": axis, "values": list(values),
+                   "priority": priority, "client": client}
+        response = self._request("POST", "/api/jobs", payload)
+        job = response["job"]
+        job["created"] = response["created"]
+        return job
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/api/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/api/jobs/{job_id}/cancel")["job"]
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's payload (raises 409 ServiceError until
+        the job is done)."""
+        return self._request("GET", f"/api/jobs/{job_id}/result")
+
+    # -- streaming ------------------------------------------------------------------
+
+    def stream(self, job_id: str, *, after: int = 0,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Iterate the job's SSE events until the stream closes.
+
+        Yields decoded event dicts; the stream ends when the job
+        reaches a terminal state (the server closes the connection).
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/api/jobs/{job_id}/events?after={after}",
+            headers={"Accept": "text/event-stream"})
+        with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout) as response:
+            data_lines: list[str] = []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].lstrip())
+                elif not line and data_lines:
+                    yield json.loads("\n".join(data_lines))
+                    data_lines = []
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll: float = 0.1) -> dict:
+        """Block until the job is terminal; returns its final record.
+
+        Prefers the SSE stream (no polling load); falls back to status
+        polling if the stream drops early.
+        """
+        deadline = time.monotonic() + timeout
+        try:
+            for _entry in self.stream(job_id, timeout=timeout):
+                pass  # draining the stream IS the wait
+        except (OSError, ValueError):
+            pass  # stream interrupted: fall through to polling
+        while True:
+            job = self.status(job_id)
+            if job["state"] in TERMINAL:
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']!r} "
+                    f"after {timeout}s")
+            time.sleep(poll)

@@ -1,0 +1,266 @@
+"""The browser dashboard and its server-side render helpers.
+
+The dashboard is one self-contained HTML page (no external assets, no
+JS dependencies — it must work from ``curl http://host/ > page.html``
+on an air-gapped operator box) that polls the JSON API and subscribes
+to each job's SSE stream.  Everything *computed* stays server-side in
+this module, reusing the ``repro trace`` internals:
+
+- :func:`render_job_timeline` is the service twin of
+  :func:`repro.obs.trace_cli.render_timeline`: one lane per job on a
+  shared wall-clock axis, ticks where progress landed.
+- :func:`job_folded_stacks` aggregates ``job_progress`` events into
+  the same folded flamegraph format as
+  :func:`repro.obs.trace_cli.folded_stacks` /
+  :func:`repro.profiling.folded_lines` — ``serve;<job>;point-N``
+  weighted by task wall-clock milliseconds — so a job's flame answers
+  "where did the pool's time go" and the text form feeds straight into
+  ``flamegraph.pl`` or speedscope.
+
+Both helpers consume the job event envelope (``events.jsonl`` or the
+in-memory SSE buffer) — plain schema-v1 events, nothing private.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.profiling import folded_lines
+
+__all__ = [
+    "dashboard_page",
+    "job_folded_stacks",
+    "render_job_timeline",
+]
+
+#: Lane glyphs for the text timeline, by event kind.
+_TIMELINE_MARKS = {
+    "job_submitted": "S",
+    "job_started": ">",
+    "job_progress": "#",
+    "job_dedup": "=",
+    "job_done": "D",
+    "job_failed": "X",
+    "job_cancelled": "C",
+}
+
+
+def job_folded_stacks(events: Sequence[dict]) -> dict[str, int]:
+    """Fold a job event stream into flamegraph stacks.
+
+    Each ``job_progress`` becomes ``serve;<job>;point-N`` weighted by
+    the task's wall-clock milliseconds (minimum 1, so instant sim
+    tasks still show up); replayed and cache-answered work appears as
+    ``...;replayed`` / ``...;cached`` weighted by task count, making
+    "resume did the saving" visible in the flame.
+    """
+    stacks: dict[str, int] = {}
+
+    def bump(stack: str, amount: int) -> None:
+        stacks[stack] = stacks.get(stack, 0) + amount
+
+    for entry in events:
+        kind = entry.get("event")
+        job = entry.get("job", "?")
+        if kind == "job_progress":
+            wall_ms = int(float(entry.get("wall_s") or 0.0) * 1000)
+            bump(f"serve;{job};point-{entry.get('point', 0)}",
+                 max(wall_ms, 1))
+        elif kind == "job_started":
+            if entry.get("replayed"):
+                bump(f"serve;{job};replayed", int(entry["replayed"]))
+            if entry.get("cache_hits"):
+                bump(f"serve;{job};cached", int(entry["cache_hits"]))
+    return stacks
+
+
+def job_flame_text(events: Sequence[dict]) -> str:
+    """The folded-stacks text form (``stack weight`` per line)."""
+    return "\n".join(folded_lines(job_folded_stacks(events)))
+
+
+def render_job_timeline(events: Sequence[dict], *, width: int = 72,
+                        now: Optional[float] = None) -> str:
+    """One lane per job on a shared wall-clock axis.
+
+    ``events`` may interleave many jobs (the queue's buffers
+    concatenated); ``now`` extends the axis to the present so running
+    jobs visibly trail off.  Returns a ``repro trace``-style text
+    block, safe for both terminals and the dashboard's ``<pre>``.
+    """
+    if width < 16:
+        raise ValueError(f"width must be >= 16, got {width!r}")
+    per_job: dict[str, list[dict]] = {}
+    for entry in events:
+        if entry.get("event") in _TIMELINE_MARKS:
+            per_job.setdefault(entry.get("job", "?"), []).append(entry)
+    if not per_job:
+        return "(no job events)"
+    times = [entry["t"] for lane in per_job.values() for entry in lane]
+    t_min = min(times)
+    t_max = max(times)
+    if now is not None:
+        t_max = max(t_max, now)
+    span = max(t_max - t_min, 1e-9)
+    label_w = max(len(job) for job in per_job)
+    lines = [f"{'job'.ljust(label_w)} | {'t=%.2fs' % t_min} .. "
+             f"t={t_max:.2f}s"]
+    for job, lane in per_job.items():
+        cells = [" "] * width
+        state = "…"
+        for entry in sorted(lane, key=lambda item: item["t"]):
+            column = min(int((entry["t"] - t_min) / span * (width - 1)),
+                         width - 1)
+            mark = _TIMELINE_MARKS[entry["event"]]
+            if cells[column] == " " or mark != "#":
+                cells[column] = mark
+            if entry["event"] in ("job_done", "job_failed",
+                                  "job_cancelled"):
+                state = mark
+        lines.append(f"{job.ljust(label_w)} |{''.join(cells)}| {state}")
+    lines.append(f"{''.ljust(label_w)} | marks: S submit, > start, "
+                 "# progress, = dedup, D done, X failed, C cancelled")
+    return "\n".join(lines)
+
+
+def dashboard_page() -> str:
+    """The single-file dashboard HTML (served at ``GET /``)."""
+    return _PAGE
+
+
+_PAGE = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro serve — jobs</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font: 14px/1.45 ui-monospace, SFMono-Regular, Menlo, monospace;
+         background: #14161a; color: #d7dae0; margin: 1.5rem; }
+  h1 { font-size: 1.15rem; } h2 { font-size: 1rem; margin-top: 1.6rem; }
+  small, .dim { color: #8b93a1; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .3rem .6rem;
+           border-bottom: 1px solid #272b33; }
+  tr.sel { background: #1d222d; }
+  .bar { background: #272b33; border-radius: 3px; height: .7rem;
+         width: 10rem; overflow: hidden; }
+  .bar > div { background: #4c9e6e; height: 100%; }
+  .state-done .bar > div { background: #4c9e6e; }
+  .state-running .bar > div { background: #4c7fd0; }
+  .state-failed .bar > div { background: #c0504d; }
+  .state-cancelled .bar > div { background: #8b93a1; }
+  .pill { padding: 0 .45rem; border-radius: 999px; font-size: .8rem; }
+  .pill.done { background: #24432f; } .pill.running { background: #22324d; }
+  .pill.pending { background: #3b3524; } .pill.failed { background: #472222; }
+  .pill.cancelled { background: #32353b; }
+  button { font: inherit; background: #272b33; color: inherit;
+           border: 1px solid #3a3f49; border-radius: 4px;
+           padding: .1rem .5rem; cursor: pointer; }
+  button:hover { background: #323741; }
+  pre { background: #101216; padding: .8rem; border-radius: 6px;
+        overflow-x: auto; }
+  #flame div.frame { height: 1.1rem; background: #b3552e; margin: 1px 0;
+        border-radius: 2px; font-size: .75rem; color: #fff;
+        padding-left: .3rem; overflow: hidden; white-space: nowrap; }
+  #log { max-height: 16rem; overflow-y: auto; }
+</style>
+</head>
+<body>
+<h1>repro serve <small id="stats">connecting…</small></h1>
+<table id="jobs">
+  <thead><tr><th>job</th><th>state</th><th>client</th><th>prio</th>
+  <th>progress</th><th>correct</th><th>subs</th><th></th></tr></thead>
+  <tbody></tbody>
+</table>
+<h2>timeline <small class="dim">all jobs, wall clock</small></h2>
+<pre id="timeline">(loading)</pre>
+<h2>job detail <small class="dim" id="selname">click a job row</small></h2>
+<div id="flame"></div>
+<pre id="log"></pre>
+<script>
+"use strict";
+let selected = null, source = null;
+const $ = (id) => document.getElementById(id);
+
+async function getJSON(url) {
+  const resp = await fetch(url);
+  if (!resp.ok) throw new Error(url + " -> " + resp.status);
+  return resp.json();
+}
+
+function progressCell(job) {
+  const pct = job.total ? Math.round(100 * job.done / job.total) : 0;
+  return `<div class="bar"><div style="width:${pct}%"></div></div>` +
+         `<small>${job.done}/${job.total}</small>`;
+}
+
+async function refresh() {
+  try {
+    const stats = await getJSON("/api/stats");
+    $("stats").textContent =
+      `pool=${stats.pool}(${stats.pool_mode}) jobs=${stats.jobs} ` +
+      `dedup=${stats.stats.dedup_hits} cache=${stats.stats.cache_hits} ` +
+      `tasks=${stats.stats.tasks_executed}`;
+    const jobs = (await getJSON("/api/jobs")).jobs;
+    const body = $("jobs").tBodies[0];
+    body.innerHTML = "";
+    for (const job of jobs) {
+      const row = body.insertRow();
+      row.className = "state-" + job.state +
+                      (job.id === selected ? " sel" : "");
+      row.innerHTML =
+        `<td>${job.id}</td>` +
+        `<td><span class="pill ${job.state}">${job.state}</span></td>` +
+        `<td>${job.client}</td><td>${job.priority}</td>` +
+        `<td>${progressCell(job)}</td>` +
+        `<td>${job.correct === null ? "—" : job.correct}</td>` +
+        `<td>${job.submissions}</td>` +
+        `<td><button data-id="${job.id}">cancel</button></td>`;
+      row.addEventListener("click", () => select(job.id));
+      row.querySelector("button").addEventListener("click", (ev) => {
+        ev.stopPropagation();
+        fetch("/api/jobs/" + job.id + "/cancel", {method: "POST"});
+      });
+    }
+    $("timeline").textContent =
+      await (await fetch("/api/timeline")).text();
+  } catch (err) {
+    $("stats").textContent = "offline: " + err.message;
+  }
+}
+
+function renderFlame(text) {
+  const rows = text.trim() ? text.trim().split("\\n") : [];
+  const frames = rows.map((line) => {
+    const cut = line.lastIndexOf(" ");
+    return {stack: line.slice(0, cut), weight: +line.slice(cut + 1)};
+  }).sort((a, b) => b.weight - a.weight).slice(0, 24);
+  const top = frames.reduce((acc, f) => Math.max(acc, f.weight), 1);
+  $("flame").innerHTML = frames.map((f) =>
+    `<div class="frame" style="width:${Math.max(
+       2, 100 * f.weight / top)}%">${f.stack} (${f.weight})</div>`
+  ).join("");
+}
+
+function select(id) {
+  selected = id;
+  $("selname").textContent = id + " — live events";
+  $("log").textContent = "";
+  if (source) source.close();
+  source = new EventSource("/api/jobs/" + id + "/events");
+  source.onmessage = (msg) => {
+    $("log").textContent += msg.data + "\\n";
+    $("log").scrollTop = $("log").scrollHeight;
+  };
+  source.onerror = () => source.close();  // job finished: stream ends
+  fetch("/api/jobs/" + id + "/flame")
+    .then((resp) => resp.text()).then(renderFlame);
+}
+
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,155 @@
+"""The on-disk job store: one directory per job, plain JSON inside.
+
+Layout under the service data directory (``--data-dir``)::
+
+    <root>/
+      cache/                    the engine ResultCache (point outcomes)
+      jobs/<job-id>/
+        job.json                the Job record (atomic rewrite per change)
+        events.jsonl            the job's telemetry envelope (schema v1)
+        journal.jsonl           per-repeat SweepJournal checkpoints
+        result.json             outcomes (save_outcomes format), when done
+
+Design rules, inherited from the cache/journal layers:
+
+- **Writes are atomic** (temp file + ``os.replace``) for ``job.json``
+  and ``result.json``; ``events.jsonl`` and ``journal.jsonl`` are
+  append-only (a torn tail line is skipped by their readers).
+- **Corruption is skipped, never fatal**: a job directory that fails to
+  parse is ignored at load time (and reported via :attr:`corrupt`), so
+  one damaged record cannot brick the server.
+- **Everything is schema-checked JSON** — the events file is a valid
+  telemetry export (``repro trace diff`` can compare two job runs),
+  the result file loads with :func:`repro.persistence.load_outcomes`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.execution.journal import SweepJournal
+from repro.obs.schema import validate_event
+from repro.persistence import load_outcomes, save_outcomes
+from repro.service.jobs import Job, job_from_dict, job_to_dict
+
+__all__ = ["JobStore"]
+
+#: On-disk job record format tag; bump on incompatible changes.
+STORE_SCHEMA = 1
+
+
+class JobStore:
+    """All persistent state of one service instance, under ``root``."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.jobs_dir = self.root / "jobs"
+        self.cache_dir = self.root / "cache"
+        #: Job directories skipped by the last :meth:`load_all`.
+        self.corrupt = 0
+
+    # -- paths ---------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def job_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "job.json"
+
+    def events_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "events.jsonl"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "result.json"
+
+    def journal_for(self, job_id: str) -> SweepJournal:
+        """The job's private checkpoint journal (resume source)."""
+        return SweepJournal(self.job_dir(job_id) / "journal.jsonl")
+
+    # -- job records -----------------------------------------------------------
+
+    def save_job(self, job: Job) -> None:
+        """Atomically (re)write one job record."""
+        path = self.job_path(job.id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": STORE_SCHEMA, "job": job_to_dict(job)}
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        temp.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                        encoding="utf-8")
+        os.replace(temp, path)
+
+    def load_job(self, job_id: str) -> Optional[Job]:
+        """One job record, or ``None`` on any miss/corruption."""
+        try:
+            payload = json.loads(
+                self.job_path(job_id).read_text(encoding="utf-8"))
+            if payload.get("schema") != STORE_SCHEMA:
+                return None
+            return job_from_dict(payload["job"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def load_all(self) -> list[Job]:
+        """Every parseable job record, oldest submission first."""
+        jobs: list[Job] = []
+        self.corrupt = 0
+        if not self.jobs_dir.is_dir():
+            return jobs
+        for entry in sorted(self.jobs_dir.iterdir()):
+            if not entry.is_dir():
+                continue
+            job = self.load_job(entry.name)
+            if job is None:
+                self.corrupt += 1
+            else:
+                jobs.append(job)
+        jobs.sort(key=lambda job: job.submitted_at)
+        return jobs
+
+    # -- events ------------------------------------------------------------------
+
+    def append_event(self, job_id: str, entry: dict) -> None:
+        """Append one schema-validated event to the job's envelope."""
+        validate_event(entry)
+        path = self.events_path(job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def load_events(self, job_id: str) -> list[dict]:
+        """The job's recorded events (torn tail lines skipped)."""
+        events: list[dict] = []
+        try:
+            text = self.events_path(job_id).read_text(encoding="utf-8")
+        except OSError:
+            return events
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail line: the writer died mid-append
+            if isinstance(entry, dict) and "event" in entry:
+                events.append(entry)
+        return events
+
+    # -- results -----------------------------------------------------------------
+
+    def save_result(self, job_id: str, outcomes: Iterable) -> None:
+        """Persist a finished job's outcomes (atomic, standard format)."""
+        path = self.result_path(job_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        save_outcomes(outcomes, temp)
+        os.replace(temp, path)
+
+    def load_result(self, job_id: str) -> Optional[list]:
+        """A finished job's outcomes, or ``None`` if absent/corrupt."""
+        try:
+            return load_outcomes(self.result_path(job_id))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None

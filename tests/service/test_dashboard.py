@@ -1,0 +1,99 @@
+"""Dashboard render helpers: timeline lanes and folded flame stacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.dashboard import (dashboard_page, job_flame_text,
+                                     job_folded_stacks,
+                                     render_job_timeline)
+
+
+def events_for(job, *, done=2, wall_s=0.01, base_t=0.0):
+    stream = [
+        {"event": "job_submitted", "t": base_t, "job": job},
+        {"event": "job_started", "t": base_t + 0.01, "job": job,
+         "tasks": done, "replayed": 1, "cache_hits": 2},
+    ]
+    for index in range(done):
+        stream.append({"event": "job_progress", "t": base_t + 0.1 * (index + 1),
+                       "job": job, "done": index + 1, "total": done,
+                       "point": index, "wall_s": wall_s})
+    stream.append({"event": "job_done", "t": base_t + 1.0, "job": job,
+                   "correct": True})
+    return stream
+
+
+class TestFoldedStacks:
+    def test_progress_weights_by_wall_milliseconds(self):
+        stacks = job_folded_stacks(events_for("j1", done=2,
+                                              wall_s=0.25))
+        assert stacks["serve;j1;point-0"] == 250
+        assert stacks["serve;j1;point-1"] == 250
+
+    def test_replay_and_cache_become_visible_frames(self):
+        stacks = job_folded_stacks(events_for("j1"))
+        assert stacks["serve;j1;replayed"] == 1
+        assert stacks["serve;j1;cached"] == 2
+
+    def test_instant_tasks_still_show_up(self):
+        stacks = job_folded_stacks(events_for("j1", wall_s=0.0))
+        assert stacks["serve;j1;point-0"] == 1  # never weight zero
+
+    def test_text_form_is_flamegraph_compatible(self):
+        lines = job_flame_text(events_for("j1")).splitlines()
+        assert lines  # "stack weight" per line, sorted
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack.startswith("serve;j1;")
+            assert int(weight) >= 1
+
+
+class TestTimeline:
+    def test_each_job_gets_a_lane(self):
+        events = events_for("jaaa") + events_for("jbbb", base_t=0.5)
+        text = render_job_timeline(events)
+        lines = text.splitlines()
+        assert any(line.startswith("jaaa") for line in lines)
+        assert any(line.startswith("jbbb") for line in lines)
+        # Both finished: lane state column shows D.
+        assert sum(line.rstrip().endswith(" D") for line in lines) == 2
+
+    def test_marks_appear_in_lane_order(self):
+        events = [
+            {"event": "job_submitted", "t": 0.0, "job": "j1"},
+            {"event": "job_started", "t": 1.0, "job": "j1", "tasks": 1},
+            {"event": "job_progress", "t": 2.0, "job": "j1",
+             "done": 1, "total": 1},
+            {"event": "job_done", "t": 3.0, "job": "j1",
+             "correct": True},
+        ]
+        lane = [line for line in render_job_timeline(events).splitlines()
+                if line.startswith("j1")][0]
+        for mark in ("S", ">", "#", "D"):
+            assert mark in lane
+        assert lane.index("S") < lane.index(">") < \
+            lane.index("#") < lane.index("D")
+
+    def test_empty_and_bad_width(self):
+        assert render_job_timeline([]) == "(no job events)"
+        with pytest.raises(ValueError):
+            render_job_timeline(events_for("j1"), width=4)
+
+    def test_now_extends_the_axis(self):
+        events = events_for("j1")[:2]  # still running
+        text = render_job_timeline(events, now=100.0)
+        assert "t=100.00s" in text
+
+
+class TestPage:
+    def test_page_is_self_contained_html(self):
+        page = dashboard_page()
+        assert page.lstrip().startswith("<!doctype html>")
+        # No external assets: must work from a file:// save.
+        assert "http://" not in page and "https://" not in page
+        # Talks to every API surface it renders.
+        for endpoint in ("/api/stats", "/api/jobs", "/api/timeline",
+                         "/flame", "/events", "/cancel"):
+            assert endpoint in page
+        assert "EventSource" in page

@@ -1,0 +1,121 @@
+"""Job model semantics: identity, lifecycle, JSON round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSpec
+from repro.service.jobs import (Job, JobRequest, STATES, job_from_dict,
+                                job_key, job_to_dict)
+
+
+def spec(**overrides) -> ExperimentSpec:
+    base = dict(protocol="naive", n=4, ell=32, repeats=2)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestJobKey:
+    def test_identical_requests_share_a_key(self):
+        assert job_key(JobRequest(spec=spec())) == \
+            job_key(JobRequest(spec=spec()))
+
+    def test_priority_and_client_do_not_split_identity(self):
+        # What is computed names the job, not how urgently or for whom —
+        # this is the property that lets concurrent submissions coalesce.
+        low = JobRequest(spec=spec(), priority=1, client="alice")
+        high = JobRequest(spec=spec(), priority=99, client="bob")
+        assert job_key(low) == job_key(high)
+
+    def test_spec_changes_split_identity(self):
+        assert job_key(JobRequest(spec=spec())) != \
+            job_key(JobRequest(spec=spec(ell=64)))
+
+    def test_sweep_shape_splits_identity(self):
+        single = JobRequest(spec=spec())
+        sweep = JobRequest(spec=spec(), axis="n", values=(4, 6))
+        other = JobRequest(spec=spec(), axis="n", values=(4, 8))
+        assert len({job_key(single), job_key(sweep), job_key(other)}) == 3
+
+
+class TestJobRequest:
+    def test_axis_requires_values(self):
+        with pytest.raises(ValueError):
+            JobRequest(spec=spec(), axis="n")
+        with pytest.raises(ValueError):
+            JobRequest(spec=spec(), values=(4, 6))
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep axis"):
+            JobRequest(spec=spec(), axis="bogus", values=(1,))
+
+    def test_points_expand_the_axis(self):
+        request = JobRequest(spec=spec(), axis="n", values=(4, 6, 8))
+        assert [point.n for point in request.points()] == [4, 6, 8]
+        assert request.total_tasks == 3 * spec().repeats
+
+    def test_single_point_when_no_axis(self):
+        request = JobRequest(spec=spec())
+        assert request.points() == [spec()]
+        assert request.total_tasks == spec().repeats
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        job = Job(id="j0", request=JobRequest(spec=spec()))
+        assert job.state == "pending" and not job.terminal
+        job.transition("running")
+        assert job.started_at is not None
+        job.transition("done")
+        assert job.terminal and job.finished_at is not None
+
+    def test_illegal_transitions_raise(self):
+        job = Job(id="j0", request=JobRequest(spec=spec()))
+        job.transition("running")
+        job.transition("done")
+        for target in STATES:
+            with pytest.raises(ValueError):
+                job.transition(target)
+
+    def test_unknown_state_raises(self):
+        job = Job(id="j0", request=JobRequest(spec=spec()))
+        with pytest.raises(ValueError, match="unknown job state"):
+            job.transition("paused")
+
+    def test_resubmit_resets_execution_state(self):
+        job = Job(id="j0", request=JobRequest(spec=spec()))
+        job.transition("running")
+        job.done = 1
+        job.failed = 1
+        job.error = "boom"
+        job.transition("failed")
+        job.transition("pending")  # the resubmit path
+        assert job.done == 0 and job.failed == 0
+        assert job.error is None and job.correct is None
+        assert job.started_at is None and job.finished_at is None
+
+    def test_cancelled_can_be_revived(self):
+        job = Job(id="j0", request=JobRequest(spec=spec()))
+        job.transition("cancelled")
+        job.transition("pending")
+        assert job.state == "pending"
+
+
+class TestRoundTrip:
+    def test_to_from_dict_is_lossless(self):
+        request = JobRequest(spec=spec(), axis="ell", values=(32, 64),
+                             priority=3, client="ci")
+        job = Job(id=job_key(request), request=request)
+        job.transition("running")
+        job.done = 2
+        clone = job_from_dict(job_to_dict(job))
+        assert job_to_dict(clone) == job_to_dict(job)
+        assert clone.request.spec == request.spec
+        assert clone.request.values == (32, 64)
+
+    def test_bad_state_rejected(self):
+        payload = job_to_dict(Job(id="j0",
+                                  request=JobRequest(spec=spec())))
+        payload["state"] = "bogus"
+        with pytest.raises(ValueError):
+            job_from_dict(payload)
