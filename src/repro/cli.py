@@ -117,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="randomized protocols: frequency "
                                  "threshold")
     _add_source_arguments(run_parser)
+    _add_topology_argument(run_parser)
     run_parser.add_argument("--profile", action="store_true",
                             help="profile the run with cProfile and "
                                  "print the pstats top table to stderr "
@@ -201,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--repeats", type=int, default=2)
     sweep_parser.add_argument("--seed", type=int, default=0)
     _add_source_arguments(sweep_parser)
+    _add_topology_argument(sweep_parser)
     sweep_parser.add_argument("--axis", default=None,
                               help="spec field to sweep (e.g. beta, n, "
                                    "ell); omit together with --values "
@@ -267,6 +269,59 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(done/failed/retried, cache hits, "
                                    "ETA)")
 
+    tournament_parser = subparsers.add_parser(
+        "tournament",
+        help="cross every registered adversary against every protocol "
+             "on every topology and print the ranked league table")
+    tournament_parser.add_argument("--protocols", default=None,
+                                   help="comma-separated protocol "
+                                        "line-up (default: naive,"
+                                        "balanced,crash-multi,"
+                                        "byz-committee)")
+    tournament_parser.add_argument("--adversaries", default=None,
+                                   help="comma-separated roster subset "
+                                        "(default: every registered "
+                                        "adversary)")
+    tournament_parser.add_argument("--topologies", default=None,
+                                   help="comma-separated topology specs "
+                                        "(default: complete,ring,"
+                                        "expander)")
+    tournament_parser.add_argument("--n", type=int, default=8)
+    tournament_parser.add_argument("--ell", type=int, default=256)
+    tournament_parser.add_argument("--repeats", type=int, default=3)
+    tournament_parser.add_argument("--seed", type=int, default=0)
+    tournament_parser.add_argument("--workers", type=int, default=1,
+                                   help="processes to fan the league's "
+                                        "repeats over")
+    tournament_parser.add_argument("--resume", action="store_true",
+                                   help="checkpoint completed repeats "
+                                        "to a journal next to the "
+                                        "result cache and replay it on "
+                                        "restart")
+    tournament_parser.add_argument("--journal", default=None,
+                                   help="explicit journal path "
+                                        "(implies --resume)")
+    tournament_parser.add_argument("--max-retries", type=int, default=2,
+                                   help="retries per repeat after the "
+                                        "first attempt")
+    tournament_parser.add_argument("--task-timeout", type=float,
+                                   default=None,
+                                   help="per-repeat wall-clock budget "
+                                        "in seconds")
+    tournament_parser.add_argument("--jsonl-out", default=None,
+                                   help="write one JSON line per league "
+                                        "cell here")
+    tournament_parser.add_argument("--json-out", default=None,
+                                   help="write the dashboard-shaped "
+                                        "league summary (rankings + "
+                                        "cells) here")
+    tournament_parser.add_argument("--fail-on-violation",
+                                   action="store_true",
+                                   help="exit 1 when any cell captured "
+                                        "a wrong download (default: "
+                                        "violations are reported "
+                                        "findings, exit 0)")
+
     serve_parser = subparsers.add_parser(
         "serve", help="run the download-as-a-service job API "
                       "(docs/SERVICE.md)")
@@ -316,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--repeats", type=int, default=2)
     submit_parser.add_argument("--seed", type=int, default=0)
     _add_source_arguments(submit_parser)
+    _add_topology_argument(submit_parser)
     submit_parser.add_argument("--proxy-faults", default=None,
                                help="backend=net chaos-proxy fault specs "
                                     "(see `repro sweep --proxy-faults`)")
@@ -387,6 +443,16 @@ def _add_source_arguments(parser) -> None:
                         help="cross-validate-escalate: source-fault "
                              "budget f (queries f+1, escalates to "
                              "2f+1)")
+
+
+def _add_topology_argument(parser) -> None:
+    parser.add_argument("--topology", default="complete",
+                        help="peer-to-peer connectivity: complete "
+                             "(the paper's model; default), ring, star, "
+                             "expander, or random-dregular[:d]. Sparse "
+                             "graphs route peer messages hop-by-hop "
+                             "(queries stay direct, so Q is unchanged); "
+                             "sweepable via --axis topology")
 
 
 def _source_faults_for(args) -> tuple:
@@ -473,7 +539,8 @@ def _command_run(args, out) -> int:
                                   peer_factory=_factory_for(args),
                                   adversary=adversary, t=t, seed=args.seed,
                                   sources=args.sources,
-                                  source_faults=_source_faults_for(args))
+                                  source_faults=_source_faults_for(args),
+                                  topology=args.topology)
     if recording is not None:
         from repro.obs import export_run
         count = export_run(args.telemetry, recording, result)
@@ -562,7 +629,7 @@ def _command_sweep(args, out) -> int:
         protocol_params=_source_params_for(args),
         repeats=args.repeats, base_seed=args.seed, backend=args.backend,
         sources=args.sources, source_faults=_source_faults_for(args),
-        proxy_faults=_proxy_faults_for(args))
+        proxy_faults=_proxy_faults_for(args), topology=args.topology)
     values = (None if args.axis is None
               else _parse_axis_values(args.axis, args.values))
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -656,6 +723,57 @@ def _command_sweep(args, out) -> int:
     return 0 if every_ok else 1
 
 
+def _command_tournament(args, out) -> int:
+    import json
+
+    from repro.execution import RetryPolicy, default_cache_dir
+    from repro.tournament import (TournamentConfig, league_dashboard_payload,
+                                  league_jsonl_lines, render_league,
+                                  run_tournament)
+
+    def split(raw):
+        return tuple(part.strip() for part in raw.split(",")
+                     if part.strip())
+
+    if args.max_retries < 0:
+        raise SystemExit("--max-retries must be >= 0")
+    journal_path = args.journal
+    if journal_path is None and args.resume:
+        journal_path = str(default_cache_dir() / "tournament.jsonl")
+    config = TournamentConfig(
+        protocols=(split(args.protocols) if args.protocols
+                   else TournamentConfig.protocols),
+        adversaries=split(args.adversaries) if args.adversaries else (),
+        topologies=(split(args.topologies) if args.topologies
+                    else TournamentConfig.topologies),
+        n=args.n, ell=args.ell, repeats=args.repeats,
+        base_seed=args.seed, workers=args.workers,
+        journal_path=journal_path,
+        policy=RetryPolicy(max_attempts=args.max_retries + 1,
+                           task_timeout=args.task_timeout))
+    result = run_tournament(config)
+    print(render_league(result), file=out)
+    if result.journal_stats is not None:
+        print(f"\njournal    : {result.journal_stats['replayed']} "
+              f"replayed / {result.journal_stats['appended']} appended "
+              f"in {journal_path}", file=out)
+    if args.jsonl_out:
+        with open(args.jsonl_out, "w", encoding="utf-8") as handle:
+            for line in league_jsonl_lines(result):
+                handle.write(line + "\n")
+        print(f"cells written to {args.jsonl_out}", file=out)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(league_dashboard_payload(result), handle,
+                      indent=2, sort_keys=True)
+        print(f"league summary written to {args.json_out}", file=out)
+    # Violations are findings, not failures — the league's job is to
+    # surface them.  --fail-on-violation turns the run into a gate.
+    if args.fail_on_violation and result.violations():
+        return 1
+    return 0
+
+
 def _service_url(args) -> str:
     import os
     return (args.server or os.environ.get("REPRO_SERVER")
@@ -713,7 +831,7 @@ def _command_submit(args, out) -> int:
         protocol_params=_source_params_for(args),
         repeats=args.repeats, base_seed=args.seed, backend=args.backend,
         sources=args.sources, source_faults=_source_faults_for(args),
-        proxy_faults=_proxy_faults_for(args))
+        proxy_faults=_proxy_faults_for(args), topology=args.topology)
     values = (() if args.axis is None
               else _parse_axis_values(args.axis, args.values))
     client = _service_client(args)
@@ -797,6 +915,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_lower_bound(args, out)
     if args.command == "sweep":
         return _command_sweep(args, out)
+    if args.command == "tournament":
+        return _command_tournament(args, out)
     if args.command == "serve":
         return _command_serve(args, out)
     if args.command in ("submit", "status", "result", "cancel"):

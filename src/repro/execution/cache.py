@@ -74,10 +74,10 @@ def spec_cache_key(spec: "ExperimentSpec", *,
     the salt.  Two specs collide only if every field is equal.
 
     ``backend`` joins the payload only when it is not ``"sim"``, and
-    ``sources``/``source_faults``/``proxy_faults`` only when
-    non-default: the defaults are the pre-field behaviour, so every
-    cache entry and journal line written before the fields existed
-    keeps hitting.  Unlike :meth:`ExperimentSpec.seed_for`, non-empty
+    ``sources``/``source_faults``/``proxy_faults``/``topology`` only
+    when non-default: the defaults are the pre-field behaviour, so
+    every cache entry and journal line written before the fields
+    existed keeps hitting.  Unlike :meth:`ExperimentSpec.seed_for`, non-empty
     ``proxy_faults`` *do* join the key — chaos on the wire leaves the
     inputs alone but changes the measured outcome (time, retries,
     failed runs), so those outcomes must not collide.
@@ -91,6 +91,8 @@ def spec_cache_key(spec: "ExperimentSpec", *,
         payload.pop("source_faults", None)
     if not payload.get("proxy_faults"):
         payload.pop("proxy_faults", None)
+    if payload.get("topology", "complete") == "complete":
+        payload.pop("topology", None)
     canonical = canonical_json(payload)
     digest = hashlib.sha256(f"{salt}\n{canonical}".encode("utf-8"))
     return digest.hexdigest()

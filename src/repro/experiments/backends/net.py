@@ -93,6 +93,9 @@ class NetBackend:
             raise ValueError(f"escalation needs 2f + 1 <= sources, got "
                              f"f={f}, sources={spec.sources}")
         parse_proxy_faults(spec.proxy_faults)  # grammar check
+        if spec.topology != "complete":
+            from repro.topology import build_topology
+            build_topology(spec.topology, spec.n)  # grammar/feasibility
 
     def run_one(self, spec: "ExperimentSpec", repeat: int, seed: int,
                 telemetry: Optional["Telemetry"]) -> RepeatRecord:
@@ -110,6 +113,7 @@ class NetBackend:
                 sources=spec.sources,
                 source_faults=spec.source_faults,
                 proxy_faults=spec.proxy_faults,
+                topology=spec.topology,
                 seed=seed, mode=mode, request_timeout=timeout,
                 run_timeout=run_timeout)
         return RepeatRecord(

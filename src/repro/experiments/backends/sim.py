@@ -41,7 +41,18 @@ class SimBackend:
                              f"{sorted(_STRATEGIES)}, got {spec.strategy!r}")
         if spec.fault_model != "none" and spec.beta <= 0:
             raise ValueError("faulty models need beta > 0")
+        self._validate_topology(spec)
         self._validate_sources(spec)
+
+    @staticmethod
+    def _validate_topology(spec: "ExperimentSpec") -> None:
+        """Reject a bad topology grammar (or an ``(n, parameter)``
+        combination with no valid graph) at construction, not mid-run.
+        The build is cheap and discarded; runs rebuild from the
+        per-repeat seed."""
+        if spec.topology != "complete":
+            from repro.topology import build_topology
+            build_topology(spec.topology, spec.n)
 
     def _validate_sources(self, spec: "ExperimentSpec") -> None:
         """Multi-source sanity: fault grammar and q/f-vs-k feasibility
@@ -79,7 +90,8 @@ class SimBackend:
                 adversary=spec.build_adversary(),
                 t=spec.t, seed=seed,
                 sources=spec.sources,
-                source_faults=spec.source_faults)
+                source_faults=spec.source_faults,
+                topology=spec.topology)
         return RepeatRecord(
             queries=result.report.query_complexity,
             messages=result.report.message_complexity,

@@ -40,7 +40,7 @@ _SYNC_PROTOCOLS: dict[str, tuple[str, tuple[str, ...]]] = {
     "cross-validate": ("SyncCrossValidatePeer",
                        ("q", "decode", "threshold")),
     "cross-validate-escalate": ("SyncCrossValidateEscalatePeer",
-                                ("f",)),
+                                ("f", "alert")),
 }
 
 _SYNC_FAULT_MODELS = ("none", "crash", "byzantine")
@@ -132,6 +132,9 @@ class SyncBackend:
                 and 2 * f + 1 > spec.sources):
             raise ValueError(f"escalation needs 2f + 1 <= sources, got "
                              f"f={f}, sources={spec.sources}")
+        if spec.topology != "complete":
+            from repro.topology import build_topology
+            build_topology(spec.topology, spec.n)  # grammar/feasibility
 
     def run_one(self, spec: "ExperimentSpec", repeat: int, seed: int,
                 telemetry: Optional["Telemetry"]) -> RepeatRecord:
@@ -148,7 +151,8 @@ class SyncBackend:
             result = run_sync_download(
                 n=spec.n, ell=spec.ell, t=spec.t, peer_factory=factory,
                 adversary=_build_adversary(spec, seed), seed=seed,
-                sources=spec.sources, source_faults=spec.source_faults)
+                sources=spec.sources, source_faults=spec.source_faults,
+                topology=spec.topology)
         return RepeatRecord(
             queries=result.query_complexity,
             messages=result.message_complexity,

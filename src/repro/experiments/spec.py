@@ -87,6 +87,11 @@ class ExperimentSpec:
     sources: int = 1
     source_faults: tuple = ()
     proxy_faults: tuple = ()
+    #: Peer-to-peer connectivity spec (see :mod:`repro.topology`).
+    #: ``"complete"`` is the paper's model and the identity-preserving
+    #: default: it never joins :meth:`seed_for` or the cache key, so
+    #: every spec written before the field existed resolves unchanged.
+    topology: str = "complete"
 
     def __post_init__(self) -> None:
         # Persistence reconstructs specs from JSON, where tuples come
@@ -143,9 +148,9 @@ class ExperimentSpec:
         insertion order.  ``backend`` joins the identity only when it
         is neither ``"sim"`` nor ``"net"`` (``net`` replays the
         simulator's per-repeat seeds so its Q is comparable bit-for-
-        bit), and ``sources``/``source_faults`` only when non-default:
-        every seed computed before those fields existed stays
-        byte-identical (the golden traces pin this).  ``proxy_faults``
+        bit), and ``sources``/``source_faults``/``topology`` only when
+        non-default: every seed computed before those fields existed
+        stays byte-identical (the golden traces pin this).  ``proxy_faults``
         never joins at all — transport chaos is noise on the wire, not
         part of the experiment's inputs.
         """
@@ -159,4 +164,6 @@ class ExperimentSpec:
         if self.source_faults:
             identity = (f"{identity}|faults="
                         f"{canonical_json(list(self.source_faults))}")
+        if self.topology != "complete":
+            identity = f"{identity}|topology={self.topology}"
         return derive_seed(self.base_seed, f"{identity}#{repeat}")

@@ -46,6 +46,7 @@ from typing import Optional
 from repro.execution.retry import RetryPolicy
 from repro.obs.telemetry import event
 from repro.sim.sourceset import parse_faults
+from repro.topology import resolve_topology
 from repro.util.bitarrays import BitArray
 from repro.util.rng import SplittableRNG, derive_seed
 
@@ -112,7 +113,7 @@ class NetRunResult:
 def run_net_download(*, n: int, ell: int, protocol: str,
                      protocol_params: Optional[dict] = None,
                      sources: int = 1, source_faults=(),
-                     proxy_faults=(), seed: int = 0,
+                     proxy_faults=(), topology=None, seed: int = 0,
                      mode: str = "task",
                      retry: Optional[RetryPolicy] = None,
                      request_timeout: float = 0.5,
@@ -129,21 +130,25 @@ def run_net_download(*, n: int, ell: int, protocol: str,
         n=n, ell=ell, protocol=protocol,
         protocol_params=dict(protocol_params or {}),
         sources=sources, source_faults=tuple(source_faults),
-        proxy_faults=tuple(proxy_faults), seed=seed, mode=mode,
+        proxy_faults=tuple(proxy_faults), topology=topology,
+        seed=seed, mode=mode,
         retry=retry if retry is not None else DEFAULT_NET_RETRY,
         request_timeout=request_timeout, run_timeout=run_timeout,
         base_delay=base_delay, withhold_delay=withhold_delay))
 
 
 async def _run(*, n, ell, protocol, protocol_params, sources,
-               source_faults, proxy_faults, seed, mode, retry,
-               request_timeout, run_timeout, base_delay,
+               source_faults, proxy_faults, topology, seed, mode,
+               retry, request_timeout, run_timeout, base_delay,
                withhold_delay) -> NetRunResult:
     # The experiment's inputs come from the exact RNG splits the
     # simulator uses — splits are label-addressed and stateless, so
     # data and views match the sim's bit for bit for the same seed.
     root = SplittableRNG(seed)
     data = BitArray.random(ell, root.split("input"))
+    # Same construction seed as the simulator, so a random-dregular
+    # graph here has the identical edge set for the identical run seed.
+    topo = resolve_topology(topology, n, seed)
     faults = parse_faults(source_faults, sources)
     views = [fault.build_view(data, root.split(f"source-{sid}"))
              for sid, fault in enumerate(faults)]
@@ -169,18 +174,44 @@ async def _run(*, n, ell, protocol, protocol_params, sources,
         await source.start(f"{sock_dir}/src.sock")
         await proxy.add_route(f"{sock_dir}/src-proxy.sock",
                               f"{sock_dir}/src.sock", "src")
-        peer_paths = {}
+        # Peer links: on the complete graph, one shared proxy route per
+        # inbox; under a sparse topology, one proxy route PER EDGE (so
+        # the chaos plan can shake individual links) and each peer only
+        # ever learns its neighbours' addresses.
+        paths_for: dict[int, dict[int, str]] = {}
+        neighbors_for: dict[int, Optional[list[int]]] = {}
         if needs_inboxes:
+            if topo is None:
+                peer_paths = {}
+                for pid in range(n):
+                    await proxy.add_route(f"{sock_dir}/p{pid}-proxy.sock",
+                                          f"{sock_dir}/p{pid}.sock",
+                                          f"p{pid}")
+                    peer_paths[pid] = f"{sock_dir}/p{pid}-proxy.sock"
+                for pid in range(n):
+                    paths_for[pid] = peer_paths
+                    neighbors_for[pid] = None
+            else:
+                for pid in range(n):
+                    paths_for[pid] = {}
+                    neighbors_for[pid] = list(topo.neighbors(pid))
+                for src, dst in topo.edges():
+                    for u, v in ((src, dst), (dst, src)):
+                        path = f"{sock_dir}/e{u}-{v}.sock"
+                        await proxy.add_route(path,
+                                              f"{sock_dir}/p{v}.sock",
+                                              f"e{u}-{v}")
+                        paths_for[u][v] = path
+        else:
             for pid in range(n):
-                await proxy.add_route(f"{sock_dir}/p{pid}-proxy.sock",
-                                      f"{sock_dir}/p{pid}.sock",
-                                      f"p{pid}")
-                peer_paths[pid] = f"{sock_dir}/p{pid}-proxy.sock"
+                paths_for[pid] = {}
+                neighbors_for[pid] = None
         if mode == "task":
             outputs, messages, retries = await _run_tasks(
                 n=n, ell=ell, protocol=protocol,
                 protocol_params=protocol_params, sources=sources,
-                sock_dir=sock_dir, peer_paths=peer_paths,
+                sock_dir=sock_dir, paths_for=paths_for,
+                neighbors_for=neighbors_for,
                 needs_inboxes=needs_inboxes, inboxes=inboxes,
                 retry=retry, request_timeout=request_timeout,
                 run_timeout=run_timeout, seed=seed, clock=clock,
@@ -189,7 +220,8 @@ async def _run(*, n, ell, protocol, protocol_params, sources,
             outputs, messages, retries = await _run_processes(
                 n=n, ell=ell, protocol=protocol,
                 protocol_params=protocol_params, sources=sources,
-                sock_dir=sock_dir, peer_paths=peer_paths,
+                sock_dir=sock_dir, paths_for=paths_for,
+                neighbors_for=neighbors_for,
                 needs_inboxes=needs_inboxes, retry=retry,
                 request_timeout=request_timeout,
                 run_timeout=run_timeout, seed=seed, clock=clock,
@@ -220,7 +252,8 @@ async def _run(*, n, ell, protocol, protocol_params, sources,
 
 
 async def _run_tasks(*, n, ell, protocol, protocol_params, sources,
-                     sock_dir, peer_paths, needs_inboxes, inboxes,
+                     sock_dir, paths_for, neighbors_for,
+                     needs_inboxes, inboxes,
                      retry, request_timeout, run_timeout, seed, clock,
                      tasks, peers) -> tuple[dict, int, int]:
     """Peers as asyncio tasks in this process."""
@@ -240,7 +273,8 @@ async def _run_tasks(*, n, ell, protocol, protocol_params, sources,
             pid, n=n, ell=ell, sources=sources,
             client_factory=factory,
             source_path=f"{sock_dir}/src-proxy.sock",
-            peer_paths=peer_paths, inbox=inboxes.get(pid),
+            peer_paths=paths_for.get(pid), inbox=inboxes.get(pid),
+            neighbors=neighbors_for.get(pid),
             clock=clock, **protocol_params))
     tasks.extend(asyncio.ensure_future(peer.run()) for peer in peers)
     try:
@@ -269,7 +303,8 @@ async def _run_tasks(*, n, ell, protocol, protocol_params, sources,
 
 
 async def _run_processes(*, n, ell, protocol, protocol_params, sources,
-                         sock_dir, peer_paths, needs_inboxes, retry,
+                         sock_dir, paths_for, neighbors_for,
+                         needs_inboxes, retry,
                          request_timeout, run_timeout, seed, clock,
                          procs) -> tuple[dict, int, int]:
     """Peers as spawned worker processes (``repro.net.worker``).
@@ -291,8 +326,9 @@ async def _run_processes(*, n, ell, protocol, protocol_params, sources,
             "protocol_params": protocol_params, "sources": sources,
             "source_path": f"{sock_dir}/src-proxy.sock",
             "peer_paths": {str(other): path
-                           for other, path in peer_paths.items()
+                           for other, path in paths_for[pid].items()
                            if other != pid},
+            "neighbors": neighbors_for[pid],
             "inbox_path": (f"{sock_dir}/p{pid}.sock"
                            if needs_inboxes else None),
             "request_timeout": request_timeout,

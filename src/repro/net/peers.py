@@ -59,12 +59,17 @@ class NetPeer:
                  source_path: str,
                  peer_paths: Optional[dict[int, str]] = None,
                  inbox: Optional[PeerInbox] = None,
+                 neighbors: Optional[list[int]] = None,
                  clock: Callable[[], float] = None) -> None:
         self.pid = pid
         self.n = n
         self.ell = ell
         self.k = sources
         self.inbox = inbox
+        #: ``None`` means the complete graph (every other peer is one
+        #: hop away); a list restricts peer traffic to those links and
+        #: switches the share exchange to flooding.
+        self.neighbors = list(neighbors) if neighbors is not None else None
         self.clock = clock if clock is not None else (lambda: 0.0)
         self._client_factory = client_factory
         self._source_path = source_path
@@ -105,9 +110,15 @@ class NetPeer:
         return {int(index): bit
                 for index, bit in response["values"].items()}
 
-    async def send_share(self, other: int,
-                         values: dict[int, int]) -> None:
+    async def send_share(self, other: int, values: dict[int, int], *,
+                         origin: Optional[int] = None) -> None:
         """Send one logical share (retries ride inside the client).
+
+        ``origin`` names the share's original producer when this send
+        is a flooding relay — receivers dedupe by origin, so a share
+        relayed along many paths still counts once.  The relay is
+        charged here, to the relaying peer, matching the simulator's
+        accounting.
 
         Delivery is best-effort past the retry budget: a receiver that
         stops answering has either already deduped this share (only its
@@ -120,7 +131,7 @@ class NetPeer:
         try:
             await self._peer_client(other).request({
                 "type": "share", "rid": self._next_rid(),
-                "src": self.pid, "mid": 0,
+                "src": self.pid if origin is None else origin, "mid": 0,
                 "values": {str(index): bit
                            for index, bit in values.items()}})
         except NetRequestError:
@@ -172,7 +183,14 @@ class NetNaivePeer(NetPeer):
 
 
 class NetBalancedPeer(NetPeer):
-    """Round-robin slices shared peer-to-peer (Q = ceil(ell / n))."""
+    """Round-robin slices shared peer-to-peer (Q = ceil(ell / n)).
+
+    On the complete graph every peer sends its slice to every other
+    directly.  Under a sparse topology the exchange becomes flooding:
+    each peer sends its slice to its neighbours and relays every
+    first-seen share onward, so every slice reaches every peer over
+    the graph's links only (inboxes dedupe by origin, so the n - 1
+    distinct-sender wait is unchanged)."""
 
     protocol_name = "balanced"
 
@@ -180,12 +198,31 @@ class NetBalancedPeer(NetPeer):
         mine = round_robin_indices(self.pid, self.ell, self.n)
         values = await self.query(0, mine)
         self.learn_many(values)
-        others = [pid for pid in range(self.n) if pid != self.pid]
-        await asyncio.gather(*(self.send_share(other, values)
-                               for other in others))
-        await self.inbox.wait_for_shares(self.n - 1)
+        if self.neighbors is None:
+            others = [pid for pid in range(self.n) if pid != self.pid]
+            await asyncio.gather(*(self.send_share(other, values)
+                                   for other in others))
+            await self.inbox.wait_for_shares(self.n - 1)
+        else:
+            await self._flood(values)
         self.learn_many(self.inbox.merged_values())
         return self.output()
+
+    async def _flood(self, values: dict[int, int]) -> None:
+        """Flood own share, relay every first-seen share, until all
+        ``n - 1`` other origins have arrived (and been relayed)."""
+        await asyncio.gather(*(self.send_share(nb, values)
+                               for nb in self.neighbors))
+        relayed: set = {self.pid}
+        while len(relayed) - 1 < self.n - 1:
+            await self.inbox.wait_for_shares(len(relayed))
+            for (src, _mid), vals in list(self.inbox.shares.items()):
+                if src in relayed:
+                    continue
+                relayed.add(src)
+                await asyncio.gather(
+                    *(self.send_share(nb, vals, origin=src)
+                      for nb in self.neighbors))
 
 
 class NetCrossValidatePeer(NetPeer):

@@ -49,7 +49,8 @@ async def _work(config: dict) -> dict:
         source_path=config["source_path"],
         peer_paths={int(other): path for other, path
                     in config.get("peer_paths", {}).items()},
-        inbox=inbox, **config.get("protocol_params", {}))
+        inbox=inbox, neighbors=config.get("neighbors"),
+        **config.get("protocol_params", {}))
     try:
         output = await peer.run()
     finally:

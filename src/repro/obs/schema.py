@@ -67,9 +67,11 @@ EVENT_FIELDS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     # -- the query timeline ----------------------------------------------
     "query": (("t", "peer", "bits"), ("cycle", "source")),
     "source_disagreement": (("t", "peer", "index"), ("votes",)),
-    # -- peer-to-peer traffic --------------------------------------------
-    "send": (("t", "src", "dst", "type", "bits"), ("honest",)),
-    "deliver": (("t", "src", "dst", "type"), ()),
+    # -- peer-to-peer traffic (``relay``/``hop`` appear only on routed
+    # -- topologies: relay forwards and multi-hop arrivals) ---------------
+    "send": (("t", "src", "dst", "type", "bits"), ("honest", "relay",
+                                                   "hop")),
+    "deliver": (("t", "src", "dst", "type"), ("relay", "hop")),
     # -- adversary decisions ---------------------------------------------
     "withhold": (("t", "src", "dst", "type"), ()),
     "release": (("t", "src", "dst", "type"), ()),

@@ -23,6 +23,13 @@ class DeadlockError(SimulationError):
         details = "; ".join(f"{name} waiting for {what}" for name, what in waiting)
         super().__init__(f"simulation deadlocked: {details}")
 
+    def __reduce__(self):
+        # The default exception reduce re-calls __init__ with ``args``
+        # (the formatted message), which is not a ``waiting`` list —
+        # unpickling would fail, and an unpicklable exception crossing
+        # a worker boundary breaks the whole process pool.
+        return (DeadlockError, (self.waiting,))
+
 
 class ProtocolViolation(SimulationError):
     """A peer broke a rule of the model (e.g. oversized message)."""

@@ -26,6 +26,7 @@ from repro.sim.errors import ProtocolViolation
 from repro.sim.messages import Message
 from repro.sim.metrics import MetricsCollector
 from repro.sim.scheduler import Kernel
+from repro.topology.routing import Router
 
 
 class _Withhold:
@@ -58,12 +59,18 @@ class Receiver(Protocol):
 
 @dataclass
 class WithheldMessage:
-    """One delivery the adversary is currently sitting on."""
+    """One delivery the adversary is currently sitting on.
+
+    ``resume`` is set only for withheld *relay hops* on a routed
+    topology: releasing the entry must land the message at the hop's
+    destination and continue the route, not final-deliver it there.
+    """
 
     sender: int
     destination: int
     message: Message
     sent_at: float
+    resume: Optional[object] = None
 
 
 class Network:
@@ -77,7 +84,8 @@ class Network:
 
     def __init__(self, kernel: Kernel, metrics: MetricsCollector,
                  adversary, message_size_limit: Optional[int] = None,
-                 packetize: bool = False, fifo: bool = False) -> None:
+                 packetize: bool = False, fifo: bool = False,
+                 topology=None, route_seed: int = 0) -> None:
         self.kernel = kernel
         self.metrics = metrics
         self.adversary = adversary
@@ -98,6 +106,24 @@ class Network:
         #: FIFO links.  Withheld messages released at quiescence bypass
         #: the ordering (they are the adversary's to sequence).
         self.fifo = fifo
+        #: Peer-to-peer connectivity.  ``None`` is the model's complete
+        #: graph: every pair is one hop and the code path is
+        #: byte-identical to the pre-topology engine.  A sparse
+        #: :class:`~repro.topology.Topology` routes non-adjacent pairs
+        #: hop by hop through a seeded shortest-path relay; each hop
+        #: draws its own adversary latency and is charged as one
+        #: message to the relaying peer.  The external data source is
+        #: *not* part of the graph — queries stay direct, so Q is a
+        #: topology-independent measure (only T and M degrade).
+        self.topology = topology
+        self._router = None
+        if topology is not None and not topology.is_complete:
+            self._router = Router(topology, seed=route_seed)
+            #: Instance shadow of the class marker: the bulk span path
+            #: assumes one-hop delivery to a contiguous pid span, so
+            #: the scale path degrades to exact per-edge sends on any
+            #: routed topology.
+            self.BULK_CAPABLE = False
         self._receivers: dict[int, Receiver] = {}
         self._withheld: list[WithheldMessage] = []
         self._last_delivery: dict[tuple[int, int], float] = {}
@@ -177,6 +203,11 @@ class Network:
                 "t": self.kernel.now, "src": sender_pid,
                 "dst": destination, "type": type(message).__name__,
                 "bits": size, "honest": honest})
+        if self._router is not None:
+            hops = self._router.path(sender_pid, destination)
+            if len(hops) > 2:
+                self._forward(hops, 0, message, sender_cycle, honest)
+                return True
         latency = self.adversary.message_latency(
             sender_pid, destination, message, self.kernel.now, sender_cycle)
         if (self.packetize and self.message_size_limit is not None
@@ -185,6 +216,110 @@ class Network:
             latency = float(latency) * packets
         self._dispatch(sender_pid, destination, message, latency)
         return True
+
+    # -- topology-routed relay ---------------------------------------------
+
+    def _forward(self, hops: list, index: int, message: Message,
+                 sender_cycle: int, honest: bool) -> None:
+        """Dispatch hop ``index`` of a routed delivery.
+
+        Send-side adversary hooks (``permit_send``,
+        ``transform_message``) fired once, at the origin; the relay is
+        a transport service of the network layer, so what the
+        adversary keeps for every hop is its scheduling power — each
+        hop draws its own ``message_latency`` and may be withheld
+        independently (a withheld hop released at quiescence lands at
+        the hop's destination and the route continues from there, so
+        the adversary can stall a route one quiescence per hop but
+        never forever).
+        """
+        hop_src, hop_dst = hops[index], hops[index + 1]
+        latency = self.adversary.message_latency(
+            hop_src, hop_dst, message, self.kernel.now, sender_cycle)
+        if isinstance(latency, _Withhold):
+            if self.telemetry is not None:
+                self.telemetry.emit("withhold", {
+                    "t": self.kernel.now, "src": hop_src,
+                    "dst": hop_dst, "type": type(message).__name__})
+            self._withheld.append(WithheldMessage(
+                hop_src, hop_dst, message, self.kernel.now,
+                resume=lambda: self._arrive(hops, index, message,
+                                            sender_cycle, honest)))
+            return
+        if not isinstance(latency, (int, float)) or latency < 0:
+            raise ValueError(
+                f"adversary returned invalid latency {latency!r}")
+        delay = float(latency)
+        if (self.packetize and self.message_size_limit is not None):
+            delay *= -(-message.size_bits() // self.message_size_limit)
+        if self.fifo:
+            link = (hop_src, hop_dst)
+            earliest = self._last_delivery.get(link, 0.0) + 1e-9
+            arrival = max(self.kernel.now + delay, earliest)
+            self._last_delivery[link] = arrival
+            delay = arrival - self.kernel.now
+        final = index + 2 == len(hops)
+        self.kernel.schedule(
+            delay,
+            lambda: self._arrive(hops, index, message, sender_cycle, honest),
+            kind=(f"deliver:{hop_src}->{hop_dst}" if final
+                  else f"relay:{hop_src}->{hop_dst}"))
+
+    def _arrive(self, hops: list, index: int, message: Message,
+                sender_cycle: int, honest: bool) -> None:
+        """One routed hop arrived at ``hops[index + 1]``.
+
+        At the final destination this is a delivery (telemetry carries
+        the total ``hop`` count; ``src`` stays the original sender, as
+        on the direct path).  At an intermediate node the message is
+        forwarded to the next hop — unless the relay *crashed*, in
+        which case the route is severed and the message dies (sparse
+        topologies make crash faults cut routes; that is the model).
+        A relay that merely finished still forwards: relaying is the
+        network layer's transport service, and a terminated-but-correct
+        node's links stay up.
+        """
+        hop = index + 1
+        node = hops[index + 1]
+        receiver = self._receivers[node]
+        size = message.size_bits()
+        if index + 2 == len(hops):
+            if not receiver.live:
+                return
+            if self.trace is not None:
+                self.trace.record(self.kernel.now, "deliver",
+                                  sender=message.sender, destination=node,
+                                  message=type(message).__name__, hop=hop)
+            if self.telemetry is not None:
+                self.telemetry.emit("deliver", {
+                    "t": self.kernel.now, "src": message.sender,
+                    "dst": node, "type": type(message).__name__,
+                    "hop": hop})
+            receiver.deliver(message)
+            return
+        if getattr(receiver, "halted", False):
+            return  # route severed at a crashed relay
+        next_node = hops[index + 2]
+        if self.trace is not None:
+            self.trace.record(self.kernel.now, "deliver",
+                              sender=hops[index], destination=node,
+                              message=type(message).__name__,
+                              relay=True, hop=hop)
+            self.trace.record(self.kernel.now, "send",
+                              sender=node, destination=next_node,
+                              message=type(message).__name__, bits=size,
+                              honest=honest, relay=True, hop=hop + 1)
+        if self.telemetry is not None:
+            self.telemetry.emit("deliver", {
+                "t": self.kernel.now, "src": hops[index], "dst": node,
+                "type": type(message).__name__, "relay": True, "hop": hop})
+            self.telemetry.emit("send", {
+                "t": self.kernel.now, "src": node, "dst": next_node,
+                "type": type(message).__name__, "bits": size,
+                "honest": honest, "relay": True, "hop": hop + 1})
+        if honest:
+            self.metrics.record_message(node, size)
+        self._forward(hops, index + 1, message, sender_cycle, honest)
 
     def _dispatch(self, sender_pid: int, destination: int, message: Message,
                   latency) -> None:
@@ -237,6 +372,15 @@ class Network:
         and singleton deliveries fall back to the exact per-message
         paths.
         """
+        if self._router is not None:
+            # Routed topologies never qualify for span grouping (the
+            # instance shadows BULK_CAPABLE off); if a caller gets here
+            # anyway, degrade gracefully to exact per-edge sends.
+            for destination in range(n):
+                if destination != sender_pid:
+                    self.send(sender_pid, destination, message,
+                              sender_cycle=sender_cycle)
+            return
         kernel = self.kernel
         adversary = self.adversary
         metrics = self.metrics
@@ -375,6 +519,7 @@ class Network:
                     "type": type(entry.message).__name__})
             self.kernel.schedule(
                 0.0,
-                lambda e=entry: self._deliver(e.destination, e.message),
+                (entry.resume if entry.resume is not None else
+                 (lambda e=entry: self._deliver(e.destination, e.message))),
                 kind=f"release:{entry.sender}->{entry.destination}")
         return True

@@ -59,6 +59,11 @@ class SimEnv:
     #: opt-in vectorized scale path is active, else ``None`` (the
     #: default engine; every scale hook is then skipped).
     scale: Optional[object] = None
+    #: The run's :class:`~repro.topology.Topology` when connectivity is
+    #: sparse, else ``None`` (the model's complete graph).  Protocols
+    #: may inspect it (e.g. ``env.topology.neighbors(pid)``); sends to
+    #: non-neighbors are legal and relayed by the network layer.
+    topology: Optional[object] = None
 
     @property
     def peer_ids(self) -> range:

@@ -37,8 +37,9 @@ from repro.sim.scheduler import DEFAULT_MAX_EVENTS, Kernel
 from repro.sim.source import DataSource, MutableDataSource
 from repro.sim.sourceset import SourceSet, parse_faults
 from repro.sim.trace import TraceRecorder
+from repro.topology import resolve_topology
 from repro.util.bitarrays import BitArray
-from repro.util.rng import SplittableRNG
+from repro.util.rng import SplittableRNG, derive_seed
 from repro.util.validation import check_nonnegative, check_positive
 
 PeerFactory = Callable[[int, SimEnv], Peer]
@@ -110,10 +111,18 @@ class Simulation:
                  mutations=(),
                  extras: Optional[dict] = None,
                  scale=None,
-                 peer_subset=None) -> None:
+                 peer_subset=None,
+                 topology=None) -> None:
         check_positive("n", n)
         self.n = n
         self.seed = seed
+        #: Peer-to-peer connectivity: a spec string (``"ring"``,
+        #: ``"random-dregular:4"``, ...), a built
+        #: :class:`~repro.topology.Topology`, or ``None``/``"complete"``
+        #: for the paper's complete graph.  Complete resolves to
+        #: ``None`` so the default engine stays byte-identical; seeded
+        #: constructors derive their graph from the run seed.
+        self.topology = resolve_topology(topology, n, seed)
         self.rng = SplittableRNG(seed)
         self.data = self._resolve_data(data, ell)
         self.ell = len(self.data)
@@ -216,7 +225,9 @@ class Simulation:
         sink = backend if backend.enabled else None
         network = Network(kernel, metrics, self.adversary,
                           message_size_limit=self.message_size_limit,
-                          packetize=self.packetize, fifo=self.fifo)
+                          packetize=self.packetize, fifo=self.fifo,
+                          topology=self.topology,
+                          route_seed=derive_seed(self.seed, "routing"))
         network.trace = trace
         kernel.telemetry = sink
         network.telemetry = sink
@@ -247,7 +258,7 @@ class Simulation:
                      n=self.n, t=self.t, ell=self.ell, rng=self.rng,
                      message_size_limit=self.message_size_limit,
                      trace=trace, telemetry=sink, extras=self.extras,
-                     scale=scale_ctx)
+                     scale=scale_ctx, topology=self.topology)
         self.adversary.bind(env)
 
         processes: dict[int, Process] = {}
@@ -337,6 +348,7 @@ def run_download(*, n: int, peer_factory: PeerFactory,
                  mutations=(),
                  extras: Optional[dict] = None,
                  scale=None,
+                 topology=None,
                  max_events: int = DEFAULT_MAX_EVENTS) -> RunResult:
     """One-call convenience: build a :class:`Simulation` and run it."""
     simulation = Simulation(
@@ -345,5 +357,5 @@ def run_download(*, n: int, peer_factory: PeerFactory,
         message_size_limit=message_size_limit, packetize=packetize,
         fifo=fifo, trace=trace, sources=sources,
         source_faults=source_faults, mutations=mutations, extras=extras,
-        scale=scale)
+        scale=scale, topology=topology)
     return simulation.run(max_events=max_events)

@@ -23,6 +23,7 @@ from repro.sync.engine import (
     run_sync_download,
 )
 from repro.sync.protocols import (
+    EscalationAlert,
     SyncBalancedPeer,
     SyncCrashPeer,
     SyncCommitteePeer,
@@ -33,6 +34,7 @@ from repro.sync.protocols import (
 )
 
 __all__ = [
+    "EscalationAlert",
     "RoundCrashAdversary",
     "RushingEchoAdversary",
     "SilentSyncAdversary",

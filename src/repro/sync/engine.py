@@ -27,8 +27,10 @@ from typing import Optional, Sequence
 from repro.obs.schema import SCHEMA_VERSION
 from repro.obs.telemetry import get_backend as _get_telemetry
 from repro.sim.messages import Message
+from repro.topology import resolve_topology
+from repro.topology.routing import Router
 from repro.util.bitarrays import BitArray, canonical_indices, mask_to_set
-from repro.util.rng import SplittableRNG
+from repro.util.rng import SplittableRNG, derive_seed
 from repro.util.validation import check_nonnegative, check_positive
 
 #: Safety cap: no protocol in this library needs more rounds.
@@ -37,11 +39,19 @@ MAX_ROUNDS = 10_000
 
 @dataclass
 class SyncConfig:
-    """Shared parameters of one synchronous execution."""
+    """Shared parameters of one synchronous execution.
+
+    ``topology`` is the run's :class:`~repro.topology.Topology` when
+    connectivity is sparse, else ``None`` (the model's complete
+    graph).  Round-native protocols may read it — e.g. to size their
+    waiting windows by ``topology.diameter``, the lockstep bound on
+    how late a routed broadcast can arrive.
+    """
 
     n: int
     t: int
     ell: int
+    topology: Optional[object] = None
 
     def __post_init__(self) -> None:
         check_positive("n", self.n)
@@ -152,6 +162,12 @@ class SyncPeer:
         self.rng = rng
         self.output: Optional[BitArray] = None
         self.finished_round: Optional[int] = None
+        #: Deadline-aware waiting: a peer parked until round ``r`` (set
+        #: this to ``r``) is deliberate silence, not a stall — the
+        #: engine's quiet-round detector skips rounds where any live
+        #: peer still has an unexpired deadline (how a peer waits out a
+        #: routed broadcast's worst-case ``diameter`` rounds).
+        self.waiting_until: Optional[int] = None
         self._source: Optional[SyncSource] = None
         self._outbox: dict[int, list[Message]] = {}
 
@@ -271,6 +287,19 @@ class SyncEngine:
         self.data = data.copy()
         self.seed = seed
         self.adversary = adversary or SyncAdversary()
+        #: Seeded shortest-path router, or ``None`` on the complete
+        #: graph.  A message over an ``h``-hop route is read by its
+        #: destination ``h`` rounds after it was sent: each hop takes
+        #: one round, each relay forward is charged as one message to
+        #: the relaying peer, and a relay that crashes mid-route
+        #: severs it.
+        self.router = (Router(config.topology,
+                              seed=derive_seed(seed, "routing"))
+                       if config.topology is not None else None)
+        #: In-flight routed messages: ``(hops, index, message,
+        #: honest_origin)`` with the message parked at
+        #: ``hops[index + 1]``, forwarded at the next delivery step.
+        self._relays: list[tuple] = []
         root = SplittableRNG(seed)
         # Faulty views come from stateless splits labelled by endpoint,
         # so a k=1 honest run draws nothing extra and stays identical
@@ -359,14 +388,81 @@ class SyncEngine:
             byzantine_traffic = self.adversary.rush(
                 round_no, honest_traffic, self.config, self.source)
 
-            # 3. End-of-round delivery.
+            # 3. End-of-round delivery.  In-flight relay hops move
+            #    first (they were sent in earlier rounds), then this
+            #    round's traffic is dispatched — directly on edges,
+            #    through the relay queue otherwise.
             next_inboxes: dict[int, list[Message]] = {
                 pid: inboxes[pid] for pid in range(self.config.n)}
             delivered = 0
+            if self._relays:
+                pending, self._relays = self._relays, []
+                for hops, index, message, honest_origin in pending:
+                    node = hops[index + 1]
+                    if node in self.crashed:
+                        continue  # route severed at a crashed relay
+                    hop = index + 1
+                    next_node = hops[index + 2]
+                    kind = type(message).__name__
+                    if sink is not None:
+                        sink.emit("deliver", {
+                            "t": float(round_no), "src": hops[index],
+                            "dst": node, "type": kind,
+                            "relay": True, "hop": hop})
+                        sink.emit("send", {
+                            "t": float(round_no), "src": node,
+                            "dst": next_node, "type": kind,
+                            "bits": message.size_bits(),
+                            "honest": honest_origin,
+                            "relay": True, "hop": hop + 1})
+                    if honest_origin and node not in self.corrupted:
+                        self.messages_sent += 1
+                        self.per_peer_messages[node] = \
+                            self.per_peer_messages.get(node, 0) + 1
+                        self.message_bits += message.size_bits()
+                    delivered += 1
+                    if index + 3 == len(hops):
+                        next_inboxes[next_node].append(message)
+                        if sink is not None:
+                            sink.emit("deliver", {
+                                "t": float(round_no),
+                                "src": getattr(message, "sender", hops[0]),
+                                "dst": next_node, "type": kind,
+                                "hop": hop + 1})
+                    else:
+                        self._relays.append(
+                            (hops, index + 1, message, honest_origin))
             for traffic in (honest_traffic, byzantine_traffic):
                 for sender, outbox in traffic.items():
                     honest_sender = sender not in self.corrupted
                     for destination, messages in outbox.items():
+                        if self.router is not None and sender != destination:
+                            hops = self.router.path(sender, destination)
+                            if len(hops) > 2:
+                                # Routed: charge and announce the origin
+                                # transmission now, park the messages at
+                                # the first relay.
+                                delivered += len(messages)
+                                if honest_sender:
+                                    self.messages_sent += len(messages)
+                                    self.per_peer_messages[sender] = \
+                                        self.per_peer_messages.get(
+                                            sender, 0) + len(messages)
+                                    self.message_bits += sum(
+                                        message.size_bits()
+                                        for message in messages)
+                                for message in messages:
+                                    if sink is not None:
+                                        sink.emit("send", {
+                                            "t": float(round_no),
+                                            "src": sender,
+                                            "dst": destination,
+                                            "type": type(message).__name__,
+                                            "bits": message.size_bits(),
+                                            "honest": honest_sender})
+                                    self._relays.append(
+                                        (hops, 0, message, honest_sender))
+                                continue
                         next_inboxes[destination].extend(messages)
                         delivered += len(messages)
                         if honest_sender:
@@ -401,7 +497,12 @@ class SyncEngine:
                                         "round": round_no,
                                         "delivered": delivered,
                                         "finished": finished_round})
-            if delivered == 0 and not finished_round:
+            waiting = any(
+                self.peers[pid].waiting_until is not None
+                and self.peers[pid].waiting_until > round_no
+                for pid in live_honest)
+            if delivered == 0 and not finished_round \
+                    and not self._relays and not waiting:
                 quiet_rounds += 1
                 if quiet_rounds >= self.STALL_LIMIT:
                     break
@@ -448,9 +549,10 @@ def run_sync_download(*, n: int, ell: int, t: int = 0, peer_factory,
                       data: Optional[BitArray] = None,
                       adversary: Optional[SyncAdversary] = None,
                       seed: int = 0, sources: int = 1,
-                      source_faults=()) -> SyncRunResult:
+                      source_faults=(), topology=None) -> SyncRunResult:
     """One-call convenience mirroring :func:`repro.sim.run_download`."""
-    config = SyncConfig(n=n, t=t, ell=ell)
+    config = SyncConfig(n=n, t=t, ell=ell,
+                        topology=resolve_topology(topology, n, seed))
     if data is None:
         data = BitArray.random(ell, SplittableRNG(seed).split("input"))
     engine = SyncEngine(config=config, data=data, peer_factory=peer_factory,

@@ -21,6 +21,7 @@ the round complexity the synchronous papers report:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.assignment import committee_for, round_robin_indices
@@ -35,9 +36,24 @@ from repro.protocols.decode import (
     majority_threshold,
     threshold_decode,
 )
+from repro.sim.messages import Message
 from repro.sync.engine import SyncConfig, SyncPeer
 from repro.util.bitarrays import BitArray
 from repro.util.rng import SplittableRNG
+
+
+@dataclass(frozen=True)
+class EscalationAlert(Message):
+    """Disagreement notice of the escalate protocol's ``alert`` path.
+
+    Broadcast by a peer whose optimistic ``f + 1`` votes were not
+    unanimous; every receiver escalates to the full ``2f + 1``
+    endpoints.  Routed topologies deliver it up to ``diameter`` rounds
+    late, which is exactly the waiting window alert-mode peers hold
+    open before trusting their unanimous round-1 votes.
+    """
+
+    round_no: int = 0
 
 
 class _ArrayBuilder:
@@ -288,15 +304,27 @@ class SyncCrossValidateEscalatePeer(SyncPeer):
     """
 
     def __init__(self, pid: int, config: SyncConfig, rng: SplittableRNG,
-                 f: int = 0) -> None:
+                 f: int = 0, alert: bool = False) -> None:
         super().__init__(pid, config, rng)
         if f < 0:
             raise ValueError(f"f must be >= 0, got {f}")
         self.f = f
+        #: The cooperative escalation path: a peer that sees
+        #: disagreement broadcasts an :class:`EscalationAlert`, and
+        #: *every* peer escalates on receipt — per-reader equivocation
+        #: detected by one peer then hardens everyone's decode.
+        #: Unanimous peers hold their output for the topology's
+        #: ``diameter`` rounds (the routed broadcast's worst case)
+        #: before trusting silence.  Off by default: the classic
+        #: local-escalation behaviour (and its golden traces) is
+        #: untouched.
+        self.alert = alert
+        self._alerted = False
         # k attaches with the source after construction; votes persist
         # across the escalation round.
         self._votes: Optional[dict[int, list[int]]] = None
         self._fallback: dict[int, tuple[int, int]] = {}
+        self._held: Optional[BitArray] = None
 
     def _absorb(self, sid: int, answers: dict[int, int]) -> None:
         for index, bit in answers.items():
@@ -311,6 +339,26 @@ class SyncCrossValidateEscalatePeer(SyncPeer):
             source.telemetry.emit("source_disagreement", {
                 "t": float(round_no), "peer": self.pid,
                 "index": index, "votes": list(self._votes[index])})
+
+    def _alert_window(self) -> int:
+        """Rounds a routed :class:`EscalationAlert` may take to arrive."""
+        topology = self.config.topology
+        return topology.diameter if topology is not None else 1
+
+    def _escalate(self, round_no: int, chosen) -> None:
+        """Bring in the remaining ``f`` endpoints and decide."""
+        source = self._source
+        for sid in chosen[self.f + 1:]:
+            self._absorb(sid, source.query_from(
+                sid, self.pid, range(self.ell)))
+        builder = _ArrayBuilder(self.ell)
+        for index in range(self.ell):
+            bit = majority_decode(self._votes[index], 2 * self.f + 1)
+            if bit is None:
+                self._emit_disagreement(round_no, index)
+                bit = self._fallback[index][1]
+            builder.put(index, bit)
+        self.finish(builder.to_array())
 
     def round(self, round_no: int, inbox) -> None:
         source = self._source
@@ -332,22 +380,33 @@ class SyncCrossValidateEscalatePeer(SyncPeer):
                 builder = _ArrayBuilder(self.ell)
                 for index in range(self.ell):
                     builder.put(index, self._votes[index][0])
-                self.finish(builder.to_array())
+                if not self.alert:
+                    self.finish(builder.to_array())
+                    return
+                # Alert mode: hold the unanimous output open for the
+                # worst-case alert transit before trusting silence.
+                self._held = builder.to_array()
+                self.waiting_until = round_no + self._alert_window()
                 return
             for index in disagreeing:
                 self._emit_disagreement(round_no, index)
+            if self.alert:
+                self._alerted = True
+                self.broadcast(EscalationAlert(sender=self.pid,
+                                               round_no=round_no))
             return  # escalate next round
-        for sid in chosen[self.f + 1:]:
-            self._absorb(sid, source.query_from(
-                sid, self.pid, range(self.ell)))
-        builder = _ArrayBuilder(self.ell)
-        for index in range(self.ell):
-            bit = majority_decode(self._votes[index], 2 * self.f + 1)
-            if bit is None:
-                self._emit_disagreement(round_no, index)
-                bit = self._fallback[index][1]
-            builder.put(index, bit)
-        self.finish(builder.to_array())
+        if not self.alert:
+            self._escalate(round_no, chosen)
+            return
+        heard_alert = any(isinstance(message, EscalationAlert)
+                          for message in inbox)
+        if self._alerted or heard_alert:
+            self.waiting_until = None
+            self._escalate(round_no, chosen)
+            return
+        if self.waiting_until is not None and round_no >= self.waiting_until:
+            # Silence for a full alert window: every peer was unanimous.
+            self.finish(self._held)
 
 
 class SyncCrashPeer(SyncPeer):

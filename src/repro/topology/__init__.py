@@ -1,0 +1,38 @@
+"""First-class peer-to-peer connectivity: graphs and routing.
+
+The DR model of the paper assumes the complete graph — every peer
+reaches every other peer in one hop.  This package makes connectivity
+a first-class, spec-level dimension: a :class:`Topology` describes who
+is adjacent to whom, and a :class:`~repro.topology.routing.Router`
+relays messages between non-adjacent pairs along seeded shortest
+paths, charging latency (and message accounting) per hop.  That is the
+setting of sparse-network Byzantine agreement (arxiv 2410.20865,
+2506.04919) projected onto the download problem: Q is untouched (the
+external source is reachable directly), while T and M degrade with the
+graph's diameter and the relay traffic it forces.
+
+Identity contract (load-bearing): ``"complete"`` is the default
+everywhere and resolves to *no* topology object — the simulator's hot
+path, every historical seed, and all golden traces are byte-identical
+to the pre-topology engine.  Only non-complete topologies build
+adjacency and a router.
+"""
+
+from repro.topology.graphs import (
+    TOPOLOGY_NAMES,
+    CompleteTopology,
+    Topology,
+    build_topology,
+    resolve_topology,
+)
+from repro.topology.routing import Router, flood_layers
+
+__all__ = [
+    "TOPOLOGY_NAMES",
+    "CompleteTopology",
+    "Router",
+    "Topology",
+    "build_topology",
+    "flood_layers",
+    "resolve_topology",
+]

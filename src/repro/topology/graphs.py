@@ -1,0 +1,311 @@
+"""Seeded topology constructors and the ``Topology`` value type.
+
+Every constructor is a pure function of ``(name, n, seed)``: the same
+spec string always yields the same graph, so experiment repeats and
+cache/journal replays see identical connectivity.  All constructed
+topologies are connected — a disconnected download network makes the
+problem unsolvable for the cut-off peers, so construction fails loudly
+instead of producing an impossible experiment.
+
+The spec grammar is ``name`` or ``name:param``:
+
+- ``complete`` — every pair adjacent (the paper's model; the default);
+- ``ring`` — cycle ``0-1-...-(n-1)-0``; degree 2, diameter ``n // 2``;
+- ``star`` — hub ``0`` adjacent to every leaf; diameter 2;
+- ``random-dregular[:d]`` — seeded pairing-model random ``d``-regular
+  graph (default ``d=4``), resampled until simple and connected;
+- ``expander`` — the deterministic power-of-two circulant: ``i`` is
+  adjacent to ``i ± 2^k (mod n)`` for every ``2^k < n`` — logarithmic
+  degree and diameter, the cheap stand-in for a spectral expander.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.util.rng import SplittableRNG, derive_seed
+from repro.util.validation import check_positive
+
+#: Spec names accepted by :func:`build_topology` (the parameterized
+#: form ``random-dregular:d`` shares its base name's entry).
+TOPOLOGY_NAMES = ("complete", "ring", "star", "random-dregular", "expander")
+
+#: Default degree for ``random-dregular`` when the spec omits ``:d``.
+DEFAULT_REGULAR_DEGREE = 4
+
+#: Resampling budget for the pairing model before giving up.  Small
+#: dense cases are the worst: n=5, d=4 admits only K5, which ~1.2% of
+#: pairings hit — thousands of (cheap, early-exit) attempts make
+#: failure astronomically unlikely for every feasible (n, d).
+_PAIRING_ATTEMPTS = 5000
+
+
+class Topology:
+    """An undirected connected graph over peers ``0 .. n-1``.
+
+    Adjacency is stored as sorted tuples, so iteration order — and
+    therefore every seeded routing decision built on top — is
+    deterministic.
+    """
+
+    def __init__(self, n: int, name: str,
+                 neighbor_sets: Sequence[Sequence[int]]) -> None:
+        check_positive("n", n)
+        self.n = n
+        self.name = name
+        self._neighbors = tuple(tuple(sorted(set(adjacent)))
+                                for adjacent in neighbor_sets)
+        if len(self._neighbors) != n:
+            raise ValueError(
+                f"topology {name!r} has {len(self._neighbors)} adjacency "
+                f"rows for n={n}")
+        for pid, adjacent in enumerate(self._neighbors):
+            for other in adjacent:
+                if other == pid:
+                    raise ValueError(f"topology {name!r}: self-loop at {pid}")
+                if not 0 <= other < n:
+                    raise ValueError(
+                        f"topology {name!r}: peer {pid} adjacent to "
+                        f"out-of-range {other}")
+                if pid not in self._neighbors[other]:
+                    raise ValueError(
+                        f"topology {name!r}: edge {pid}-{other} is not "
+                        f"symmetric")
+        self._diameter: Optional[int] = None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every pair is adjacent (one-hop everywhere)."""
+        return all(len(adjacent) == self.n - 1
+                   for adjacent in self._neighbors)
+
+    def neighbors(self, pid: int) -> tuple[int, ...]:
+        """The peers adjacent to ``pid``, in ascending order."""
+        return self._neighbors[pid]
+
+    @property
+    def degree(self) -> int:
+        """The maximum degree over all peers."""
+        return max(len(adjacent) for adjacent in self._neighbors)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Every undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for pid, adjacent in enumerate(self._neighbors):
+            for other in adjacent:
+                if pid < other:
+                    yield (pid, other)
+
+    # -- metrics -----------------------------------------------------------
+
+    def _bfs_distances(self, origin: int) -> list[int]:
+        """Hop distances from ``origin`` (-1 for unreachable peers)."""
+        distances = [-1] * self.n
+        distances[origin] = 0
+        frontier = [origin]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for other in self._neighbors[node]:
+                    if distances[other] < 0:
+                        distances[other] = distances[node] + 1
+                        next_frontier.append(other)
+            frontier = next_frontier
+        return distances
+
+    def is_connected(self) -> bool:
+        """True when every peer can reach every other peer."""
+        return self.n == 1 or min(self._bfs_distances(0)) >= 0
+
+    @property
+    def diameter(self) -> int:
+        """The maximum over all pairs of the shortest hop distance."""
+        if self._diameter is None:
+            worst = 0
+            for origin in range(self.n):
+                worst = max(worst, max(self._bfs_distances(origin)))
+            self._diameter = worst
+        return self._diameter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology({self.name!r}, n={self.n})"
+
+
+class CompleteTopology(Topology):
+    """The paper's complete graph, with O(1) virtual adjacency.
+
+    Exists so property tests and validators can treat ``complete``
+    uniformly; the simulator never routes through it — a complete
+    topology resolves to ``None`` (see :func:`resolve_topology`) and
+    the pre-topology code path.
+    """
+
+    def __init__(self, n: int) -> None:
+        check_positive("n", n)
+        self.n = n
+        self.name = "complete"
+        self._diameter = 0 if n == 1 else 1
+
+    @property
+    def is_complete(self) -> bool:
+        return True
+
+    def neighbors(self, pid: int) -> tuple[int, ...]:
+        if not 0 <= pid < self.n:
+            raise IndexError(pid)
+        return tuple(other for other in range(self.n) if other != pid)
+
+    @property
+    def degree(self) -> int:
+        return self.n - 1
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for pid in range(self.n):
+            for other in range(pid + 1, self.n):
+                yield (pid, other)
+
+    def _bfs_distances(self, origin: int) -> list[int]:
+        return [0 if pid == origin else 1 for pid in range(self.n)]
+
+    def is_connected(self) -> bool:
+        return True
+
+    @property
+    def diameter(self) -> int:
+        return self._diameter
+
+
+# -- constructors -------------------------------------------------------------
+
+
+def _ring(n: int) -> Topology:
+    if n < 3:
+        raise ValueError(f"ring topology needs n >= 3, got n={n}")
+    return Topology(n, "ring", [
+        ((pid - 1) % n, (pid + 1) % n) for pid in range(n)])
+
+
+def _star(n: int) -> Topology:
+    if n < 2:
+        raise ValueError(f"star topology needs n >= 2, got n={n}")
+    rows = [tuple(range(1, n))]
+    rows.extend((0,) for _ in range(1, n))
+    return Topology(n, "star", rows)
+
+
+def _expander(n: int) -> Topology:
+    if n < 3:
+        raise ValueError(f"expander topology needs n >= 3, got n={n}")
+    offsets = []
+    step = 1
+    while step < n:
+        offsets.append(step)
+        step *= 2
+    rows = []
+    for pid in range(n):
+        adjacent = set()
+        for offset in offsets:
+            adjacent.add((pid + offset) % n)
+            adjacent.add((pid - offset) % n)
+        adjacent.discard(pid)
+        rows.append(sorted(adjacent))
+    return Topology(n, "expander", rows)
+
+
+def _random_dregular(n: int, d: int, seed: int) -> Topology:
+    """Pairing-model random ``d``-regular graph, seeded and simple.
+
+    Resamples until the pairing produced no self-loops or parallel
+    edges *and* the graph is connected; for ``d >= 3`` both hold with
+    constant probability, so the attempt budget is generous headroom.
+    """
+    if d < 2:
+        raise ValueError(f"random-dregular needs degree >= 2, got d={d}")
+    if d >= n:
+        raise ValueError(f"random-dregular needs d < n, got d={d}, n={n}")
+    if (n * d) % 2 != 0:
+        raise ValueError(
+            f"random-dregular needs n*d even, got n={n}, d={d}")
+    rng = SplittableRNG(seed).split("pairing")
+    for _ in range(_PAIRING_ATTEMPTS):
+        stubs = [pid for pid in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        rows: list[set[int]] = [set() for _ in range(n)]
+        simple = True
+        for index in range(0, len(stubs), 2):
+            u, v = stubs[index], stubs[index + 1]
+            if u == v or v in rows[u]:
+                simple = False
+                break
+            rows[u].add(v)
+            rows[v].add(u)
+        if not simple:
+            continue
+        topology = Topology(n, f"random-dregular:{d}", rows)
+        if topology.is_connected():
+            return topology
+    raise ValueError(
+        f"random-dregular: no simple connected graph found for n={n}, "
+        f"d={d} after {_PAIRING_ATTEMPTS} pairings")
+
+
+# -- the spec grammar ----------------------------------------------------------
+
+
+def build_topology(spec: str, n: int, seed: int = 0) -> Topology:
+    """Build the topology named by ``spec`` over ``n`` peers.
+
+    ``seed`` feeds the seeded constructors (only ``random-dregular``
+    draws randomness); deterministic constructors ignore it.  Raises
+    ``ValueError`` on an unknown name, a malformed parameter, or an
+    ``(n, parameter)`` combination with no valid graph.
+    """
+    name, _, parameter = str(spec).partition(":")
+    name = name.strip()
+    if parameter and name != "random-dregular":
+        raise ValueError(
+            f"topology {name!r} takes no parameter (got {spec!r})")
+    if name == "complete":
+        return CompleteTopology(n)
+    if name == "ring":
+        return _ring(n)
+    if name == "star":
+        return _star(n)
+    if name == "expander":
+        return _expander(n)
+    if name == "random-dregular":
+        degree = DEFAULT_REGULAR_DEGREE
+        if parameter:
+            try:
+                degree = int(parameter)
+            except ValueError:
+                raise ValueError(
+                    f"random-dregular degree must be an integer, got "
+                    f"{parameter!r}")
+        return _random_dregular(n, degree, seed)
+    raise ValueError(
+        f"unknown topology {name!r}; expected one of "
+        f"{', '.join(TOPOLOGY_NAMES)}")
+
+
+def resolve_topology(topology: Union[str, Topology, None], n: int,
+                     seed: int) -> Optional[Topology]:
+    """Resolve a run's ``topology=`` argument to an object, or ``None``.
+
+    ``None``/``"complete"`` (and any already-complete instance) resolve
+    to ``None`` — the byte-identical pre-topology engine.  Strings go
+    through :func:`build_topology` with a construction seed derived
+    from the run seed under the stable ``"topology"`` label, so the
+    graph is a pure function of the run's identity.
+    """
+    if topology is None:
+        return None
+    if isinstance(topology, str):
+        if topology.strip() == "complete":
+            return None
+        topology = build_topology(topology, n, derive_seed(seed, "topology"))
+    if topology.n != n:
+        raise ValueError(
+            f"topology is over {topology.n} peers but the run has n={n}")
+    return None if topology.is_complete else topology

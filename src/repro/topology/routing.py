@@ -1,0 +1,106 @@
+"""Seeded shortest-path routing and flooding over a topology.
+
+The :class:`Router` answers "how does a message from ``src`` reach
+``dst``" with a concrete hop path.  Paths are always shortest (hop
+count = BFS distance), and ties between equally-short paths are broken
+by a seeded shuffle of each BFS frontier — different run seeds spread
+relay load across different shortest-path trees, while one seed always
+reproduces the same routes (cache/journal replays and golden traces
+depend on that).
+
+Routes are computed from per-destination BFS trees ("which neighbor
+moves me one hop closer to ``dst``"), built lazily and cached: a run
+that only ever broadcasts touches every destination once and then
+routes from the table.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graphs import Topology
+from repro.util.rng import SplittableRNG, derive_seed
+
+
+class Router:
+    """Next-hop routing tables for one topology and one seed."""
+
+    def __init__(self, topology: Topology, seed: int = 0) -> None:
+        self.topology = topology
+        self.seed = seed
+        #: dst -> per-source next hop toward dst (-1 at dst itself).
+        self._next_hop: dict[int, list[int]] = {}
+
+    def _table(self, dst: int) -> list[int]:
+        table = self._next_hop.get(dst)
+        if table is not None:
+            return table
+        topology = self.topology
+        table = [-2] * topology.n  # -2 = unreached
+        table[dst] = -1
+        rng = SplittableRNG(derive_seed(self.seed, f"route-{dst}"))
+        frontier = [dst]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                adjacent = list(topology.neighbors(node))
+                rng.shuffle(adjacent)
+                for other in adjacent:
+                    if table[other] == -2:
+                        # BFS from dst: the tree edge other -> node is
+                        # other's first hop *toward* dst.
+                        table[other] = node
+                        next_frontier.append(other)
+            frontier = next_frontier
+        if any(entry == -2 for entry in table):
+            unreachable = [pid for pid, entry in enumerate(table)
+                           if entry == -2]
+            raise ValueError(
+                f"topology {topology.name!r} is disconnected: "
+                f"{unreachable} cannot reach {dst}")
+        self._next_hop[dst] = table
+        return table
+
+    def next_hop(self, src: int, dst: int) -> int:
+        """The neighbor of ``src`` one hop closer to ``dst``."""
+        if src == dst:
+            raise ValueError(f"no hop from {src} to itself")
+        return self._table(dst)[src]
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hop count of the shortest path from ``src`` to ``dst``."""
+        return len(self.path(src, dst)) - 1
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """The full hop path ``[src, ..., dst]`` (length >= 1)."""
+        if src == dst:
+            return [src]
+        table = self._table(dst)
+        path = [src]
+        node = src
+        while node != dst:
+            node = table[node]
+            path.append(node)
+        return path
+
+
+def flood_layers(topology: Topology, origin: int) -> list[list[int]]:
+    """BFS layers of a flood from ``origin``: ``layers[h]`` is the set
+    of peers first reached after ``h`` hops (``layers[0] == [origin]``).
+
+    This is the reachability schedule the relay layer and the sync
+    engine's delayed delivery both refine; the property suite asserts
+    every peer appears within ``topology.diameter`` hops.
+    """
+    seen = {origin}
+    layers = [[origin]]
+    frontier = [origin]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for other in topology.neighbors(node):
+                if other not in seen:
+                    seen.add(other)
+                    next_frontier.append(other)
+        if next_frontier:
+            layers.append(sorted(next_frontier))
+        frontier = next_frontier
+    return layers

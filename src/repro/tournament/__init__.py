@@ -1,0 +1,71 @@
+"""Adversary tooling: seeded fuzzing and the tournament league.
+
+Two layers:
+
+- :mod:`~repro.tournament.fuzzing` *generates* in-model adversaries
+  from seeds (the former top-level ``repro.fuzz``, re-exported here
+  and shimmed there for compatibility);
+- :mod:`~repro.tournament.roster`, :mod:`~repro.tournament.league`,
+  and :mod:`~repro.tournament.report` field the *named* adversaries
+  against every protocol on every topology, aggregate the grid into a
+  ranked league table, and render it (text / JSONL / dashboard JSON).
+
+``repro tournament`` on the command line is a thin veneer over
+:func:`run_tournament` + :func:`render_league`.
+"""
+
+from repro.tournament.fuzzing import (
+    FuzzPlan,
+    SourceFaultPlan,
+    random_adversary,
+    random_crash_plan,
+    random_latency,
+    random_source_faults,
+)
+from repro.tournament.league import (
+    DEFAULT_PROTOCOLS,
+    DEFAULT_TOPOLOGIES,
+    LeagueCell,
+    LeagueResult,
+    TournamentConfig,
+    ViolationExemplar,
+    cell_spec,
+    run_tournament,
+)
+from repro.tournament.report import (
+    league_dashboard_payload,
+    league_jsonl_lines,
+    render_league,
+)
+from repro.tournament.roster import (
+    DEFAULT_BETA,
+    AdversaryEntry,
+    all_adversaries,
+    get_adversary,
+    register_adversary,
+)
+
+__all__ = [
+    "AdversaryEntry",
+    "DEFAULT_BETA",
+    "DEFAULT_PROTOCOLS",
+    "DEFAULT_TOPOLOGIES",
+    "FuzzPlan",
+    "LeagueCell",
+    "LeagueResult",
+    "SourceFaultPlan",
+    "TournamentConfig",
+    "ViolationExemplar",
+    "all_adversaries",
+    "cell_spec",
+    "get_adversary",
+    "league_dashboard_payload",
+    "league_jsonl_lines",
+    "random_adversary",
+    "random_crash_plan",
+    "random_latency",
+    "random_source_faults",
+    "register_adversary",
+    "render_league",
+    "run_tournament",
+]

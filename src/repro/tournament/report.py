@@ -1,0 +1,109 @@
+"""League renderers: ranked text table, JSONL export, dashboard feed.
+
+Three views over one :class:`~repro.tournament.league.LeagueResult`:
+
+- :func:`render_league` — the terminal view: the adversary ranking
+  (strongest first), the protocol ranking (most robust first), the
+  full cell grid, and a violations appendix where every listed break
+  carries the seed that replays it;
+- :func:`league_jsonl_lines` — one JSON object per cell (sorted keys),
+  stable enough to diff between league runs;
+- :func:`league_dashboard_payload` — the same data shaped for the
+  service dashboard's fetch-and-render loop (plain dict, ready for
+  ``json.dumps``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.tournament.league import LeagueCell, LeagueResult
+
+
+def _cell_row(cell: LeagueCell) -> dict:
+    row = {
+        "adversary": cell.adversary,
+        "protocol": cell.protocol,
+        "topology": cell.topology,
+        "success_rate": cell.success_rate,
+        "runs": cell.outcome.runs,
+        "correct_runs": cell.outcome.correct_runs,
+        "failed_runs": cell.outcome.failed_runs,
+        "median_queries": cell.median_queries,
+        "median_messages": cell.median_messages,
+        "median_time": cell.median_time,
+        "base_seed": cell.spec.base_seed,
+    }
+    if cell.violation is not None:
+        row["violation"] = {"repeat": cell.violation.repeat,
+                            "seed": cell.violation.seed}
+    return row
+
+
+def league_jsonl_lines(result: LeagueResult) -> Iterable[str]:
+    """One sorted-key JSON line per cell, in league order."""
+    for cell in result.cells:
+        yield json.dumps(_cell_row(cell), sort_keys=True)
+
+
+def league_dashboard_payload(result: LeagueResult) -> dict:
+    """The dashboard-shaped summary (rankings + cells, one dict)."""
+    return {
+        "kind": "tournament",
+        "adversary_ranking": [
+            {"adversary": name, "mean_success_rate": rate}
+            for name, rate in result.adversary_ranking()],
+        "protocol_ranking": [
+            {"protocol": name, "mean_success_rate": rate}
+            for name, rate in result.protocol_ranking()],
+        "cells": [_cell_row(cell) for cell in result.cells],
+        "violations": len(result.violations()),
+    }
+
+
+def render_league(result: LeagueResult) -> str:
+    """The full terminal report (see the module doc)."""
+    lines = ["adversary league (strongest opponent first)",
+             "-" * 46]
+    for rank, (name, rate) in enumerate(result.adversary_ranking(), 1):
+        lines.append(f"{rank:>2}. {name:<24} "
+                     f"protocols score {rate:6.1%} against it")
+    lines += ["", "protocol ranking (most robust first)", "-" * 46]
+    for rank, (name, rate) in enumerate(result.protocol_ranking(), 1):
+        lines.append(f"{rank:>2}. {name:<24} mean success {rate:6.1%}")
+    lines += ["", "cells", "-" * 46]
+    width_a = max(len("adversary"),
+                  max((len(c.adversary) for c in result.cells),
+                      default=0))
+    width_p = max(len("protocol"),
+                  max((len(c.protocol) for c in result.cells),
+                      default=0))
+    width_t = max(len("topology"),
+                  max((len(c.topology) for c in result.cells),
+                      default=0))
+    lines.append(f"{'adversary'.ljust(width_a)} | "
+                 f"{'protocol'.ljust(width_p)} | "
+                 f"{'topology'.ljust(width_t)} | "
+                 f"{'ok':>5} | {'med Q':>8} | {'med M':>8} | "
+                 f"{'med T':>8}")
+    for cell in result.cells:
+        ok = f"{cell.outcome.correct_runs}/{cell.outcome.runs}"
+        lines.append(f"{cell.adversary.ljust(width_a)} | "
+                     f"{cell.protocol.ljust(width_p)} | "
+                     f"{cell.topology.ljust(width_t)} | "
+                     f"{ok:>5} | {cell.median_queries:>8.0f} | "
+                     f"{cell.median_messages:>8.0f} | "
+                     f"{cell.median_time:>8.2f}")
+    violations = result.violations()
+    if violations:
+        lines += ["", f"violations ({len(violations)} cells; each "
+                      f"replayable from its seed)", "-" * 46]
+        for cell in violations:
+            lines.append(
+                f"{cell.adversary} beats {cell.protocol} on "
+                f"{cell.topology}: repeat {cell.violation.repeat}, "
+                f"seed {cell.violation.seed}")
+    else:
+        lines += ["", "violations: none"]
+    return "\n".join(lines)

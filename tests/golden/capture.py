@@ -109,6 +109,15 @@ CASES: list[dict] = [
      "peer": "cross-validate-escalate", "n": 6, "ell": 256, "t": 0,
      "seed": 59, "peer_params": {"f": 1}, "sources": 3,
      "source_faults": ["wrong-bits"]},
+    # -- cooperative escalation alert over a routed (ring) broadcast ----
+    # Peers whose f+1 rotated endpoints include the lying source see
+    # disagreement and broadcast an EscalationAlert; unanimous peers
+    # hold their output for diameter rounds, hear the relayed alert,
+    # and escalate too.  Pins the alert path AND hop-by-hop relay.
+    {"name": "sync-escalate-alert-ring", "engine": "sync",
+     "peer": "cross-validate-escalate", "n": 6, "ell": 256, "t": 0,
+     "seed": 61, "peer_params": {"f": 1, "alert": True}, "sources": 3,
+     "source_faults": ["wrong-bits"], "topology": "ring"},
 ]
 
 
@@ -207,7 +216,8 @@ def _capture_sync(case: dict, *, force_sourceset: bool = False) -> dict:
         peer_factory=lambda pid, config, rng: peer_class(
             pid, config, rng, **peer_params),
         seed=case["seed"], sources=case.get("sources", 1),
-        source_faults=source_faults)
+        source_faults=source_faults,
+        topology=case.get("topology"))
     outputs = {str(pid): _array_digest(result.outputs[pid])
                for pid in sorted(result.honest)
                if result.outputs[pid] is not None}

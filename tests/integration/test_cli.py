@@ -126,3 +126,67 @@ class TestSweep:
         with pytest.raises(ValueError, match="at least one"):
             run_cli("sweep", "--protocol", "naive", "--axis", "n",
                     "--values", " ")
+
+    def test_sweep_topology_axis(self):
+        code, output = run_cli(
+            "sweep", "--protocol", "balanced", "--n", "4", "--ell", "64",
+            "--repeats", "1", "--axis", "topology",
+            "--values", "complete,star", "--no-cache")
+        assert code == 0
+        assert "complete" in output and "star" in output
+
+
+class TestTopologyRun:
+    def test_run_accepts_topology(self):
+        code, output = run_cli("run", "--protocol", "balanced",
+                               "--n", "4", "--ell", "64",
+                               "--topology", "star")
+        assert code == 0
+        assert "correct    : True" in output
+
+    def test_run_rejects_infeasible_topology(self):
+        with pytest.raises(ValueError, match="ring"):
+            run_cli("run", "--protocol", "balanced", "--n", "2",
+                    "--ell", "64", "--topology", "ring")
+
+
+class TestTournament:
+    def test_mini_league_reports_and_exports(self, tmp_path):
+        jsonl_path = tmp_path / "league.jsonl"
+        json_path = tmp_path / "league.json"
+        code, output = run_cli(
+            "tournament", "--adversaries", "none,byz-wrong-bits",
+            "--protocols", "naive,balanced",
+            "--topologies", "complete,star",
+            "--n", "5", "--ell", "32", "--repeats", "2",
+            "--jsonl-out", str(jsonl_path), "--json-out", str(json_path))
+        assert code == 0  # violations are findings, not failures
+        assert "adversary league (strongest opponent first)" in output
+        assert "byz-wrong-bits beats balanced" in output
+        import json
+        lines = jsonl_path.read_text().splitlines()
+        assert len(lines) == 8
+        payload = json.loads(json_path.read_text())
+        assert payload["kind"] == "tournament"
+        assert payload["violations"] >= 1
+
+    def test_fail_on_violation_gates_the_exit_code(self):
+        code, _ = run_cli(
+            "tournament", "--adversaries", "byz-wrong-bits",
+            "--protocols", "balanced", "--topologies", "complete",
+            "--n", "5", "--ell", "32", "--repeats", "1",
+            "--fail-on-violation")
+        assert code == 1
+
+    def test_journal_resume_round_trip(self, tmp_path):
+        journal = tmp_path / "league-journal.jsonl"
+        argv = ("tournament", "--adversaries", "none",
+                "--protocols", "naive", "--topologies", "complete",
+                "--n", "4", "--ell", "32", "--repeats", "2",
+                "--journal", str(journal))
+        code, output = run_cli(*argv)
+        assert code == 0
+        assert "0 replayed / 2 appended" in output
+        code, output = run_cli(*argv)
+        assert code == 0
+        assert "2 replayed / 0 appended" in output

@@ -1,14 +1,15 @@
 """Adversary fuzzing: protocols vs thousands of generated environments.
 
-Hypothesis draws only the *seed*; :mod:`repro.fuzz` expands it into a
-full adversary (latency shape x fault plan) within the model.  Any
-failure here is a genuine counterexample to an upper-bound theorem,
-reproducible from the printed seed.
+Hypothesis draws only the *seed*; :mod:`repro.tournament.fuzzing`
+(formerly ``repro.fuzz``) expands it into a full adversary (latency
+shape x fault plan) within the model.  Any failure here is a genuine
+counterexample to an upper-bound theorem, reproducible from the
+printed seed.
 """
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.fuzz import random_adversary, random_source_faults
+from repro.tournament import random_adversary, random_source_faults
 from repro.protocols import (
     ByzCommitteeDownloadPeer,
     CrashMultiDownloadPeer,

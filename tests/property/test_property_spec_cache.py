@@ -145,6 +145,8 @@ class TestBackendIdentityPreservation:
         del payload["sources"]
         del payload["source_faults"]
         del payload["proxy_faults"]
+        # ... nor topology: the complete graph is the pre-field model.
+        del payload["topology"]
         digest = hashlib.sha256(
             f"{CODE_VERSION}\n{canonical_json(payload)}".encode("utf-8"))
         assert spec_cache_key(spec) == digest.hexdigest()
@@ -158,6 +160,19 @@ class TestBackendIdentityPreservation:
                                     source_faults=("wrong-bits",))
         assert spec_cache_key(multi) != spec_cache_key(spec)
         assert multi.seed_for(0) != spec.seed_for(0)
+
+    @settings(**COMMON)
+    @given(spec=specs(),
+           name=st.sampled_from(["ring", "star", "expander",
+                                 "random-dregular:4"]))
+    def test_topology_does_discriminate(self, spec, name):
+        """``topology="complete"`` is stripped (it *is* the legacy
+        model), but any sparse topology must key and seed apart."""
+        # Sparse graphs need enough peers to exist (d-regular: n > d).
+        base = dataclasses.replace(spec, n=max(spec.n, 5))
+        sparse = dataclasses.replace(base, topology=name)
+        assert spec_cache_key(sparse) != spec_cache_key(base)
+        assert sparse.seed_for(0) != base.seed_for(0)
 
     @settings(**COMMON)
     @given(n=st.integers(min_value=1, max_value=32),

@@ -1,0 +1,217 @@
+"""Property tests for the topology subsystem (graphs + routing).
+
+Hypothesis drives ``(name, n, seed)`` over the full constructor
+grammar; the invariants are the ones every engine leans on:
+
+- every constructed graph is *connected* (a disconnected download
+  network is unsolvable for the cut-off peers, so construction must
+  never hand one out) and structurally valid (symmetric, no
+  self-loops — re-checked here through the public API);
+- *degree bounds*: ring is 2-regular, star is hub ``n-1`` / leaf 1,
+  ``random-dregular:d`` is exactly ``d``-regular, the circulant
+  expander's degree is ``O(log n)``;
+- *flooding* reaches every peer within ``diameter`` hops (the bound
+  the sync engine's alert windows and the relay layer's worst-case
+  delivery both quote);
+- the :class:`~repro.topology.routing.Router` produces shortest
+  edge-valid paths, deterministically for one seed;
+- ``complete`` routing is *bit-identical* to the pre-refactor path:
+  forcing ``topology="complete"`` through every golden-trace case
+  reproduces the checked-in records byte for byte.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.topology import (
+    CompleteTopology,
+    Router,
+    build_topology,
+    flood_layers,
+    resolve_topology,
+)
+
+COMMON = dict(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+#: Spec strings with the smallest n each accepts.
+_SPECS = [("complete", 1), ("ring", 3), ("star", 2), ("expander", 3),
+          ("random-dregular:2", 4), ("random-dregular:4", 6)]
+
+
+@st.composite
+def topologies(draw):
+    name, n_min = draw(st.sampled_from(_SPECS))
+    n = draw(st.integers(min_value=n_min, max_value=40))
+    if name.startswith("random-dregular"):
+        degree = int(name.partition(":")[2])
+        if (n * degree) % 2:
+            n += 1  # pairing model needs an even stub count
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32))
+    return build_topology(name, n, seed)
+
+
+class TestGraphInvariants:
+
+    @settings(**COMMON)
+    @given(topology=topologies())
+    def test_connected(self, topology):
+        assert topology.is_connected()
+
+    @settings(**COMMON)
+    @given(topology=topologies())
+    def test_adjacency_is_symmetric_and_loop_free(self, topology):
+        for pid in range(topology.n):
+            for other in topology.neighbors(pid):
+                assert other != pid
+                assert pid in topology.neighbors(other)
+
+    @settings(**COMMON)
+    @given(topology=topologies())
+    def test_degree_bounds(self, topology):
+        degrees = [len(topology.neighbors(pid))
+                   for pid in range(topology.n)]
+        assert topology.degree == max(degrees)
+        name = topology.name.partition(":")[0]
+        if name == "complete":
+            assert degrees == [topology.n - 1] * topology.n
+        elif name == "ring":
+            assert degrees == [2] * topology.n
+        elif name == "star":
+            assert degrees[0] == topology.n - 1
+            assert degrees[1:] == [1] * (topology.n - 1)
+        elif name == "random-dregular":
+            d = int(topology.name.partition(":")[2])
+            assert degrees == [d] * topology.n
+        elif name == "expander":
+            # i ~ i +- 2^k (mod n): at most 2 per power of two < n.
+            bound = 2 * math.ceil(math.log2(topology.n))
+            assert topology.degree <= bound
+
+    @settings(**COMMON)
+    @given(topology=topologies())
+    def test_flooding_reaches_everyone_within_diameter(self, topology):
+        for origin in range(topology.n):
+            layers = flood_layers(topology, origin)
+            reached = [pid for layer in layers for pid in layer]
+            assert sorted(reached) == list(range(topology.n))
+            assert len(layers) - 1 <= topology.diameter
+
+    @settings(**COMMON)
+    @given(name=st.sampled_from([s for s, _ in _SPECS]),
+           n=st.integers(min_value=6, max_value=40),
+           seed=st.integers(min_value=0, max_value=2 ** 32))
+    def test_construction_is_a_pure_function_of_name_n_seed(
+            self, name, n, seed):
+        if name.startswith("random-dregular") and n % 2:
+            n += 1
+        first = build_topology(name, n, seed)
+        second = build_topology(name, n, seed)
+        assert [first.neighbors(pid) for pid in range(n)] == \
+            [second.neighbors(pid) for pid in range(n)]
+
+
+class TestRouting:
+
+    @settings(**COMMON)
+    @given(topology=topologies(),
+           seed=st.integers(min_value=0, max_value=2 ** 32),
+           data=st.data())
+    def test_paths_are_shortest_and_edge_valid(self, topology, seed, data):
+        src = data.draw(st.integers(min_value=0, max_value=topology.n - 1))
+        dst = data.draw(st.integers(min_value=0, max_value=topology.n - 1))
+        router = Router(topology, seed)
+        path = router.path(src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(set(path)) == len(path)  # simple path
+        for here, there in zip(path, path[1:]):
+            assert there in topology.neighbors(here)
+        # Shortest: hop count equals the BFS layer dst first appears in.
+        for hops, layer in enumerate(flood_layers(topology, src)):
+            if dst in layer:
+                assert len(path) - 1 == hops
+                break
+
+    @settings(**COMMON)
+    @given(topology=topologies(),
+           seed=st.integers(min_value=0, max_value=2 ** 32),
+           data=st.data())
+    def test_routing_is_deterministic_per_seed(self, topology, seed, data):
+        src = data.draw(st.integers(min_value=0, max_value=topology.n - 1))
+        dst = data.draw(st.integers(min_value=0, max_value=topology.n - 1))
+        assert Router(topology, seed).path(src, dst) == \
+            Router(topology, seed).path(src, dst)
+
+
+class TestCompleteResolvesToPreTopologyPath:
+
+    @settings(**COMMON)
+    @given(n=st.integers(min_value=1, max_value=64),
+           seed=st.integers(min_value=0, max_value=2 ** 32))
+    def test_complete_resolves_to_none(self, n, seed):
+        assert resolve_topology(None, n, seed) is None
+        assert resolve_topology("complete", n, seed) is None
+        assert resolve_topology(CompleteTopology(n), n, seed) is None
+
+    @settings(**COMMON)
+    @given(n=st.integers(min_value=3, max_value=4),
+           seed=st.integers(min_value=0, max_value=2 ** 32))
+    def test_sparse_specs_that_build_complete_graphs_resolve_to_none(
+            self, n, seed):
+        # ring on 3 peers is K3; the expander covers every offset for
+        # small n.  Any is_complete graph must hit the fast path.
+        if n == 3:
+            assert resolve_topology("ring", n, seed) is None
+        assert resolve_topology("expander", n, seed) is None
+
+
+class TestCompleteGoldenIdentity:
+    """Forcing ``topology="complete"`` replays every golden trace
+    byte-identically — the refactor's central acceptance criterion."""
+
+    def test_async_golden_records_unchanged(self):
+        from repro.experiments import ExperimentSpec
+        from repro.sim import run_download
+        from tests.golden import capture
+
+        fixture = capture.load_fixture()
+        for case in capture.CASES:
+            if case["engine"] != "async":
+                continue
+            spec = ExperimentSpec(
+                protocol=case["protocol"], n=case["n"], ell=case["ell"],
+                fault_model=case["fault_model"], beta=case["beta"],
+                strategy=case.get("strategy", "wrong-bits"),
+                network=case.get("network", "asynchronous"),
+                protocol_params=case.get("protocol_params", {}),
+                base_seed=case["seed"],
+                sources=case.get("sources", 1),
+                source_faults=tuple(case.get("source_faults", ())))
+            result = run_download(
+                n=spec.n, ell=spec.ell, peer_factory=spec.peer_factory(),
+                adversary=spec.build_adversary(), t=spec.t,
+                seed=spec.seed_for(0), sources=spec.sources,
+                source_faults=spec.source_faults,
+                topology="complete")
+            record = fixture[case["name"]]
+            assert result.report.query_complexity == \
+                record["query_complexity"]
+            assert result.report.message_complexity == \
+                record["message_complexity"]
+            assert result.events_processed == record["events_processed"]
+            assert repr(result.elapsed_virtual_time) == \
+                record["elapsed_virtual_time"]
+            assert capture._array_digest(result.data) == record["data_sha"]
+            assert capture._queried_digest(result.queried_indices) == \
+                record["queried_sha"]
+
+    def test_sync_golden_records_unchanged(self):
+        from tests.golden import capture
+
+        fixture = capture.load_fixture()
+        for case in capture.CASES:
+            if case["engine"] != "sync" or "topology" in case:
+                continue
+            forced = dict(case, topology="complete")
+            assert capture.capture_case(forced) == fixture[case["name"]]

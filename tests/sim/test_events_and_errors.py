@@ -49,3 +49,16 @@ class TestErrorHierarchy:
     def test_simulation_error_catchable_generically(self):
         with pytest.raises(SimulationError):
             raise ProtocolViolation("oversized message")
+
+    def test_deadlock_error_pickle_round_trips(self):
+        # A worker's deadlock crosses the process-pool boundary as a
+        # pickle; an exception that fails to *unpickle* breaks the
+        # whole pool, degrading every later task in the batch.
+        import pickle
+
+        error = DeadlockError([("peer-3", "shares from 5 peers"),
+                               ("peer-7", "probe replies")])
+        back = pickle.loads(pickle.dumps(error))
+        assert isinstance(back, DeadlockError)
+        assert back.waiting == error.waiting
+        assert str(back) == str(error)

@@ -1,0 +1,68 @@
+"""The ``repro.fuzz`` deprecation shim.
+
+The generators moved to :mod:`repro.tournament.fuzzing`; the old
+module must keep working for one release (warning loudly), the two
+modules must expose the *same* objects, and nothing inside the
+library may still import the old path (removal readiness, the same
+pinning discipline as ``queried_bits_of`` in PR 5).
+"""
+
+import importlib
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_SHIMMED = ("FuzzPlan", "SourceFaultPlan", "random_adversary",
+            "random_crash_plan", "random_latency",
+            "random_source_faults")
+
+
+class TestShim:
+    def test_import_warns_and_pins_the_message(self):
+        code = (
+            "import warnings\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    import repro.fuzz\n"
+            "[message] = [str(w.message) for w in caught\n"
+            "             if w.category is DeprecationWarning]\n"
+            "assert message == ('repro.fuzz moved to repro.tournament "
+            "(fuzzing layer); import from repro.tournament instead'), "
+            "message\n")
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_old_and_new_names_are_the_same_objects(self):
+        import repro.tournament.fuzzing as new
+        with pytest.warns(DeprecationWarning):
+            importlib.reload(importlib.import_module("repro.fuzz"))
+        old = sys.modules["repro.fuzz"]
+        for name in _SHIMMED:
+            assert getattr(old, name) is getattr(new, name)
+
+    def test_tournament_package_reexports_the_generators(self):
+        import repro.tournament as tournament
+        import repro.tournament.fuzzing as fuzzing
+        for name in _SHIMMED:
+            assert getattr(tournament, name) is getattr(fuzzing, name)
+
+    def test_no_stale_callers_in_the_library(self):
+        # Removal-readiness: the shim itself is the only in-library
+        # mention of the old module path.
+        import repro
+        root = pathlib.Path(repro.__file__).resolve().parent
+        offenders = [
+            str(path.relative_to(root))
+            for path in sorted(root.rglob("*.py"))
+            if path != root / "fuzz.py"
+            and "repro.fuzz" in path.read_text(encoding="utf-8")]
+        # The tournament package may *document* the move; it must not
+        # import through it.
+        importing = [
+            path for path in offenders
+            if any(line.strip().startswith(("import repro.fuzz",
+                                            "from repro.fuzz"))
+                   for line in (root / path).read_text(
+                       encoding="utf-8").splitlines())]
+        assert importing == []

@@ -1,0 +1,116 @@
+"""The tournament league: cells, rankings, exemplars, journal resume.
+
+The fixture league is deterministic and small: 2 adversaries x
+2 protocols x 2 topologies x 2 repeats at n=5, ell=32.  With two
+static Byzantine corruptions the unhardened ``balanced`` protocol
+downloads *wrong* on every seed, so the league always captures
+violation exemplars — and every exemplar must replay.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentSpec, execute_repeat
+from repro.tournament import (
+    TournamentConfig,
+    cell_spec,
+    get_adversary,
+    run_tournament,
+)
+
+CONFIG = TournamentConfig(
+    protocols=("naive", "balanced"),
+    adversaries=("none", "byz-wrong-bits"),
+    topologies=("complete", "ring"),
+    n=5, ell=32, repeats=2, base_seed=0)
+
+
+@pytest.fixture(scope="module")
+def league():
+    return run_tournament(CONFIG)
+
+
+class TestCellSpec:
+    def test_cell_is_an_ordinary_spec(self):
+        spec = cell_spec(CONFIG, get_adversary("byz-wrong-bits"),
+                         "balanced", "ring")
+        assert spec == ExperimentSpec(
+            protocol="balanced", n=5, ell=32, fault_model="byzantine",
+            beta=0.4, strategy="wrong-bits", repeats=2, base_seed=0,
+            topology="ring")
+
+    def test_empty_axes_fail_loudly(self):
+        for broken in (TournamentConfig(protocols=()),
+                       TournamentConfig(topologies=()),
+                       TournamentConfig(adversaries=("no-such",))):
+            with pytest.raises((ValueError, KeyError)):
+                run_tournament(broken)
+
+
+class TestLeague:
+    def test_grid_is_complete(self, league):
+        keys = {(c.adversary, c.protocol, c.topology)
+                for c in league.cells}
+        assert len(league.cells) == 8
+        assert keys == {(a, p, t)
+                        for a in ("none", "byz-wrong-bits")
+                        for p in ("naive", "balanced")
+                        for t in ("complete", "ring")}
+
+    def test_success_rates_and_medians(self, league):
+        for cell in league.cells:
+            assert cell.outcome.runs == 2
+            if cell.adversary == "none" or cell.protocol == "naive":
+                assert cell.success_rate == 1.0
+                assert cell.violation is None
+            else:  # byz-wrong-bits vs balanced: wrong on every seed
+                assert cell.success_rate == 0.0
+            if cell.outcome.failed_runs == 0:
+                assert cell.median_queries > 0
+                assert cell.median_time > 0
+
+    def test_topology_changes_messages_not_queries(self, league):
+        by_key = {(c.adversary, c.protocol, c.topology): c
+                  for c in league.cells}
+        complete = by_key[("none", "balanced", "complete")]
+        ring = by_key[("none", "balanced", "ring")]
+        assert ring.median_queries == complete.median_queries
+        assert ring.median_messages > complete.median_messages
+
+    def test_rankings_are_ordered_and_deterministic(self, league):
+        adversaries = league.adversary_ranking()
+        assert [name for name, _ in adversaries] == \
+            ["byz-wrong-bits", "none"]
+        rates = [rate for _, rate in adversaries]
+        assert rates == sorted(rates)  # strongest (lowest) first
+        protocols = league.protocol_ranking()
+        assert [name for name, _ in protocols] == ["naive", "balanced"]
+        assert [rate for _, rate in protocols] == \
+            sorted((rate for _, rate in protocols), reverse=True)
+
+    def test_violation_exemplars_replay(self, league):
+        violations = league.violations()
+        assert len(violations) == 2  # byz vs balanced, both topologies
+        for cell in violations:
+            exemplar = cell.violation
+            assert exemplar.seed == cell.spec.seed_for(exemplar.repeat)
+            record = execute_repeat(cell.spec, exemplar.repeat)
+            assert not record.correct  # the break reproduces
+
+
+class TestJournalResume:
+    def test_second_run_replays_everything(self, tmp_path):
+        path = str(tmp_path / "league.jsonl")
+        config = TournamentConfig(
+            protocols=("naive",), adversaries=("none",),
+            topologies=("complete", "ring"), n=5, ell=32, repeats=2,
+            base_seed=0, journal_path=path)
+        first = run_tournament(config)
+        assert first.journal_stats["appended"] == 4
+        assert first.journal_stats["replayed"] == 0
+        second = run_tournament(config)
+        assert second.journal_stats["appended"] == 0
+        assert second.journal_stats["replayed"] == 4
+        assert [(c.success_rate, c.median_queries, c.median_messages)
+                for c in first.cells] == \
+            [(c.success_rate, c.median_queries, c.median_messages)
+             for c in second.cells]

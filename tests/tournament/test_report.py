@@ -1,0 +1,91 @@
+"""League renderers: text report, JSONL lines, dashboard payload."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentOutcome, ExperimentSpec
+from repro.tournament import (
+    LeagueCell,
+    LeagueResult,
+    ViolationExemplar,
+    league_dashboard_payload,
+    league_jsonl_lines,
+    render_league,
+)
+
+
+def _cell(adversary, protocol, topology, correct, runs, *,
+          violation=None, base_seed=7):
+    spec = ExperimentSpec(protocol=protocol, n=5, ell=32,
+                          repeats=runs, base_seed=base_seed)
+    outcome = ExperimentOutcome(
+        spec=spec, runs=runs, correct_runs=correct,
+        mean_query_complexity=10.0, max_query_complexity=12,
+        mean_message_complexity=20.0, mean_time_complexity=1.0)
+    return LeagueCell(adversary=adversary, protocol=protocol,
+                      topology=topology, spec=spec, outcome=outcome,
+                      median_queries=96.0, median_messages=20.0,
+                      median_time=1.5, violation=violation)
+
+
+@pytest.fixture()
+def result():
+    return LeagueResult(cells=(
+        _cell("none", "naive", "complete", 2, 2),
+        _cell("byz", "naive", "complete", 2, 2),
+        _cell("none", "balanced", "ring", 2, 2),
+        _cell("byz", "balanced", "ring", 0, 2,
+              violation=ViolationExemplar(repeat=1, seed=12345)),
+    ))
+
+
+class TestRenderLeague:
+    def test_sections_and_rankings(self, result):
+        text = render_league(result)
+        assert "adversary league (strongest opponent first)" in text
+        assert "protocol ranking (most robust first)" in text
+        lines = text.splitlines()
+        # byz (mean 0.5) ranks above none (mean 1.0).
+        assert lines[2].startswith(" 1. byz")
+        assert lines[3].startswith(" 2. none")
+
+    def test_violations_carry_the_replay_seed(self, result):
+        text = render_league(result)
+        assert ("byz beats balanced on ring: repeat 1, seed 12345"
+                in text)
+
+    def test_clean_league_says_so(self, result):
+        clean = LeagueResult(cells=tuple(
+            cell for cell in result.cells if cell.violation is None))
+        assert "violations: none" in render_league(clean)
+
+
+class TestJsonlLines:
+    def test_one_sorted_json_object_per_cell(self, result):
+        lines = list(league_jsonl_lines(result))
+        assert len(lines) == len(result.cells)
+        for line, cell in zip(lines, result.cells):
+            row = json.loads(line)
+            assert list(row) == sorted(row)
+            assert row["adversary"] == cell.adversary
+            assert row["success_rate"] == cell.success_rate
+            assert row["median_queries"] == 96.0
+        violated = json.loads(lines[-1])
+        assert violated["violation"] == {"repeat": 1, "seed": 12345}
+        assert "violation" not in json.loads(lines[0])
+
+
+class TestDashboardPayload:
+    def test_shape_round_trips_through_json(self, result):
+        payload = league_dashboard_payload(result)
+        assert payload == json.loads(json.dumps(payload))
+        assert payload["kind"] == "tournament"
+        assert payload["violations"] == 1
+        assert [row["adversary"]
+                for row in payload["adversary_ranking"]] == \
+            ["byz", "none"]
+        assert [row["protocol"]
+                for row in payload["protocol_ranking"]] == \
+            ["naive", "balanced"]
+        assert len(payload["cells"]) == 4

@@ -1,0 +1,78 @@
+"""The adversary roster: validation, registry, stock line-up."""
+
+import pytest
+
+from repro.experiments import ExperimentSpec
+from repro.tournament import (
+    DEFAULT_BETA,
+    AdversaryEntry,
+    all_adversaries,
+    get_adversary,
+    register_adversary,
+)
+from repro.tournament.roster import _ROSTER
+
+
+class TestAdversaryEntry:
+    def test_fault_free_entry_requires_beta_zero(self):
+        with pytest.raises(ValueError, match="beta=0"):
+            AdversaryEntry("x", "", "none", 0.1)
+
+    def test_faulty_entry_requires_beta_in_open_interval(self):
+        for beta in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(ValueError, match="beta"):
+                AdversaryEntry("x", "", "crash", beta)
+
+    def test_unknown_fault_model_rejected(self):
+        with pytest.raises(ValueError, match="fault_model"):
+            AdversaryEntry("x", "", "gremlins", 0.3)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            AdversaryEntry("x", "", "byzantine", 0.3, "bribery")
+
+    def test_entry_is_a_valid_spec_fragment(self):
+        # The roster's whole point: merging any entry into a spec
+        # passes the spec's own validation.
+        for entry in all_adversaries():
+            ExperimentSpec(protocol="naive", n=8, ell=64,
+                           fault_model=entry.fault_model,
+                           beta=entry.beta, strategy=entry.strategy)
+
+
+class TestRegistry:
+    def test_stock_roster_covers_the_adversary_vocabulary(self):
+        names = [entry.name for entry in all_adversaries()]
+        assert names[:2] == ["none", "crash"]
+        fault_models = {entry.fault_model for entry in all_adversaries()}
+        assert fault_models == {"none", "crash", "byzantine", "dynamic"}
+        # Every static corruption strategy is fielded.
+        byz = {entry.strategy for entry in all_adversaries()
+               if entry.fault_model == "byzantine"}
+        assert byz == {"wrong-bits", "equivocate", "silent",
+                       "selective-silence"}
+
+    def test_stock_beta_keeps_committee_preconditions_valid(self):
+        # 2t < n must hold at the default tournament size n=8.
+        assert int(DEFAULT_BETA * 8) * 2 < 8
+
+    def test_get_adversary_round_trips(self):
+        for entry in all_adversaries():
+            assert get_adversary(entry.name) is entry
+
+    def test_get_unknown_adversary_lists_the_roster(self):
+        with pytest.raises(KeyError, match="byz-wrong-bits"):
+            get_adversary("nonexistent")
+
+    def test_register_adds_and_replaces(self):
+        entry = AdversaryEntry("test-opponent", "scratch entry",
+                               "crash", 0.25)
+        try:
+            assert register_adversary(entry) is entry
+            assert get_adversary("test-opponent") is entry
+            replacement = AdversaryEntry("test-opponent", "v2",
+                                         "crash", 0.5)
+            register_adversary(replacement)
+            assert get_adversary("test-opponent") is replacement
+        finally:
+            _ROSTER.pop("test-opponent", None)
